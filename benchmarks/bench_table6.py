@@ -1,0 +1,26 @@
+"""Paper Table 6: bit-parallel vs single-bit generation, nonrobust.
+
+Expected shape: speed-up > 1 on every circuit (the paper reports 2.3
+to 7.2 with an average around 4) — nonrobust generation parallelizes
+well because most faults need no decisions at all.
+"""
+
+from conftest import run_and_render
+
+from repro.analysis import run_table6
+from repro.analysis.metrics import geometric_mean
+
+
+def test_table6_nonrobust_speedup(benchmark):
+    rows = run_and_render(
+        benchmark,
+        run_table6,
+        "Table 6 — single-bit vs bit-parallel (nonrobust)",
+        fault_cap=192,
+    )
+    assert len(rows) == 11
+    speedups = [row["speedup"] for row in rows]
+    beats = sum(1 for s in speedups if s > 1.0)
+    assert beats >= len(rows) - 1
+    mean = geometric_mean(speedups)
+    assert mean is not None and mean > 2.0

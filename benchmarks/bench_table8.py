@@ -1,0 +1,28 @@
+"""Paper Table 8: robust comparison TIP vs TSUNAMI-D vs DYNAMITE.
+
+Expected shape: TIP matches or beats the structural baseline's tested
+counts on every row; total runtime is comparable between TIP and the
+DYNAMITE-like tool ("for robust test generation it is comparable").
+The BDD baseline's robust class is slightly *larger* (its static
+stability approximation — the paper notes TSUNAMI-D "is based on a
+slightly deviated test class").
+"""
+
+from conftest import run_and_render
+
+from repro.analysis import run_table8
+
+
+def test_table8_robust_comparison(benchmark):
+    rows = run_and_render(
+        benchmark,
+        run_table8,
+        "Table 8 — robust: TIP vs TSUNAMI-D-like vs DYNAMITE-like",
+        fault_cap=96,
+    )
+    assert len(rows) == 10
+    for row in rows:
+        assert row["TIP_tested"] >= row["DYNAMITE_tested"], row
+        # the deviated (static) robust class may only add tests
+        if row["TSUNAMI_aborted"] == 0:
+            assert row["TSUNAMI_tested"] >= row["TIP_tested"], row

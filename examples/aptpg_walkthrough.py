@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The paper's Figure 2, step by step: alternative-parallel TPG (APTPG).
+
+One hard fault (path a-p-x, falling transition at a) occupies all four
+bit levels; the backtrace identifies the primary inputs c and d, and
+*all four* value alternatives are examined at once — one per bit
+level.  Exactly one alternative (c = 0, d = 0) conflicts; "as there is
+at least one bit level without conflict the path is tested".
+
+The script shows both the literal enumeration of the figure and the
+production engine (whose unique backward implications solve the
+justification with a single lane split).
+
+Usage::
+
+    python examples/aptpg_walkthrough.py
+"""
+
+from repro.analysis import run_figure2
+from repro.circuit.library import paper_example
+from repro.core.sensitize import sensitize_nonrobust
+from repro.core.state import THREE_VALUED, TpgState
+from repro.paths import PathDelayFault, Transition
+
+
+def literal_enumeration() -> None:
+    """Replay the figure: split both c and d across the four lanes."""
+    circuit = paper_example()
+    fault = PathDelayFault.from_names(circuit, ("a", "p", "x"), Transition.FALLING)
+    state = TpgState(circuit, THREE_VALUED, 4)
+    for signal, planes in sensitize_nonrobust(circuit, fault, 0b1111):
+        state.assign(signal, planes)
+    state.imply()
+
+    # enumerate all four (c, d) alternatives across the lanes
+    state.assign(circuit.index_of("c"), (0b0011, 0b1100))  # c = 0,0,1,1
+    state.assign(circuit.index_of("d"), (0b0101, 0b1010))  # d = 0,1,0,1
+    state.imply()
+
+    print("Literal Figure 2 enumeration (lane 3 left .. lane 0 right):")
+    for name in ("a", "b", "c", "d", "p", "q", "r", "s", "x"):
+        print(f"  {name}: {state.format_lane_word(name)}")
+    conflicted = state.conflict_mask
+    justified = state.all_justified_mask()
+    print(f"  conflicted lanes: {conflicted:04b}  (only c=0, d=0 fails)")
+    print(f"  justified lanes : {justified:04b}  -> the path is tested")
+    print()
+
+
+def production_engine() -> None:
+    result = run_figure2()
+    print("Production APTPG on the same fault:")
+    print(f"  status: {result['status']}")
+    print(
+        f"  lane splits used: {result['splits_used']} "
+        "(backward implications resolve the other input)"
+    )
+    print(f"  backtracks: {result['backtracks']}")
+    circuit = result["circuit"]
+    print(f"  pattern: {result['pattern'].describe(circuit)}")
+
+
+def main() -> None:
+    literal_enumeration()
+    production_engine()
+
+
+if __name__ == "__main__":
+    main()

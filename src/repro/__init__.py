@@ -1,0 +1,58 @@
+"""repro — Bit-Parallel Test Pattern Generation for Path Delay Faults.
+
+A production-quality reproduction of Henftling & Wittmann (DATE 1995):
+bit-parallel processing at all stages of robust and nonrobust test
+pattern generation for path delay faults, combining fault-parallel
+(FPTPG) and alternative-parallel (APTPG) generation, together with
+every substrate the paper's evaluation depends on — circuit model,
+ISCAS .bench parsing, path enumeration/counting, multi-valued logics,
+PPSFP delay fault simulation, an event-driven timing oracle, and
+BDD-based / structural comparison baselines.
+
+Quickstart::
+
+    from repro import circuit, paths, core
+
+    c = circuit.library.c17()
+    faults = paths.all_faults(c)
+    report = core.generate_tests(c, faults, paths.TestClass.ROBUST)
+    print(report.summary())
+"""
+
+from . import circuit, core, logic, paths, sim
+from .circuit import Circuit, CircuitBuilder, GateType, load_bench, parse_bench
+from .core import (
+    FaultStatus,
+    TestPattern,
+    TpgOptions,
+    TpgReport,
+    generate_tests,
+    generate_tests_single_bit,
+)
+from .paths import PathDelayFault, TestClass, Transition, all_faults, count_paths
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "FaultStatus",
+    "GateType",
+    "PathDelayFault",
+    "TestClass",
+    "TestPattern",
+    "TpgOptions",
+    "TpgReport",
+    "Transition",
+    "all_faults",
+    "circuit",
+    "core",
+    "count_paths",
+    "generate_tests",
+    "generate_tests_single_bit",
+    "load_bench",
+    "logic",
+    "parse_bench",
+    "paths",
+    "sim",
+]

@@ -1,0 +1,69 @@
+"""Derived metrics for the experiment tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.results import TpgReport
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One row of the paper's Tables 5/6 comparison."""
+
+    circuit: str
+    seconds_sensitize: float
+    seconds_single: float
+    seconds_parallel: float
+    aborted_single: int
+    aborted_parallel: int
+
+    @property
+    def speedup(self) -> float:
+        """t_single / t_parallel (the tables' last column)."""
+        if self.seconds_parallel <= 0:
+            return float("inf")
+        return self.seconds_single / self.seconds_parallel
+
+
+def speedup_row(
+    circuit_name: str, single: TpgReport, parallel: TpgReport
+) -> SpeedupRow:
+    """Build a Tables-5/6 row from two generation reports.
+
+    ``t_sens`` is reported from the parallel run; the paper notes the
+    sensitization step is "identical for single-bit and bit-parallel
+    sensitization".
+    """
+    return SpeedupRow(
+        circuit=circuit_name,
+        seconds_sensitize=parallel.seconds_sensitize,
+        seconds_single=single.seconds_generate + single.seconds_simulate,
+        seconds_parallel=parallel.seconds_generate + parallel.seconds_simulate,
+        aborted_single=single.n_aborted,
+        aborted_parallel=parallel.n_aborted,
+    )
+
+
+def efficiency_percent(report: TpgReport) -> float:
+    """The paper's efficiency: (1 - #aborted / #faults) * 100%."""
+    return report.efficiency
+
+
+def coverage_percent(report: TpgReport) -> float:
+    """Detected faults over all faults, in percent."""
+    if not report.records:
+        return 100.0
+    return 100.0 * report.n_tested / report.n_faults
+
+
+def geometric_mean(values) -> Optional[float]:
+    """Geometric mean of positive values (None when empty)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return None
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

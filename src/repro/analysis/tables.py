@@ -1,0 +1,61 @@
+"""Paper-style ASCII table rendering.
+
+The experiment runners return lists of row dicts; this module turns
+them into the aligned text tables the paper prints, so the benchmark
+harness output can be compared to the publication side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Columns default to the keys of the first row, in insertion order.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns or rows[0].keys())
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row_cells in cells:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row_cells))
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    rows: Sequence[Dict[str, object]],
+    tools: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Render the Tables-7/8 layout: #tested and time per tool."""
+    columns = ["circuit"]
+    for tool in tools:
+        columns.append(f"{tool}_tested")
+        columns.append(f"{tool}_time_s")
+    return render_table(rows, columns=columns, title=title)

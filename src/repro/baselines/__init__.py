@@ -1,0 +1,21 @@
+"""Comparison baselines: BDD-based (TSUNAMI-D-like), structural
+single-bit (DYNAMITE-like), non-enumerative estimation (NEST-like)."""
+
+from .bdd import FALSE, TRUE, Bdd, BddLimitExceeded
+from .bdd_atpg import BddPathAtpg, build_signal_bdds, generate_tests_bdd
+from .structural_atpg import depth_controllability, generate_tests_structural
+from .nest import CoverageEstimate, NestEstimator
+
+__all__ = [
+    "Bdd",
+    "BddLimitExceeded",
+    "BddPathAtpg",
+    "CoverageEstimate",
+    "FALSE",
+    "NestEstimator",
+    "TRUE",
+    "build_signal_bdds",
+    "depth_controllability",
+    "generate_tests_bdd",
+    "generate_tests_structural",
+]

@@ -1,0 +1,237 @@
+"""A reduced ordered binary decision diagram (ROBDD) package.
+
+Substrate for the TSUNAMI-D-like comparison baseline (the paper's
+Tables 7 and 8 compare against TSUNAMI-D, "an efficient BDD-based
+approach").  Classic Bryant-style implementation:
+
+* hash-consed nodes ``(var, low, high)`` with the two terminals,
+* the ``ite`` (if-then-else) operator with a computed table,
+* restriction, satisfiability, model counting and evaluation.
+
+A configurable node limit makes BDD blow-up a first-class outcome —
+the experiments report it as an abort, which is exactly how BDD-based
+ATPG degrades on large circuits ("BDDs are known to be best suited for
+test generation as long as the BDD can be constructed").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Terminal node ids.
+FALSE = 0
+TRUE = 1
+
+
+class BddLimitExceeded(Exception):
+    """Raised when the node limit is hit (BDD blow-up)."""
+
+
+class Bdd:
+    """An ROBDD manager over variables ``0 .. num_vars - 1``.
+
+    Variable order is the numeric order; callers map their problem
+    variables (e.g. primary inputs) onto indices however they like.
+    """
+
+    def __init__(self, num_vars: int, node_limit: Optional[int] = None):
+        if num_vars < 0:
+            raise ValueError("num_vars must be >= 0")
+        self.num_vars = num_vars
+        self.node_limit = node_limit
+        # nodes[id] = (var, low, high); terminals get var = num_vars
+        self._nodes: List[Tuple[int, int, int]] = [
+            (num_vars, FALSE, FALSE),
+            (num_vars, TRUE, TRUE),
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # node management
+    # ------------------------------------------------------------------
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if self.node_limit is not None and len(self._nodes) >= self.node_limit:
+            raise BddLimitExceeded(
+                f"BDD exceeded {self.node_limit} nodes"
+            )
+        node = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = node
+        return node
+
+    def var_of(self, node: int) -> int:
+        return self._nodes[node][0]
+
+    def cofactors(self, node: int) -> Tuple[int, int]:
+        _var, low, high = self._nodes[node]
+        return low, high
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    def var(self, index: int) -> int:
+        """The function of variable *index*."""
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"variable {index} out of range")
+        return self._mk(index, FALSE, TRUE)
+
+    def nvar(self, index: int) -> int:
+        """The negation of variable *index*."""
+        return self._mk(index, TRUE, FALSE)
+
+    def const(self, value: bool) -> int:
+        return TRUE if value else FALSE
+
+    # ------------------------------------------------------------------
+    # the ite operator and derived connectives
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """if *f* then *g* else *h* (the universal connective)."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self.var_of(f), self.var_of(g), self.var_of(h))
+        f0, f1 = self._cofactor_pair(f, top)
+        g0, g1 = self._cofactor_pair(g, top)
+        h0, h1 = self._cofactor_pair(h, top)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactor_pair(self, node: int, var: int) -> Tuple[int, int]:
+        if self.var_of(node) == var:
+            return self.cofactors(node)
+        return node, node
+
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def not_(self, f: int) -> int:
+        return self.ite(f, FALSE, TRUE)
+
+    def xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.not_(g), g)
+
+    def xnor(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.not_(g))
+
+    def implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, TRUE)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def restrict(self, f: int, var: int, value: int) -> int:
+        """Cofactor of *f* with *var* fixed to *value*."""
+        if f in (TRUE, FALSE):
+            return f
+        v, low, high = self._nodes[f]
+        if v > var:
+            return f
+        if v == var:
+            return high if value else low
+        return self._mk(
+            v,
+            self.restrict(low, var, value),
+            self.restrict(high, var, value),
+        )
+
+    def evaluate(self, f: int, assignment: Dict[int, int]) -> bool:
+        """Evaluate under a full variable assignment."""
+        node = f
+        while node not in (TRUE, FALSE):
+            var, low, high = self._nodes[node]
+            node = high if assignment.get(var, 0) else low
+        return node == TRUE
+
+    def satisfy_one(self, f: int) -> Optional[Dict[int, int]]:
+        """One satisfying assignment (unmentioned variables are free)."""
+        if f == FALSE:
+            return None
+        assignment: Dict[int, int] = {}
+        node = f
+        while node != TRUE:
+            var, low, high = self._nodes[node]
+            if low != FALSE:
+                assignment[var] = 0
+                node = low
+            else:
+                assignment[var] = 1
+                node = high
+        return assignment
+
+    def count_sat(self, f: int) -> int:
+        """Number of satisfying assignments over all variables."""
+        cache: Dict[int, int] = {}
+
+        def count_from(node: int) -> int:
+            """Models over the variables indexed >= var_of(node)."""
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            if node in cache:
+                return cache[node]
+            var, low, high = self._nodes[node]
+            total = (count_from(low) << (self.var_of(low) - var - 1)) + (
+                count_from(high) << (self.var_of(high) - var - 1)
+            )
+            cache[node] = total
+            return total
+
+        return count_from(f) << self.var_of(f) if f != FALSE else 0
+
+    def iter_models(self, f: int) -> Iterator[Dict[int, int]]:
+        """Yield all satisfying assignments (partial: free vars omitted)."""
+        if f == FALSE:
+            return
+        stack: List[Tuple[int, Dict[int, int]]] = [(f, {})]
+        while stack:
+            node, partial = stack.pop()
+            if node == TRUE:
+                yield partial
+                continue
+            if node == FALSE:
+                continue
+            var, low, high = self._nodes[node]
+            stack.append((low, {**partial, var: 0}))
+            stack.append((high, {**partial, var: 1}))
+
+    def size_of(self, f: int) -> int:
+        """Number of reachable nodes of function *f* (incl. terminals)."""
+        seen = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node not in (TRUE, FALSE):
+                _var, low, high = self._nodes[node]
+                stack.extend((low, high))
+        return len(seen)

@@ -1,0 +1,56 @@
+"""Gate-level combinational circuit substrate.
+
+Public API:
+
+* :class:`Circuit`, :class:`Gate`, :class:`GateType` — the DAG model.
+* :class:`CircuitBuilder` — fluent construction.
+* :func:`parse_bench` / :func:`load_bench` / :func:`write_bench` — the
+  ISCAS ``.bench`` netlist format (flip-flops cut into pseudo I/O).
+* :mod:`repro.circuit.library` — embedded circuits (c17, the paper's
+  Figure 1/2 example, ...).
+* :mod:`repro.circuit.generators` / :mod:`repro.circuit.suites` —
+  synthetic benchmark circuits and the ISCAS-like suites used by the
+  experiment tables.
+"""
+
+from .circuit import Circuit, CircuitError, Gate, iter_gates_by_level
+from .gates import (
+    GateType,
+    controlling_value,
+    evaluate,
+    evaluate_word,
+    gate_type_from_name,
+    inversion_parity,
+    inverts,
+    noncontrolling_value,
+)
+from .builder import CircuitBuilder
+from .bench_parser import BenchFormatError, load_bench, parse_bench, save_bench, write_bench
+from .validate import assert_valid, validate_circuit
+from . import generators, library, suites
+
+__all__ = [
+    "Circuit",
+    "CircuitError",
+    "Gate",
+    "GateType",
+    "CircuitBuilder",
+    "BenchFormatError",
+    "assert_valid",
+    "controlling_value",
+    "evaluate",
+    "evaluate_word",
+    "gate_type_from_name",
+    "generators",
+    "inversion_parity",
+    "inverts",
+    "iter_gates_by_level",
+    "library",
+    "load_bench",
+    "noncontrolling_value",
+    "parse_bench",
+    "save_bench",
+    "suites",
+    "validate_circuit",
+    "write_bench",
+]

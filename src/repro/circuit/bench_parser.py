@@ -1,0 +1,181 @@
+"""Reader/writer for the ISCAS ``.bench`` netlist format.
+
+The paper evaluates on the ISCAS85 combinational and ISCAS89 sequential
+benchmark suites, which are distributed in the ``.bench`` format:
+
+.. code-block:: text
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G17 = NOT(G10)
+
+Sequential circuits additionally contain ``DFF`` pseudo-gates.  The
+paper states: *"When sequential circuits are processed, only the
+combinational part is considered."*  We do the same: every ``DFF``
+output becomes a pseudo primary input and every ``DFF`` input becomes a
+pseudo primary output, which is the standard full-scan interpretation.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .circuit import Circuit, CircuitError
+from .gates import GateType, gate_type_from_name
+
+_LINE_RE = re.compile(
+    r"""^\s*
+        (?P<out>[^\s=()]+)\s*=\s*
+        (?P<type>[A-Za-z][A-Za-z0-9_]*)\s*
+        \(\s*(?P<ins>[^)]*)\)\s*$""",
+    re.VERBOSE,
+)
+_IO_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\(\s*(?P<name>[^)\s]+)\s*\)\s*$", re.I)
+
+
+class BenchFormatError(CircuitError):
+    """Raised when a ``.bench`` file cannot be parsed."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` *text* into a frozen :class:`Circuit`.
+
+    Flip-flops are cut: ``Q = DFF(D)`` introduces pseudo input ``Q``
+    and marks ``D`` as a pseudo output, so the returned circuit is
+    purely combinational.
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Tuple[str, str, List[str], int]] = []
+    dff_pairs: List[Tuple[str, str]] = []  # (Q, D)
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind = io_match.group("kind").upper()
+            signal = io_match.group("name")
+            (inputs if kind == "INPUT" else outputs).append(signal)
+            continue
+        gate_match = _LINE_RE.match(line)
+        if not gate_match:
+            raise BenchFormatError(f"unparseable line: {raw.strip()!r}", line_no)
+        out = gate_match.group("out")
+        gtype = gate_match.group("type").upper()
+        ins = [s.strip() for s in gate_match.group("ins").split(",") if s.strip()]
+        if gtype == "DFF":
+            if len(ins) != 1:
+                raise BenchFormatError(f"DFF must have one input, got {ins}", line_no)
+            dff_pairs.append((out, ins[0]))
+            continue
+        try:
+            gate_type_from_name(gtype)
+        except ValueError as exc:
+            raise BenchFormatError(str(exc), line_no) from None
+        gates.append((out, gtype, ins, line_no))
+
+    circuit = Circuit(name=name)
+    for signal in inputs:
+        circuit.add_input(signal)
+    for q, _d in dff_pairs:
+        circuit.add_input(q)  # flip-flop output feeds the combinational core
+
+    pending: Dict[str, Tuple[str, List[str], int]] = {}
+    for out, gtype, ins, line_no in gates:
+        if out in pending or out in circuit.name_to_index:
+            raise BenchFormatError(f"signal {out!r} driven twice", line_no)
+        pending[out] = (gtype, ins, line_no)
+
+    # emit in dependency order (iterative DFS; .bench files list gates
+    # in arbitrary order)
+    emitted = set(circuit.name_to_index)
+    for target in list(pending):
+        if target in emitted:
+            continue
+        stack: List[Tuple[str, bool]] = [(target, False)]
+        on_stack = {target}
+        while stack:
+            signal, expanded = stack.pop()
+            if signal in emitted:
+                continue
+            entry = pending.get(signal)
+            if entry is None:
+                raise BenchFormatError(f"signal {signal!r} is never driven")
+            gtype, ins, line_no = entry
+            if expanded:
+                # single-input AND/OR degenerate to BUF; NAND/NOR to NOT
+                effective = gtype
+                if len(ins) == 1 and gtype in ("AND", "OR"):
+                    effective = "BUF"
+                elif len(ins) == 1 and gtype in ("NAND", "NOR"):
+                    effective = "NOT"
+                try:
+                    circuit.add_gate(signal, effective, ins)
+                except CircuitError as exc:
+                    raise BenchFormatError(str(exc), line_no) from None
+                emitted.add(signal)
+                on_stack.discard(signal)
+                continue
+            stack.append((signal, True))
+            for f in ins:
+                if f in emitted:
+                    continue
+                if f in on_stack:
+                    raise BenchFormatError(f"combinational cycle through {f!r}")
+                if f not in pending:
+                    raise BenchFormatError(
+                        f"signal {f!r} used by {signal!r} is never driven", line_no
+                    )
+                on_stack.add(f)
+                stack.append((f, False))
+
+    for signal in outputs:
+        circuit.mark_output(signal)
+    for _q, d in dff_pairs:
+        circuit.mark_output(d)  # flip-flop input is observed by the scan chain
+    return circuit.freeze()
+
+
+def load_bench(path: str | Path) -> Circuit:
+    """Parse the ``.bench`` file at *path*."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize *circuit* back to ``.bench`` text.
+
+    ``parse_bench(write_bench(c))`` reproduces the structure exactly
+    (round-trip property covered by the tests).
+    """
+    lines: List[str] = [f"# {circuit.name}"]
+    for i in circuit.inputs:
+        lines.append(f"INPUT({circuit.signal_name(i)})")
+    for o in circuit.outputs:
+        lines.append(f"OUTPUT({circuit.signal_name(o)})")
+    for gate in circuit.gates:
+        if gate.is_input:
+            continue
+        ins = ", ".join(circuit.signal_name(f) for f in gate.fanin)
+        type_name = {GateType.BUF: "BUFF", GateType.NOT: "NOT"}.get(
+            gate.gate_type, gate.gate_type.value
+        )
+        lines.append(f"{gate.name} = {type_name}({ins})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit: Circuit, path: str | Path) -> None:
+    """Write *circuit* to a ``.bench`` file at *path*."""
+    Path(path).write_text(write_bench(circuit))

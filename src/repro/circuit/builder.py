@@ -1,0 +1,130 @@
+"""Fluent construction helper for :class:`repro.circuit.Circuit`.
+
+The raw ``Circuit`` API wants fanin ids to exist before a gate is
+added.  :class:`CircuitBuilder` removes that chore for hand-written
+netlists (tests, examples, embedded library circuits): gates may be
+declared in any order and are resolved when :meth:`CircuitBuilder.
+build` is called.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .circuit import Circuit, CircuitError
+from .gates import GateType, gate_type_from_name
+
+
+@dataclass
+class _PendingGate:
+    name: str
+    gate_type: GateType
+    fanin: Tuple[str, ...]
+
+
+class CircuitBuilder:
+    """Collects gate declarations and emits a frozen :class:`Circuit`.
+
+    Example:
+        >>> b = CircuitBuilder("half_adder")
+        >>> b.inputs("a", "b")
+        >>> b.gate("sum", "XOR", ["a", "b"])
+        >>> b.gate("carry", "AND", ["a", "b"])
+        >>> b.outputs("sum", "carry")
+        >>> circuit = b.build()
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._inputs: List[str] = []
+        self._gates: Dict[str, _PendingGate] = {}
+        self._outputs: List[str] = []
+
+    # ------------------------------------------------------------------
+    def inputs(self, *names: str) -> "CircuitBuilder":
+        for name in names:
+            if name in self._inputs or name in self._gates:
+                raise CircuitError(f"duplicate signal {name!r}")
+            self._inputs.append(name)
+        return self
+
+    def gate(
+        self, name: str, gate_type: GateType | str, fanin: Sequence[str]
+    ) -> "CircuitBuilder":
+        if isinstance(gate_type, str):
+            gate_type = gate_type_from_name(gate_type)
+        if name in self._inputs or name in self._gates:
+            raise CircuitError(f"duplicate signal {name!r}")
+        self._gates[name] = _PendingGate(name, gate_type, tuple(fanin))
+        return self
+
+    def outputs(self, *names: str) -> "CircuitBuilder":
+        self._outputs.extend(names)
+        return self
+
+    # convenience single-type helpers keep example netlists short
+    def and_(self, name: str, *fanin: str) -> "CircuitBuilder":
+        return self.gate(name, GateType.AND, fanin)
+
+    def or_(self, name: str, *fanin: str) -> "CircuitBuilder":
+        return self.gate(name, GateType.OR, fanin)
+
+    def nand(self, name: str, *fanin: str) -> "CircuitBuilder":
+        return self.gate(name, GateType.NAND, fanin)
+
+    def nor(self, name: str, *fanin: str) -> "CircuitBuilder":
+        return self.gate(name, GateType.NOR, fanin)
+
+    def xor(self, name: str, *fanin: str) -> "CircuitBuilder":
+        return self.gate(name, GateType.XOR, fanin)
+
+    def xnor(self, name: str, *fanin: str) -> "CircuitBuilder":
+        return self.gate(name, GateType.XNOR, fanin)
+
+    def not_(self, name: str, fanin: str) -> "CircuitBuilder":
+        return self.gate(name, GateType.NOT, [fanin])
+
+    def buf(self, name: str, fanin: str) -> "CircuitBuilder":
+        return self.gate(name, GateType.BUF, [fanin])
+
+    # ------------------------------------------------------------------
+    def build(self) -> Circuit:
+        """Topologically order the declarations and freeze the circuit."""
+        circuit = Circuit(name=self.name)
+        for name in self._inputs:
+            circuit.add_input(name)
+
+        # iterative DFS emit so deep netlists do not hit the recursion limit
+        emitted = set(self._inputs)
+        for target in list(self._gates):
+            if target in emitted:
+                continue
+            stack: List[Tuple[str, bool]] = [(target, False)]
+            on_stack = {target}
+            while stack:
+                name, expanded = stack.pop()
+                if name in emitted:
+                    continue
+                pending = self._gates.get(name)
+                if pending is None:
+                    raise CircuitError(f"signal {name!r} is never driven")
+                if expanded:
+                    circuit.add_gate(pending.name, pending.gate_type, pending.fanin)
+                    emitted.add(name)
+                    on_stack.discard(name)
+                    continue
+                stack.append((name, True))
+                for f in pending.fanin:
+                    if f in emitted:
+                        continue
+                    if f in on_stack:
+                        raise CircuitError(f"combinational cycle through {f!r}")
+                    if f not in self._gates:
+                        raise CircuitError(f"signal {f!r} is never driven")
+                    on_stack.add(f)
+                    stack.append((f, False))
+
+        for name in self._outputs:
+            circuit.mark_output(name)
+        return circuit.freeze()

@@ -1,0 +1,308 @@
+"""The combinational circuit data structure.
+
+A :class:`Circuit` is a directed acyclic graph of named signals, each
+driven either by a primary input or by exactly one gate.  The class is
+the substrate every other subsystem builds on: path enumeration walks
+its fanout lists, the bit-parallel engines index its signals by dense
+integer ids, and the simulators evaluate its gates in topological
+order.
+
+Construction goes through :meth:`Circuit.add_input` /
+:meth:`Circuit.add_gate` (or the fluent :class:`repro.circuit.builder.
+CircuitBuilder`); once :meth:`Circuit.freeze` has been called the
+structure is immutable and the derived arrays (levels, fanout lists,
+topological order) are available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .gates import GateType, evaluate, gate_type_from_name, max_fanin, min_fanin
+
+
+class CircuitError(Exception):
+    """Raised for structural errors (cycles, missing drivers, ...)."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One signal of the circuit together with its driver.
+
+    Attributes:
+        index: dense id of the signal, assigned in insertion order.
+        name: the user-visible signal name (unique within a circuit).
+        gate_type: driver type; ``GateType.INPUT`` for primary inputs.
+        fanin: signal ids feeding the driver (empty for inputs).
+    """
+
+    index: int
+    name: str
+    gate_type: GateType
+    fanin: Tuple[int, ...]
+
+    @property
+    def is_input(self) -> bool:
+        return self.gate_type is GateType.INPUT
+
+
+@dataclass
+class Circuit:
+    """A named combinational circuit.
+
+    Signals are identified by dense integer ids (``gate.index``); the
+    mapping name -> id is kept in :attr:`name_to_index`.  Primary
+    outputs are an ordered subset of the signals, marked explicitly
+    (a signal may be both an internal fanout stem and an output, as in
+    the ISCAS benchmarks).
+    """
+
+    name: str = "circuit"
+    gates: List[Gate] = field(default_factory=list)
+    name_to_index: Dict[str, int] = field(default_factory=dict)
+    inputs: List[int] = field(default_factory=list)
+    outputs: List[int] = field(default_factory=list)
+    _frozen: bool = False
+    _fanout: Optional[List[Tuple[int, ...]]] = None
+    _level: Optional[List[int]] = None
+    _order: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> int:
+        """Add a primary input signal and return its id."""
+        return self._add(name, GateType.INPUT, ())
+
+    def add_gate(
+        self,
+        name: str,
+        gate_type: GateType | str,
+        fanin: Sequence[int | str],
+    ) -> int:
+        """Add a gate driving signal *name* and return its id.
+
+        *fanin* entries may be signal ids or names; names must already
+        exist, which enforces a topological insertion order and thereby
+        acyclicity by construction.
+        """
+        if isinstance(gate_type, str):
+            gate_type = gate_type_from_name(gate_type)
+        resolved = tuple(self._resolve(f) for f in fanin)
+        lo = min_fanin(gate_type)
+        hi = max_fanin(gate_type)
+        if len(resolved) < lo or (hi is not None and len(resolved) > hi):
+            raise CircuitError(
+                f"gate {name!r}: {gate_type.value} cannot take "
+                f"{len(resolved)} inputs"
+            )
+        return self._add(name, gate_type, resolved)
+
+    def mark_output(self, signal: int | str) -> None:
+        """Mark an existing signal as a primary output."""
+        self._check_mutable()
+        index = self._resolve(signal)
+        if index not in self.outputs:
+            self.outputs.append(index)
+
+    def freeze(self) -> "Circuit":
+        """Finalize the structure and compute the derived arrays.
+
+        Returns ``self`` so construction can be written fluently.
+        """
+        if self._frozen:
+            return self
+        if not self.outputs:
+            raise CircuitError(f"circuit {self.name!r} has no outputs")
+        self._frozen = True
+        self._compute_fanout()
+        self._compute_levels()
+        return self
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    @property
+    def num_signals(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of actual gates (signals that are not primary inputs)."""
+        return len(self.gates) - len(self.inputs)
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def gate(self, signal: int | str) -> Gate:
+        return self.gates[self._resolve(signal)]
+
+    def signal_name(self, index: int) -> str:
+        return self.gates[index].name
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self.name_to_index[name]
+        except KeyError:
+            raise CircuitError(f"no signal named {name!r}") from None
+
+    def fanout(self, signal: int | str) -> Tuple[int, ...]:
+        """Signal ids whose gates read *signal* (requires freeze)."""
+        self._check_frozen()
+        assert self._fanout is not None
+        return self._fanout[self._resolve(signal)]
+
+    def level(self, signal: int | str) -> int:
+        """Logic level: 0 for inputs, 1 + max(fanin levels) otherwise."""
+        self._check_frozen()
+        assert self._level is not None
+        return self._level[self._resolve(signal)]
+
+    @property
+    def levels(self) -> List[int]:
+        self._check_frozen()
+        assert self._level is not None
+        return self._level
+
+    @property
+    def depth(self) -> int:
+        """Largest level in the circuit (length of the longest path)."""
+        self._check_frozen()
+        assert self._level is not None
+        return max(self._level) if self._level else 0
+
+    def topological_order(self) -> List[int]:
+        """Signal ids sorted by level (inputs first).
+
+        Insertion order is already topological (fanins must exist when
+        a gate is added) but level order groups independent gates,
+        which the array-based simulators exploit.
+        """
+        self._check_frozen()
+        assert self._order is not None
+        return self._order
+
+    def is_output(self, signal: int | str) -> bool:
+        return self._resolve(signal) in set(self.outputs)
+
+    # ------------------------------------------------------------------
+    # reference evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Dict[str, int] | Sequence[int]) -> Dict[str, int]:
+        """Boolean-evaluate the whole circuit for one input vector.
+
+        *assignment* maps input names to 0/1 (or gives values in
+        ``self.inputs`` order).  Returns the value of every signal by
+        name.  This is the slow, obviously-correct reference the
+        bit-parallel simulators are validated against.
+        """
+        values: List[int] = [0] * len(self.gates)
+        if isinstance(assignment, dict):
+            vector = [assignment[self.gates[i].name] for i in self.inputs]
+        else:
+            vector = list(assignment)
+        if len(vector) != len(self.inputs):
+            raise CircuitError(
+                f"expected {len(self.inputs)} input values, got {len(vector)}"
+            )
+        for i, value in zip(self.inputs, vector):
+            if value not in (0, 1):
+                raise CircuitError(f"input value must be 0/1, got {value!r}")
+            values[i] = value
+        for index in self.topological_order():
+            g = self.gates[index]
+            if g.is_input:
+                continue
+            values[index] = evaluate(g.gate_type, [values[f] for f in g.fanin])
+        return {g.name: values[g.index] for g in self.gates}
+
+    def output_values(self, assignment: Dict[str, int] | Sequence[int]) -> Tuple[int, ...]:
+        """Evaluate and return just the primary output values, in order."""
+        values = self.evaluate(assignment)
+        return tuple(values[self.gates[o].name] for o in self.outputs)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Structural statistics used by reports and the suites."""
+        self._check_frozen()
+        counts: Dict[str, int] = {}
+        for g in self.gates:
+            counts[g.gate_type.value] = counts.get(g.gate_type.value, 0) + 1
+        return {
+            "signals": self.num_signals,
+            "gates": self.num_gates,
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "depth": self.depth,
+            **{f"n_{k.lower()}": v for k, v in sorted(counts.items())},
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _add(self, name: str, gate_type: GateType, fanin: Tuple[int, ...]) -> int:
+        self._check_mutable()
+        if name in self.name_to_index:
+            raise CircuitError(f"duplicate signal name {name!r}")
+        index = len(self.gates)
+        gate = Gate(index=index, name=name, gate_type=gate_type, fanin=fanin)
+        self.gates.append(gate)
+        self.name_to_index[name] = index
+        if gate_type is GateType.INPUT:
+            self.inputs.append(index)
+        return index
+
+    def _resolve(self, signal: int | str) -> int:
+        if isinstance(signal, str):
+            return self.index_of(signal)
+        if not 0 <= signal < len(self.gates):
+            raise CircuitError(f"signal id {signal} out of range")
+        return signal
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise CircuitError("circuit is frozen")
+
+    def _check_frozen(self) -> None:
+        if not self._frozen:
+            raise CircuitError("circuit must be frozen first (call freeze())")
+
+    def _compute_fanout(self) -> None:
+        fanout: List[List[int]] = [[] for _ in self.gates]
+        for g in self.gates:
+            for f in g.fanin:
+                fanout[f].append(g.index)
+        self._fanout = [tuple(f) for f in fanout]
+
+    def _compute_levels(self) -> None:
+        level = [0] * len(self.gates)
+        for g in self.gates:  # insertion order is topological
+            if g.fanin:
+                level[g.index] = 1 + max(level[f] for f in g.fanin)
+        self._level = level
+        self._order = sorted(range(len(self.gates)), key=lambda i: (level[i], i))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit({self.name!r}, inputs={len(self.inputs)}, "
+            f"gates={self.num_gates}, outputs={len(self.outputs)})"
+        )
+
+
+def iter_gates_by_level(circuit: Circuit) -> Iterable[Tuple[int, List[int]]]:
+    """Yield ``(level, [signal ids])`` pairs in ascending level order."""
+    by_level: Dict[int, List[int]] = {}
+    for index in circuit.topological_order():
+        by_level.setdefault(circuit.level(index), []).append(index)
+    for lvl in sorted(by_level):
+        yield lvl, by_level[lvl]

@@ -1,0 +1,191 @@
+"""Gate primitives for combinational circuits.
+
+The path delay fault literature (and the ISCAS benchmark suites the
+paper evaluates on) works with a small standard cell set: AND, OR,
+NAND, NOR, XOR, XNOR, BUF and NOT, plus explicit INPUT markers.  This
+module defines that cell set together with the per-gate attributes the
+ATPG algorithms need:
+
+* the *controlling value* (the input value that alone determines the
+  output: 0 for AND/NAND, 1 for OR/NOR, none for XOR/XNOR/BUF/NOT),
+* the *inversion parity* (whether the output inverts its inputs),
+* plain boolean evaluation (used by the reference simulators and the
+  test oracles).
+
+Everything here is deliberately value-level and table-driven so the
+bit-parallel engines in :mod:`repro.logic` can derive their plane
+arithmetic from one authoritative definition.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+
+class GateType(enum.Enum):
+    """The supported gate primitives.
+
+    ``INPUT`` marks primary inputs (no fanin); ``BUF`` and ``NOT`` are
+    single-input; all other types accept two or more inputs.
+    """
+
+    INPUT = "INPUT"
+    BUF = "BUF"
+    NOT = "NOT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GateType.{self.name}"
+
+
+#: Gate types whose output inverts (an even/odd path-parity step).
+INVERTING = frozenset({GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR})
+
+#: Gate types with a controlling value.
+_CONTROLLING = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+#: Gate types that simply combine with AND/OR semantics.
+AND_LIKE = frozenset({GateType.AND, GateType.NAND})
+OR_LIKE = frozenset({GateType.OR, GateType.NOR})
+XOR_LIKE = frozenset({GateType.XOR, GateType.XNOR})
+SINGLE_INPUT = frozenset({GateType.BUF, GateType.NOT})
+
+_BY_NAME = {t.value: t for t in GateType}
+# Common aliases found in .bench files and hand-written netlists.
+_BY_NAME.update(
+    {
+        "INV": GateType.NOT,
+        "BUFF": GateType.BUF,
+        "BUFFER": GateType.BUF,
+        "PI": GateType.INPUT,
+    }
+)
+
+
+def gate_type_from_name(name: str) -> GateType:
+    """Resolve a gate-type *name* (case-insensitive, common aliases).
+
+    Raises ``ValueError`` for unknown names so netlist parsing errors
+    surface with a clear message instead of a ``KeyError``.
+    """
+    try:
+        return _BY_NAME[name.strip().upper()]
+    except KeyError:
+        raise ValueError(f"unknown gate type: {name!r}") from None
+
+
+def controlling_value(gate_type: GateType) -> int | None:
+    """Controlling input value of *gate_type* or ``None`` if it has none.
+
+    A controlling value at any input fixes the gate output regardless
+    of the other inputs; path sensitization requires all off-path
+    inputs to carry the *non-controlling* value.
+    """
+    return _CONTROLLING.get(gate_type)
+
+
+def noncontrolling_value(gate_type: GateType) -> int | None:
+    """Non-controlling input value, or ``None`` for XOR-like gates."""
+    c = _CONTROLLING.get(gate_type)
+    if c is None:
+        return None
+    return 1 - c
+
+
+def inverts(gate_type: GateType) -> bool:
+    """True if the gate output has inverted polarity w.r.t. its inputs."""
+    return gate_type in INVERTING
+
+
+def inversion_parity(gate_types: Sequence[GateType]) -> int:
+    """Number of inverting gates in *gate_types*, modulo 2."""
+    return sum(1 for t in gate_types if inverts(t)) & 1
+
+
+def min_fanin(gate_type: GateType) -> int:
+    """Smallest legal fanin count for *gate_type*."""
+    if gate_type is GateType.INPUT:
+        return 0
+    if gate_type in SINGLE_INPUT:
+        return 1
+    return 2
+
+
+def max_fanin(gate_type: GateType) -> int | None:
+    """Largest legal fanin count, ``None`` meaning unbounded."""
+    if gate_type is GateType.INPUT:
+        return 0
+    if gate_type in SINGLE_INPUT:
+        return 1
+    return None
+
+
+def evaluate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Boolean evaluation of one gate over 0/1 *inputs*.
+
+    This is the reference semantics: the bit-parallel plane algebras
+    in :mod:`repro.logic` are tested against it exhaustively.
+    """
+    if gate_type is GateType.INPUT:
+        raise ValueError("INPUT gates have no evaluation")
+    if gate_type is GateType.BUF:
+        (a,) = inputs
+        return a
+    if gate_type is GateType.NOT:
+        (a,) = inputs
+        return 1 - a
+    if gate_type in AND_LIKE:
+        value = all(inputs)
+    elif gate_type in OR_LIKE:
+        value = any(inputs)
+    elif gate_type in XOR_LIKE:
+        value = bool(sum(inputs) & 1)
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unhandled gate type {gate_type}")
+    result = 1 if value else 0
+    if inverts(gate_type):
+        result = 1 - result
+    return result
+
+
+def evaluate_word(gate_type: GateType, inputs: Sequence[int], mask: int) -> int:
+    """Bit-parallel boolean evaluation over integer words.
+
+    Each element of *inputs* is an ``L``-lane word; *mask* is the
+    all-lanes mask ``(1 << L) - 1``.  Used by the two-valued logic
+    simulator; the multi-valued engines have their own plane rules.
+    """
+    if gate_type is GateType.BUF:
+        (a,) = inputs
+        return a & mask
+    if gate_type is GateType.NOT:
+        (a,) = inputs
+        return ~a & mask
+    if gate_type in AND_LIKE:
+        word = mask
+        for a in inputs:
+            word &= a
+    elif gate_type in OR_LIKE:
+        word = 0
+        for a in inputs:
+            word |= a
+    elif gate_type in XOR_LIKE:
+        word = 0
+        for a in inputs:
+            word ^= a
+    else:
+        raise ValueError(f"unhandled gate type {gate_type}")
+    if inverts(gate_type):
+        word = ~word
+    return word & mask

@@ -1,0 +1,94 @@
+"""Structural sanity checks for circuits.
+
+The generators and parsers construct circuits by the thousand during
+benchmark sweeps; :func:`validate_circuit` is the single choke point
+that asserts the invariants every downstream algorithm relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .circuit import Circuit, CircuitError
+from .gates import GateType, max_fanin, min_fanin
+
+
+def validate_circuit(circuit: Circuit) -> List[str]:
+    """Check structural invariants; return a list of problem strings.
+
+    An empty list means the circuit is well formed.  Checked:
+
+    * the circuit is frozen and has at least one input and output,
+    * every gate's fanin ids are in range and precede the gate
+      (which implies acyclicity),
+    * fanin counts are legal for each gate type,
+    * every non-input signal is reachable from some input,
+    * every signal reaches some output (no dangling logic), and
+    * levels are consistent with fanin levels.
+    """
+    problems: List[str] = []
+    if not circuit.frozen:
+        return ["circuit is not frozen"]
+    if not circuit.inputs:
+        problems.append("circuit has no primary inputs")
+    if not circuit.outputs:
+        problems.append("circuit has no primary outputs")
+
+    n = circuit.num_signals
+    for gate in circuit.gates:
+        lo = min_fanin(gate.gate_type)
+        hi = max_fanin(gate.gate_type)
+        if len(gate.fanin) < lo or (hi is not None and len(gate.fanin) > hi):
+            problems.append(
+                f"{gate.name}: {gate.gate_type.value} with "
+                f"{len(gate.fanin)} inputs"
+            )
+        for f in gate.fanin:
+            if not 0 <= f < n:
+                problems.append(f"{gate.name}: fanin id {f} out of range")
+            elif f >= gate.index:
+                problems.append(
+                    f"{gate.name}: fanin {circuit.signal_name(f)} does not "
+                    f"precede it (possible cycle)"
+                )
+        if gate.fanin:
+            expected = 1 + max(circuit.level(f) for f in gate.fanin)
+            if circuit.level(gate.index) != expected:
+                problems.append(f"{gate.name}: inconsistent level")
+
+    # reachability from inputs (forward) and to outputs (backward)
+    reachable = [False] * n
+    for i in circuit.inputs:
+        reachable[i] = True
+    for index in circuit.topological_order():
+        gate = circuit.gates[index]
+        if gate.fanin and all(reachable[f] for f in gate.fanin):
+            reachable[index] = True
+    for gate in circuit.gates:
+        if not reachable[gate.index] and not gate.is_input:
+            problems.append(f"{gate.name}: not reachable from the inputs")
+
+    observes = [False] * n
+    for o in circuit.outputs:
+        observes[o] = True
+    for index in reversed(circuit.topological_order()):
+        if observes[index]:
+            for f in circuit.gates[index].fanin:
+                observes[f] = True
+    for gate in circuit.gates:
+        if not observes[gate.index]:
+            problems.append(f"{gate.name}: does not reach any output")
+
+    return problems
+
+
+def assert_valid(circuit: Circuit) -> Circuit:
+    """Raise :class:`CircuitError` if *circuit* fails validation."""
+    problems = validate_circuit(circuit)
+    if problems:
+        preview = "; ".join(problems[:5])
+        raise CircuitError(
+            f"circuit {circuit.name!r} failed validation "
+            f"({len(problems)} problems): {preview}"
+        )
+    return circuit

@@ -1,0 +1,236 @@
+"""Command-line interface.
+
+Three entry points (also installed as console scripts):
+
+* ``tip-atpg`` — generate robust/nonrobust path delay tests for a
+  circuit (a ``.bench`` file, an embedded circuit, or a suite name).
+* ``tip-paths`` — count/enumerate structural paths and faults.
+* ``tip-experiments`` — regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    render_table,
+    run_ablation_implications,
+    run_ablation_modes,
+    run_ablation_word_length,
+    run_figure1,
+    run_figure2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+)
+from .circuit import Circuit, load_bench
+from .circuit.library import EMBEDDED, load_embedded
+from .circuit.suites import suite_circuit
+from .core import TpgOptions, generate_tests
+from .logic.words import DEFAULT_WORD_LENGTH
+from .paths import (
+    TestClass,
+    count_faults,
+    count_paths,
+    fault_list,
+    iter_paths,
+    path_length_histogram,
+)
+
+
+def resolve_circuit(spec: str, scale: int = 1) -> Circuit:
+    """Interpret a circuit spec: file path, embedded name, suite name."""
+    if spec.endswith(".bench"):
+        return load_bench(spec)
+    if spec in EMBEDDED:
+        return load_embedded(spec)
+    try:
+        return suite_circuit(spec, scale)
+    except ValueError:
+        pass
+    known = ", ".join(sorted(EMBEDDED))
+    raise SystemExit(
+        f"unknown circuit {spec!r}: expected a .bench file, an embedded "
+        f"circuit ({known}) or an ISCAS suite name (c432, s1423, ...)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# tip-atpg
+# ---------------------------------------------------------------------------
+
+
+def main_atpg(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tip-atpg",
+        description="Bit-parallel path delay fault test generation (TIP).",
+    )
+    parser.add_argument("circuit", help=".bench file, embedded or suite circuit name")
+    parser.add_argument(
+        "--class",
+        dest="test_class",
+        choices=["robust", "nonrobust"],
+        default="nonrobust",
+        help="test class (default: nonrobust)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=DEFAULT_WORD_LENGTH, help="word length L"
+    )
+    parser.add_argument(
+        "--max-faults", type=int, default=None, help="cap on the fault list"
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=["all", "longest", "sample"],
+        default="all",
+        help="fault selection strategy",
+    )
+    parser.add_argument("--scale", type=int, default=1, help="suite circuit scale")
+    parser.add_argument(
+        "--single-bit",
+        action="store_true",
+        help="restrict the generator to one bit level (the baseline)",
+    )
+    parser.add_argument(
+        "--no-drop", action="store_true", help="disable fault dropping"
+    )
+    parser.add_argument(
+        "--patterns", action="store_true", help="print the generated patterns"
+    )
+    args = parser.parse_args(argv)
+
+    circuit = resolve_circuit(args.circuit, args.scale)
+    faults = fault_list(circuit, cap=args.max_faults, strategy=args.strategy)
+    test_class = TestClass.ROBUST if args.test_class == "robust" else TestClass.NONROBUST
+    options = TpgOptions(
+        width=1 if args.single_bit else args.width,
+        drop_faults=not args.no_drop,
+    )
+    report = generate_tests(circuit, faults, test_class, options)
+    print(render_table([report.summary()], title=f"{circuit.name}: ATPG summary"))
+    if args.patterns:
+        print()
+        for record in report.records:
+            if record.pattern is not None:
+                print(record.pattern.describe(circuit))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# tip-paths
+# ---------------------------------------------------------------------------
+
+
+def main_paths(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tip-paths",
+        description="Structural path counting and enumeration.",
+    )
+    parser.add_argument("circuit", help=".bench file, embedded or suite circuit name")
+    parser.add_argument("--scale", type=int, default=1, help="suite circuit scale")
+    parser.add_argument(
+        "--list", type=int, default=0, metavar="N", help="print the first N paths"
+    )
+    parser.add_argument(
+        "--histogram", action="store_true", help="print the path-length histogram"
+    )
+    args = parser.parse_args(argv)
+
+    circuit = resolve_circuit(args.circuit, args.scale)
+    stats = circuit.stats()
+    print(f"circuit   : {circuit.name}")
+    print(f"inputs    : {stats['inputs']}")
+    print(f"gates     : {stats['gates']}")
+    print(f"outputs   : {stats['outputs']}")
+    print(f"depth     : {stats['depth']}")
+    print(f"paths     : {count_paths(circuit)}")
+    print(f"faults    : {count_faults(circuit)}")
+    if args.histogram:
+        rows = [
+            {"length": length, "paths": count}
+            for length, count in sorted(path_length_histogram(circuit).items())
+        ]
+        print()
+        print(render_table(rows, title="path length histogram"))
+    if args.list:
+        print()
+        for path in iter_paths(circuit, max_paths=args.list):
+            print("-".join(circuit.signal_name(s) for s in path))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# tip-experiments
+# ---------------------------------------------------------------------------
+
+_EXPERIMENTS = {
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "table7": run_table7,
+    "table8": run_table8,
+    "ablation-L": run_ablation_word_length,
+    "ablation-modes": run_ablation_modes,
+    "ablation-implications": run_ablation_implications,
+}
+
+
+def main_experiments(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tip-experiments",
+        description="Regenerate the paper's experiment tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["figure1", "figure2", "all-tables"],
+        help="which experiment to run",
+    )
+    parser.add_argument("--scale", type=int, default=1, help="suite circuit scale")
+    parser.add_argument(
+        "--fault-cap", type=int, default=None, help="cap on faults per circuit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "figure1":
+        result = run_figure1()
+        print("Figure 1 — FPTPG for 4 paths (bit levels 0..3):")
+        for fault, status in zip(result["faults"], result["statuses"]):
+            print(f"  {fault.describe(result['circuit'])}: {status}")
+        print("lane words (level 3..0):")
+        for name, word in result["lane_words"].items():
+            print(f"  {name}: {word}")
+        return 0
+    if args.experiment == "figure2":
+        result = run_figure2()
+        print("Figure 2 — APTPG for path a-p-x (falling):")
+        print(f"  status: {result['status']}, splits: {result['splits_used']}")
+        for name, word in result["lane_words"].items():
+            print(f"  {name}: {word}")
+        return 0
+
+    kwargs = {}
+    if args.fault_cap is not None:
+        kwargs["fault_cap"] = args.fault_cap
+    if args.experiment == "all-tables":
+        for name in ("table3", "table4", "table5", "table6", "table7", "table8"):
+            rows = _EXPERIMENTS[name](scale=args.scale, **kwargs)
+            print(render_table(rows, title=f"{name} (reproduction)"))
+            print()
+        return 0
+    runner = _EXPERIMENTS[args.experiment]
+    if args.experiment.startswith("ablation"):
+        rows = runner(scale=args.scale, **kwargs)
+    else:
+        rows = runner(scale=args.scale, **kwargs)
+    print(render_table(rows, title=f"{args.experiment} (reproduction)"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_atpg())

@@ -1,0 +1,272 @@
+"""Alternative-parallel test pattern generation — APTPG (Section 3.2).
+
+One *hard* fault occupies all ``L`` bit lanes.  Whenever the backtrace
+asks for an optional primary-input assignment, the first
+``floor(log2 L)`` decisions are not guessed but *split across the
+lanes*: decision ``k`` assigns 0 in every lane whose index has bit
+``k`` clear and 1 where it is set, so all ``2^k`` combinations are
+examined simultaneously — the paper's "we examine all four
+possibilities in four bit-levels at one time".
+
+Beyond ``log2 L`` decisions the generator "proceeds with conventional
+backtracking on all bit levels simultaneously": further decisions are
+uniform across lanes, checkpointed on a trail, and flipped/popped when
+every lane has conflicted.  The fault is
+
+* **tested** as soon as one lane is conflict-free and fully justified
+  ("As there is at least one bit level without conflict the path is
+  tested"),
+* **redundant** when every lane conflicts and the decision space is
+  exhausted (split lanes already enumerate all combinations of the
+  split inputs, so this exhaustion argument is the standard PODEM
+  completeness argument), and
+* **aborted** when the backtrack limit is hit or no objective can be
+  advanced.
+
+**XOR polarities.**  Off-path inputs of on-path XOR/XNOR gates are
+free polarity choices: either value propagates the transition (with
+inverted polarity downstream).  A conflict under one polarity
+assignment proves nothing, so the driver enumerates the polarity
+combinations — the fault is redundant only when *every* combination
+is refuted, tested as soon as any combination yields a pattern, and
+aborted when the combination space is too large to enumerate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from typing import Dict
+
+from ..circuit import Circuit
+from ..logic.words import lowest_set_lane, split_masks
+from ..paths import PathDelayFault, TestClass
+from .backtrace import PiObjective, backtrace
+from .controllability import Controllability, compute_controllability
+from .fptpg import objective_for_lane, pi_assignment_planes, sensitizer_for
+from .patterns import TestPattern, extract_pattern
+from .results import FaultStatus
+from .sensitize import xor_side_signals
+from .state import TpgState
+
+
+@dataclass
+class AptpgOutcome:
+    """Result of one APTPG run on a single fault."""
+
+    status: FaultStatus
+    pattern: Optional[TestPattern]
+    state: TpgState
+    decisions: int = 0
+    backtracks: int = 0
+    splits_used: int = 0
+    seconds_sensitize: float = 0.0
+
+
+def _split_assignment_planes(
+    state: TpgState, pi: int, stable: bool, zeros: int, ones: int
+) -> Tuple[int, ...]:
+    """Planes assigning 0 in lanes *zeros* and 1 in lanes *ones*."""
+    if state.algebra.n_planes == 2:
+        return (zeros, ones)
+    stable_add = 0
+    if stable:
+        stable_add = (zeros | ones) & ~state.planes[pi][3]
+    return (zeros, ones, stable_add, 0)
+
+
+def run_aptpg(
+    circuit: Circuit,
+    fault: PathDelayFault,
+    test_class: TestClass,
+    width: int,
+    controllability: Optional[Controllability] = None,
+    backtrack_limit: int = 64,
+    use_backward: bool = True,
+    max_xor_polarity_bits: int = 8,
+) -> AptpgOutcome:
+    """Generate (or refute) a test for one fault with lane alternatives.
+
+    Enumerates the XOR side-input polarity combinations (see the
+    module docstring); ``max_xor_polarity_bits`` caps the enumeration
+    at ``2**max_xor_polarity_bits`` attempts — beyond that the fault
+    is aborted rather than unsoundly declared redundant.
+    """
+    cc = controllability or compute_controllability(circuit)
+    sides = xor_side_signals(circuit, fault)
+    if len(sides) > max_xor_polarity_bits:
+        combos = [0]
+        exhaustive = False
+    else:
+        combos = list(range(1 << len(sides)))
+        exhaustive = True
+
+    last: Optional[AptpgOutcome] = None
+    aborted = False
+    total_decisions = 0
+    total_backtracks = 0
+    total_sensitize = 0.0
+    for combo in combos:
+        xor_sides = {s: (combo >> k) & 1 for k, s in enumerate(sides)}
+        outcome = _attempt(
+            circuit,
+            fault,
+            test_class,
+            width,
+            cc,
+            backtrack_limit,
+            use_backward,
+            xor_sides,
+        )
+        total_decisions += outcome.decisions
+        total_backtracks += outcome.backtracks
+        total_sensitize += outcome.seconds_sensitize
+        last = outcome
+        if outcome.status is FaultStatus.TESTED:
+            break
+        if outcome.status is FaultStatus.ABORTED:
+            aborted = True
+    assert last is not None
+    status = last.status
+    if status is not FaultStatus.TESTED:
+        if aborted or not exhaustive:
+            status = FaultStatus.ABORTED
+        else:
+            status = FaultStatus.REDUNDANT
+    return AptpgOutcome(
+        status,
+        last.pattern if status is FaultStatus.TESTED else None,
+        last.state,
+        decisions=total_decisions,
+        backtracks=total_backtracks,
+        splits_used=last.splits_used,
+        seconds_sensitize=total_sensitize,
+    )
+
+
+def _attempt(
+    circuit: Circuit,
+    fault: PathDelayFault,
+    test_class: TestClass,
+    width: int,
+    cc: Controllability,
+    backtrack_limit: int,
+    use_backward: bool,
+    xor_sides: Dict[int, int],
+) -> AptpgOutcome:
+    """One complete APTPG search under a fixed XOR polarity choice."""
+    sensitize, algebra = sensitizer_for(test_class)
+    state = TpgState(circuit, algebra, width, use_backward=use_backward)
+
+    t0 = time.perf_counter()
+    for signal, planes in sensitize(circuit, fault, state.mask, xor_sides=xor_sides):
+        state.assign(signal, planes)
+    seconds_sensitize = time.perf_counter() - t0
+
+    state.imply()
+    if state.conflict_mask == state.mask:
+        # conflict from necessary implications alone: redundant
+        return AptpgOutcome(
+            FaultStatus.REDUNDANT, None, state, seconds_sensitize=seconds_sensitize
+        )
+
+    splits = split_masks(width)
+    splits_used = 0
+    stack: List[Tuple[int, PiObjective, int]] = []  # (token, objective, tried)
+    decisions = 0
+    backtracks = 0
+    stuck = 0
+    guard = circuit.num_signals * width * 4 + 256
+
+    def finish(status: FaultStatus, pattern: Optional[TestPattern]) -> AptpgOutcome:
+        return AptpgOutcome(
+            status,
+            pattern,
+            state,
+            decisions=decisions,
+            backtracks=backtracks,
+            splits_used=splits_used,
+            seconds_sensitize=seconds_sensitize,
+        )
+
+    while guard:
+        guard -= 1
+        live = state.mask & ~state.conflict_mask
+        if live:
+            justified = state.all_justified_mask()
+            if justified:
+                lane = lowest_set_lane(justified)
+                return finish(FaultStatus.TESTED, extract_pattern(state, lane, fault))
+        if not live:
+            # every alternative in flight has contradicted: backtrack
+            progressed = False
+            while stack:
+                token, objective, tried = stack.pop()
+                backtracks += 1
+                if backtracks > backtrack_limit:
+                    return finish(FaultStatus.ABORTED, None)
+                state.rollback(token)
+                if tried == 1:
+                    flipped = PiObjective(
+                        objective.signal, 1 - objective.value, objective.stable
+                    )
+                    token2 = state.mark()
+                    state.assign(
+                        flipped.signal,
+                        pi_assignment_planes(state, flipped, state.mask),
+                    )
+                    stack.append((token2, flipped, 2))
+                    state.imply()
+                    progressed = True
+                    break
+            if not progressed:
+                return finish(FaultStatus.REDUNDANT, None)
+            stuck = 0
+            continue
+        active = live & ~stuck
+        if not active:
+            return finish(FaultStatus.ABORTED, None)
+        unjustified = state.scan_unjustified(lanes=active)
+        if not unjustified:
+            # active lanes are justified but the justified mask above
+            # was empty: can only happen transiently — treat as abort
+            return finish(FaultStatus.ABORTED, None)
+        signal, lanemask = unjustified[0]
+        rep = lowest_set_lane(lanemask)
+        objective = objective_for_lane(state, signal, rep)
+        if objective is None:
+            stuck |= 1 << rep
+            continue
+        value, need_stable = objective
+        pi_objective = backtrace(state, cc, signal, value, need_stable, rep)
+        if pi_objective is None:
+            stuck |= 1 << rep
+            continue
+        decisions += 1
+        if splits_used < len(splits):
+            zeros, ones = splits[splits_used]
+            splits_used += 1
+            additions = _split_assignment_planes(
+                state, pi_objective.signal, pi_objective.stable, zeros, ones
+            )
+            if not state.assign(pi_objective.signal, additions):
+                stuck |= 1 << rep
+                continue
+            state.imply()
+            stuck = 0
+        else:
+            token = state.mark()
+            changed = state.assign(
+                pi_objective.signal,
+                pi_assignment_planes(state, pi_objective, state.mask),
+            )
+            if not changed:
+                state.rollback(token)
+                stuck |= 1 << rep
+                continue
+            stack.append((token, pi_objective, 1))
+            state.imply()
+            stuck = 0
+    return finish(FaultStatus.ABORTED, None)

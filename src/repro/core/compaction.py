@@ -1,0 +1,113 @@
+"""Test set compaction.
+
+Generated test sets carry one pattern per targeted fault; production
+flows compact them because tester time is expensive.  Two standard
+post-processes are provided, both driven by the PPSFP simulator so
+compaction never loses coverage:
+
+* **reverse-order dropping**: simulate the patterns latest-first and
+  keep only those that detect a not-yet-covered fault (late patterns
+  were generated for the hard faults and tend to cover many easy
+  ones),
+* **greedy set cover**: repeatedly keep the pattern covering the most
+  uncovered faults (slower, usually smaller sets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..circuit import Circuit
+from ..paths import PathDelayFault, TestClass
+from ..sim.delay_sim import DelayFaultSimulator
+from .patterns import TestPattern
+
+
+def _coverage_table(
+    circuit: Circuit,
+    patterns: Sequence[TestPattern],
+    faults: Sequence[PathDelayFault],
+    test_class: TestClass,
+    batch: int = 64,
+) -> List[Set[int]]:
+    """For each pattern, the set of fault indices it detects."""
+    simulator = DelayFaultSimulator(circuit, test_class)
+    covers: List[Set[int]] = [set() for _ in patterns]
+    for start in range(0, len(patterns), batch):
+        chunk = patterns[start : start + batch]
+        hits = simulator.detected_faults(chunk, faults)
+        for fault_index, fault in enumerate(faults):
+            lanes = hits[fault]
+            while lanes:
+                lane = (lanes & -lanes).bit_length() - 1
+                lanes &= lanes - 1
+                covers[start + lane].add(fault_index)
+    return covers
+
+
+def reverse_order_compaction(
+    circuit: Circuit,
+    patterns: Sequence[TestPattern],
+    faults: Sequence[PathDelayFault],
+    test_class: TestClass = TestClass.NONROBUST,
+) -> List[TestPattern]:
+    """Keep a pattern only if it detects a fault no later pattern does.
+
+    Preserves the full detected-fault set (checked by the tests).
+    """
+    covers = _coverage_table(circuit, patterns, faults, test_class)
+    kept: List[Tuple[int, TestPattern]] = []
+    covered: Set[int] = set()
+    for index in range(len(patterns) - 1, -1, -1):
+        fresh = covers[index] - covered
+        if fresh:
+            covered |= covers[index]
+            kept.append((index, patterns[index]))
+    kept.sort(key=lambda item: item[0])
+    return [pattern for _idx, pattern in kept]
+
+
+def greedy_compaction(
+    circuit: Circuit,
+    patterns: Sequence[TestPattern],
+    faults: Sequence[PathDelayFault],
+    test_class: TestClass = TestClass.NONROBUST,
+) -> List[TestPattern]:
+    """Greedy set cover over the pattern/fault detection table."""
+    covers = _coverage_table(circuit, patterns, faults, test_class)
+    target: Set[int] = set()
+    for cover in covers:
+        target |= cover
+    remaining = set(target)
+    available = set(range(len(patterns)))
+    chosen: List[int] = []
+    while remaining and available:
+        best = max(available, key=lambda k: len(covers[k] & remaining))
+        gain = covers[best] & remaining
+        if not gain:
+            break
+        chosen.append(best)
+        remaining -= gain
+        available.discard(best)
+    chosen.sort()
+    return [patterns[k] for k in chosen]
+
+
+def compaction_report(
+    circuit: Circuit,
+    patterns: Sequence[TestPattern],
+    faults: Sequence[PathDelayFault],
+    test_class: TestClass = TestClass.NONROBUST,
+) -> Dict[str, object]:
+    """Before/after sizes and coverage for both strategies."""
+    simulator = DelayFaultSimulator(circuit, test_class)
+    reverse = reverse_order_compaction(circuit, patterns, faults, test_class)
+    greedy = greedy_compaction(circuit, patterns, faults, test_class)
+    return {
+        "patterns": len(patterns),
+        "reverse_order": len(reverse),
+        "greedy": len(greedy),
+        "coverage_full": simulator.coverage(list(patterns), list(faults)),
+        "coverage_reverse": simulator.coverage(reverse, list(faults)),
+        "coverage_greedy": simulator.coverage(greedy, list(faults)),
+    }

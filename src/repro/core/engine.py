@@ -1,0 +1,182 @@
+"""The combined bit-parallel generator — FPTPG + APTPG (Section 3.3).
+
+"FPTPG and APTPG complete one another excellently": the engine first
+sweeps the fault list in batches of ``L`` with FPTPG, which settles
+the easy-to-test and provably redundant faults at full lane
+utilisation; faults that would need backtracking are deferred and
+afterwards examined one at a time with APTPG, whose lanes explore
+``2^log2(L)`` pattern alternatives in parallel.
+
+As in the paper, bit-parallel fault simulation runs "after every L
+generated test patterns": collaterally detected pending faults are
+dropped (status ``SIMULATED``), which is where a large part of the
+practical speed-up comes from.
+
+The same engine with ``width=1`` *is* the single-bit reference
+generator of the paper's Tables 5/6 (see
+:mod:`repro.core.single_bit`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit import Circuit
+from ..logic.words import DEFAULT_WORD_LENGTH
+from ..paths import PathDelayFault, TestClass
+from ..sim.delay_sim import DelayFaultSimulator
+from .aptpg import run_aptpg
+from .controllability import compute_controllability
+from .fptpg import run_fptpg
+from .results import FaultRecord, FaultStatus, TpgReport
+
+
+@dataclass
+class TpgOptions:
+    """Tunables of the combined engine.
+
+    Attributes:
+        width: machine word length ``L`` (lanes).
+        backtrack_limit: APTPG backtracks before aborting a fault.
+        drop_faults: run PPSFP after every ``L`` patterns and drop
+            collaterally detected faults (paper Section 5).
+        use_fptpg / use_aptpg: ablation switches; disabling FPTPG
+            sends every fault straight to APTPG and vice versa.
+        unique_backward: apply unique backward implications (see
+            :class:`repro.core.state.TpgState`).
+    """
+
+    width: int = DEFAULT_WORD_LENGTH
+    backtrack_limit: int = 64
+    drop_faults: bool = True
+    use_fptpg: bool = True
+    use_aptpg: bool = True
+    unique_backward: bool = True
+
+
+def generate_tests(
+    circuit: Circuit,
+    faults: Sequence[PathDelayFault],
+    test_class: TestClass = TestClass.NONROBUST,
+    options: Optional[TpgOptions] = None,
+) -> TpgReport:
+    """Generate a test set for *faults*; returns the full report.
+
+    Fault order is preserved in the report.  Each fault ends in one of
+    the :class:`FaultStatus` states; ``DEFERRED`` only survives when
+    APTPG is disabled by the options.
+    """
+    options = options or TpgOptions()
+    report = TpgReport(
+        circuit_name=circuit.name,
+        test_class=test_class,
+        width=options.width,
+    )
+    if not faults:
+        return report
+
+    controllability = compute_controllability(circuit)
+    simulator = DelayFaultSimulator(circuit, test_class)
+    records: Dict[int, FaultRecord] = {}
+    pending: List[int] = list(range(len(faults)))
+    aptpg_queue: List[int] = []
+    fresh_patterns: List = []
+
+    def drop_with_simulation() -> None:
+        """PPSFP over the last <= L patterns; drop detected pending faults."""
+        if not options.drop_faults or not fresh_patterns:
+            return
+        t0 = time.perf_counter()
+        candidates = [i for i in pending if i not in records]
+        hit = simulator.detected_faults(
+            fresh_patterns, [faults[i] for i in candidates]
+        )
+        for i in candidates:
+            if hit[faults[i]]:
+                records[i] = FaultRecord(
+                    faults[i], FaultStatus.SIMULATED, mode="simulation"
+                )
+        report.seconds_simulate += time.perf_counter() - t0
+        fresh_patterns.clear()
+
+    # ------------------------------------------------------------ FPTPG
+    t_start = time.perf_counter()
+    if options.use_fptpg:
+        cursor = 0
+        while cursor < len(pending):
+            batch: List[int] = []
+            while cursor < len(pending) and len(batch) < options.width:
+                index = pending[cursor]
+                cursor += 1
+                if index not in records:
+                    batch.append(index)
+            if not batch:
+                continue
+            outcome = run_fptpg(
+                circuit,
+                [faults[i] for i in batch],
+                test_class,
+                options.width,
+                controllability,
+                use_backward=options.unique_backward,
+            )
+            report.seconds_sensitize += outcome.seconds_sensitize
+            report.decisions += outcome.decisions
+            report.implication_passes += outcome.state.implication_passes
+            for index, status, pattern in zip(
+                batch, outcome.statuses, outcome.patterns
+            ):
+                if status is FaultStatus.TESTED:
+                    records[index] = FaultRecord(
+                        faults[index], status, pattern, mode="fptpg"
+                    )
+                    fresh_patterns.append(pattern)
+                elif status is FaultStatus.REDUNDANT:
+                    records[index] = FaultRecord(faults[index], status, mode="fptpg")
+                else:
+                    aptpg_queue.append(index)
+            drop_with_simulation()
+    else:
+        aptpg_queue = list(pending)
+
+    # ------------------------------------------------------------ APTPG
+    if options.use_aptpg:
+        for index in aptpg_queue:
+            if index in records:
+                continue  # dropped by simulation in the meantime
+            outcome = run_aptpg(
+                circuit,
+                faults[index],
+                test_class,
+                options.width,
+                controllability,
+                backtrack_limit=options.backtrack_limit,
+                use_backward=options.unique_backward,
+            )
+            report.seconds_sensitize += outcome.seconds_sensitize
+            report.decisions += outcome.decisions
+            report.backtracks += outcome.backtracks
+            report.implication_passes += outcome.state.implication_passes
+            records[index] = FaultRecord(
+                faults[index], outcome.status, outcome.pattern, mode="aptpg"
+            )
+            if outcome.pattern is not None:
+                fresh_patterns.append(outcome.pattern)
+                if len(fresh_patterns) >= options.width:
+                    drop_with_simulation()
+        drop_with_simulation()
+    else:
+        for index in aptpg_queue:
+            if index not in records:
+                records[index] = FaultRecord(
+                    faults[index], FaultStatus.DEFERRED, mode="fptpg"
+                )
+
+    total = time.perf_counter() - t_start
+    report.seconds_generate = max(
+        0.0, total - report.seconds_sensitize - report.seconds_simulate
+    )
+    report.records = [records[i] for i in range(len(faults))]
+    return report

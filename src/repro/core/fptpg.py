@@ -1,0 +1,202 @@
+"""Fault-parallel test pattern generation — FPTPG (paper Section 3.1).
+
+``L`` different path delay faults occupy the ``L`` bit lanes of one
+word-level circuit state.  All paths are sensitized at once, one
+implication fixpoint serves all lanes, and the justification loop runs
+"as long as there is at least one logic value that is not justified".
+
+FPTPG never backtracks.  The per-lane outcomes are exactly the three
+cases of the paper's Figure 1 discussion:
+
+* a lane whose values are all justified is **tested** (a pattern is
+  extracted from that bit level),
+* a lane that conflicts *before any optional assignment* is
+  **redundant** — the implications that led to the conflict were all
+  necessary,
+* a lane that conflicts *after* optional assignments (or where the
+  backtrace cannot advance) would need backtracking and is **deferred**
+  to APTPG.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuit import Circuit
+from ..logic.words import lowest_set_lane, mask_for
+from ..paths import PathDelayFault, TestClass
+from .backtrace import PiObjective, backtrace
+from .controllability import Controllability, compute_controllability
+from .patterns import TestPattern, extract_pattern
+from .results import FaultStatus
+from .sensitize import sensitize_nonrobust, sensitize_robust, xor_side_signals
+from .state import SEVEN_VALUED, THREE_VALUED, TpgState
+
+
+@dataclass
+class FptpgOutcome:
+    """Per-lane results of one FPTPG batch."""
+
+    statuses: List[FaultStatus]
+    patterns: List[Optional[TestPattern]]
+    state: TpgState
+    decisions: int = 0
+    seconds_sensitize: float = 0.0
+
+
+def objective_for_lane(state: TpgState, signal: int, lane: int) -> Optional[Tuple[int, bool]]:
+    """Derive the (value, need_stable) objective of an unjustified lane.
+
+    Returns ``None`` when the only missing aspect is instability,
+    which the backtrace does not pursue (see DESIGN.md: instability
+    requirements only originate at the path input, which needs no
+    justification).
+    """
+    gate = state.circuit.gates[signal]
+    ins = [state.planes[f] for f in gate.fanin]
+    miss = state.algebra.unjustified_planes(
+        gate.gate_type, state.planes[signal], ins, state.mask
+    )
+    bits = [(m >> lane) & 1 for m in miss]
+    out_bits = [(p >> lane) & 1 for p in state.planes[signal]]
+    need_stable = len(bits) >= 4 and bool(out_bits[2])
+    if bits[1]:
+        return 1, need_stable
+    if bits[0]:
+        return 0, need_stable
+    if len(bits) >= 4 and bits[2]:
+        # stable bit missing; the value itself is assigned (or free)
+        if out_bits[1]:
+            return 1, True
+        if out_bits[0]:
+            return 0, True
+        return 0, True  # value free: stabilize at 0 (an optional choice)
+    return None
+
+
+def objective_group(
+    state: TpgState, signal: int, lanemask: int, rep: int
+) -> Tuple[Optional[Tuple[int, bool]], int]:
+    """Group the lanes of *lanemask* that share the rep lane's objective."""
+    rep_objective = objective_for_lane(state, signal, rep)
+    if rep_objective is None:
+        return None, 1 << rep
+    group = 0
+    lanes = lanemask
+    while lanes:
+        lane = lowest_set_lane(lanes)
+        lanes &= lanes - 1
+        if objective_for_lane(state, signal, lane) == rep_objective:
+            group |= 1 << lane
+    return rep_objective, group
+
+
+def pi_assignment_planes(state: TpgState, objective: PiObjective, lanes: int) -> Tuple[int, ...]:
+    """Plane additions that apply *objective* at its PI in *lanes*.
+
+    For the robust logic the stable bit is only added in lanes where
+    the input is not already known-instable (e.g. the path input),
+    preventing spurious conflicts.
+    """
+    zeros = lanes if objective.value == 0 else 0
+    ones = lanes if objective.value == 1 else 0
+    if state.algebra.n_planes == 2:
+        return (zeros, ones)
+    stable = 0
+    if objective.stable:
+        stable = lanes & ~state.planes[objective.signal][3]
+    return (zeros, ones, stable, 0)
+
+
+def sensitizer_for(test_class: TestClass):
+    """(sensitize function, algebra) for a test class."""
+    if test_class is TestClass.ROBUST:
+        return sensitize_robust, SEVEN_VALUED
+    return sensitize_nonrobust, THREE_VALUED
+
+
+def run_fptpg(
+    circuit: Circuit,
+    faults: Sequence[PathDelayFault],
+    test_class: TestClass,
+    width: int,
+    controllability: Optional[Controllability] = None,
+    use_backward: bool = True,
+) -> FptpgOutcome:
+    """One FPTPG batch: up to *width* faults, one lane each."""
+    if not faults:
+        raise ValueError("run_fptpg needs at least one fault")
+    if len(faults) > width:
+        raise ValueError(f"{len(faults)} faults do not fit in {width} lanes")
+    sensitize, algebra = sensitizer_for(test_class)
+    cc = controllability or compute_controllability(circuit)
+    state = TpgState(circuit, algebra, width, use_backward=use_backward)
+    used_mask = mask_for(len(faults))
+
+    t0 = time.perf_counter()
+    for lane, fault in enumerate(faults):
+        for signal, planes in sensitize(circuit, fault, 1 << lane):
+            state.assign(signal, planes)
+    seconds_sensitize = time.perf_counter() - t0
+
+    state.imply(stop_when_all_conflicted=False)
+
+    decided = 0
+    stuck = 0
+    decisions = 0
+    guard = circuit.num_signals * max(1, len(faults)) + 64
+    while guard:
+        guard -= 1
+        live = used_mask & ~state.conflict_mask & ~stuck
+        if not live:
+            break
+        unjustified = state.scan_unjustified(lanes=live)
+        if not unjustified:
+            break
+        signal, lanemask = unjustified[0]
+        rep = lowest_set_lane(lanemask)
+        objective, group = objective_group(state, signal, lanemask, rep)
+        if objective is None:
+            stuck |= 1 << rep
+            continue
+        value, need_stable = objective
+        pi_objective = backtrace(state, cc, signal, value, need_stable, rep)
+        if pi_objective is None:
+            stuck |= group
+            continue
+        additions = pi_assignment_planes(state, pi_objective, group)
+        decided |= group
+        decisions += 1
+        if not state.assign(pi_objective.signal, additions):
+            stuck |= 1 << rep
+            continue
+        state.imply(stop_when_all_conflicted=False)
+
+    justified = state.all_justified_mask() & used_mask
+    statuses: List[FaultStatus] = []
+    patterns: List[Optional[TestPattern]] = []
+    for lane, fault in enumerate(faults):
+        bit = 1 << lane
+        if state.conflict_mask & bit:
+            if decided & bit or xor_side_signals(circuit, fault):
+                # conflicts after optional assignments prove nothing;
+                # neither does a conflict under one XOR polarity choice
+                statuses.append(FaultStatus.DEFERRED)
+            else:
+                statuses.append(FaultStatus.REDUNDANT)
+            patterns.append(None)
+        elif justified & bit:
+            statuses.append(FaultStatus.TESTED)
+            patterns.append(extract_pattern(state, lane, fault))
+        else:
+            statuses.append(FaultStatus.DEFERRED)
+            patterns.append(None)
+    return FptpgOutcome(
+        statuses=statuses,
+        patterns=patterns,
+        state=state,
+        decisions=decisions,
+        seconds_sensitize=seconds_sensitize,
+    )

@@ -1,0 +1,104 @@
+"""Shared result types for the test generators."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..paths import PathDelayFault, TestClass
+from .patterns import TestPattern
+
+
+class FaultStatus(enum.Enum):
+    """Final classification of one path delay fault."""
+
+    TESTED = "tested"  # a pattern was generated
+    REDUNDANT = "redundant"  # proven untestable (conflict without choices)
+    DEFERRED = "deferred"  # FPTPG handed the fault to APTPG
+    ABORTED = "aborted"  # gave up (backtrack limit / stuck)
+    SIMULATED = "simulated"  # dropped: detected by an earlier pattern
+
+
+@dataclass
+class FaultRecord:
+    """One fault's outcome, including which mode settled it."""
+
+    fault: PathDelayFault
+    status: FaultStatus
+    pattern: Optional[TestPattern] = None
+    mode: str = ""  # "fptpg", "aptpg", "simulation"
+
+    @property
+    def is_detected(self) -> bool:
+        return self.status in (FaultStatus.TESTED, FaultStatus.SIMULATED)
+
+
+@dataclass
+class TpgReport:
+    """Aggregate result of a generation run (one paper-table row).
+
+    The ``efficiency`` property follows the paper's definition:
+    ``(1 - #aborted / #faults) * 100%``.
+    """
+
+    circuit_name: str
+    test_class: TestClass
+    width: int
+    records: List[FaultRecord] = field(default_factory=list)
+    seconds_sensitize: float = 0.0
+    seconds_generate: float = 0.0
+    seconds_simulate: float = 0.0
+    decisions: int = 0
+    backtracks: int = 0
+    implication_passes: int = 0
+
+    # ------------------------------------------------------------------
+    def count(self, status: FaultStatus) -> int:
+        return sum(1 for r in self.records if r.status is status)
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_tested(self) -> int:
+        """Faults with a test: generated or collaterally detected."""
+        return sum(1 for r in self.records if r.is_detected)
+
+    @property
+    def n_redundant(self) -> int:
+        return self.count(FaultStatus.REDUNDANT)
+
+    @property
+    def n_aborted(self) -> int:
+        return self.count(FaultStatus.ABORTED) + self.count(FaultStatus.DEFERRED)
+
+    @property
+    def efficiency(self) -> float:
+        """The paper's efficiency metric, in percent."""
+        if not self.records:
+            return 100.0
+        return (1.0 - self.n_aborted / self.n_faults) * 100.0
+
+    @property
+    def seconds_total(self) -> float:
+        return self.seconds_sensitize + self.seconds_generate + self.seconds_simulate
+
+    @property
+    def patterns(self) -> List[TestPattern]:
+        return [r.pattern for r in self.records if r.pattern is not None]
+
+    def summary(self) -> Dict[str, object]:
+        """A flat dict for table rendering."""
+        return {
+            "circuit": self.circuit_name,
+            "class": self.test_class.value,
+            "L": self.width,
+            "faults": self.n_faults,
+            "tested": self.n_tested,
+            "redundant": self.n_redundant,
+            "aborted": self.n_aborted,
+            "efficiency_%": round(self.efficiency, 4),
+            "time_s": round(self.seconds_total, 4),
+        }

@@ -1,0 +1,197 @@
+"""Path sensitization for delay faults.
+
+Sensitizing a target path means assigning the logic values that let a
+transition at the path's primary input propagate along the path to its
+primary output (paper Section 2).  The assignments depend on the test
+class:
+
+**Nonrobust (3-valued):** only final values matter.  Every on-path
+signal receives its final value (alternating with the inversion parity
+of the traversed gates) and every off-path input of an on-path gate
+receives the gate's non-controlling final value.
+
+**Robust (7-valued, Lin & Reddy):** the path input carries a full
+rising/falling value; on-path signals carry their final values; the
+off-path inputs must be
+
+* *stable* non-controlling where the on-path input transition ends at
+  the non-controlling value (a late off-path transition there could
+  mask the path's lateness), and
+* non-controlling in the final vector (history free) where the on-path
+  transition ends at the controlling value.
+
+**XOR-like on-path gates** have no controlling value.  Their off-path
+inputs must be fixed (nonrobust: to a known final value; robust: to a
+stable value) for the transition to propagate cleanly, but *either*
+value works — a side input of 1 simply inverts the polarity of the
+propagating transition.  The sensitizers default all sides to 0 (the
+structural convention of :func:`repro.circuit.gates.inverts`) and
+accept an ``xor_sides`` map to choose other polarities; the APTPG
+driver enumerates those polarities before it ever declares an
+XOR-containing path redundant (see :mod:`repro.core.aptpg`).
+
+The sensitizer only *emits* assignments; conflicts (e.g. a signal that
+is both on-path rising and required stable off-path through
+reconvergence) surface later as per-lane conflict bits — such paths
+are exactly the unsensitizable ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit import Circuit, GateType, controlling_value, inverts
+from ..circuit.gates import XOR_LIKE
+from ..logic import seven_valued, three_valued
+from ..paths import PathDelayFault
+
+Assignment = Tuple[int, Tuple[int, ...]]  # (signal, plane additions)
+
+
+def xor_side_signals(circuit: Circuit, fault: PathDelayFault) -> List[int]:
+    """Off-path inputs of on-path XOR/XNOR gates, unique, in path order.
+
+    These are the free polarity choices of the fault's sensitization:
+    each may be fixed to 0 or 1 and both choices propagate the
+    transition (with opposite polarity downstream).
+    """
+    sides: List[int] = []
+    for position, signal in enumerate(fault.signals):
+        if position == 0:
+            continue
+        gate = circuit.gates[signal]
+        if gate.gate_type not in XOR_LIKE:
+            continue
+        on_path_input = fault.signals[position - 1]
+        for fanin_signal in gate.fanin:
+            if fanin_signal != on_path_input and fanin_signal not in sides:
+                sides.append(fanin_signal)
+    return sides
+
+
+def path_final_values(
+    circuit: Circuit,
+    fault: PathDelayFault,
+    xor_sides: Optional[Dict[int, int]] = None,
+) -> Tuple[int, ...]:
+    """Final values of the on-path signals for a polarity choice.
+
+    Like :meth:`PathDelayFault.final_values` but accounting for XOR
+    side inputs fixed to 1, each of which flips the propagating
+    transition once more.
+    """
+    sides = xor_sides or {}
+    value = fault.transition.final
+    finals = [value]
+    for position, signal in enumerate(fault.signals):
+        if position == 0:
+            continue
+        gate = circuit.gates[signal]
+        if inverts(gate.gate_type):
+            value = 1 - value
+        if gate.gate_type in XOR_LIKE:
+            on_path_input = fault.signals[position - 1]
+            for fanin_signal in gate.fanin:
+                if fanin_signal != on_path_input and sides.get(fanin_signal, 0):
+                    value = 1 - value
+        finals.append(value)
+    return tuple(finals)
+
+
+def sensitize_nonrobust(
+    circuit: Circuit,
+    fault: PathDelayFault,
+    lanes: int,
+    xor_sides: Optional[Dict[int, int]] = None,
+) -> List[Assignment]:
+    """3-valued sensitization assignments for *fault* in lane mask *lanes*."""
+    assignments: List[Assignment] = []
+    sides = xor_sides or {}
+    finals = path_final_values(circuit, fault, sides)
+    for position, signal in enumerate(fault.signals):
+        assignments.append(
+            (signal, three_valued.encode_word(finals[position], lanes))
+        )
+        if position == 0:
+            continue
+        gate = circuit.gates[signal]
+        on_path_input = fault.signals[position - 1]
+        nc = controlling_value(gate.gate_type)
+        for fanin_signal in gate.fanin:
+            if fanin_signal == on_path_input:
+                continue
+            if nc is None:  # XOR-like: fix the side to its chosen polarity
+                assignments.append(
+                    (
+                        fanin_signal,
+                        three_valued.encode_word(sides.get(fanin_signal, 0), lanes),
+                    )
+                )
+            else:
+                assignments.append(
+                    (fanin_signal, three_valued.encode_word(1 - nc, lanes))
+                )
+    return assignments
+
+
+def sensitize_robust(
+    circuit: Circuit,
+    fault: PathDelayFault,
+    lanes: int,
+    xor_sides: Optional[Dict[int, int]] = None,
+) -> List[Assignment]:
+    """7-valued sensitization assignments for *fault* in lane mask *lanes*.
+
+    The path input gets the full rising/falling value; on-path internal
+    signals get final-value planes only (the transition is the fault
+    effect being propagated — its instability is established by the
+    off-path conditions, not justified like a required value).
+    """
+    assignments: List[Assignment] = []
+    sides = xor_sides or {}
+    finals = path_final_values(circuit, fault, sides)
+
+    launch = "R" if fault.transition.final == 1 else "F"
+    assignments.append((fault.signals[0], seven_valued.encode_word(launch, lanes)))
+
+    for position, signal in enumerate(fault.signals):
+        if position == 0:
+            continue
+        assignments.append(
+            (signal, seven_valued.encode_word(f"U{finals[position]}", lanes))
+        )
+        gate = circuit.gates[signal]
+        on_path_input = fault.signals[position - 1]
+        on_path_final = finals[position - 1]
+        control = controlling_value(gate.gate_type)
+        if control is None:
+            off_value = None  # per-side choice below (stable at polarity)
+        else:
+            nc = 1 - control
+            if on_path_final == nc:
+                off_value = f"S{nc}"  # ends non-controlling: must be stable
+            else:
+                off_value = f"U{nc}"  # ends controlling: final value suffices
+        for fanin_signal in gate.fanin:
+            if fanin_signal == on_path_input:
+                continue
+            if off_value is None:
+                chosen = f"S{sides.get(fanin_signal, 0)}"
+            else:
+                chosen = off_value
+            assignments.append(
+                (fanin_signal, seven_valued.encode_word(chosen, lanes))
+            )
+    return assignments
+
+
+def sensitization_is_trivial(circuit: Circuit, fault: PathDelayFault) -> bool:
+    """True when the path is a bare input-to-output wire chain.
+
+    Such paths (every on-path gate is BUF/NOT) have no off-path inputs
+    at all: any transition at the input is a test.
+    """
+    return all(
+        circuit.gates[s].gate_type in (GateType.BUF, GateType.NOT)
+        for s in fault.signals[1:]
+    )

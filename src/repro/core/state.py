@@ -1,0 +1,280 @@
+"""Bit-parallel TPG circuit state and the implication engine.
+
+This is the machinery behind the paper's Section 3: every signal holds
+an ``L``-lane plane tuple (two planes for the nonrobust 3-valued
+logic, four for the robust 7-valued logic), assignments are monotonic
+(bits are only ever added), and a worklist-driven engine propagates
+forward evaluations and unique backward implications to a fixpoint
+across *all lanes simultaneously*.
+
+Key properties:
+
+* **per-lane conflicts** — the illegal plane patterns accumulate in a
+  conflict lane mask instead of raising, as the paper's Table 1
+  "conflict (C)" row prescribes; dead lanes never abort live ones.
+* **trail-based checkpoints** — APTPG's conventional backtracking
+  beyond ``log2(L)`` decisions rolls the state back cheaply.
+* **lane flattening** — :meth:`TpgState.flatten_lane` broadcasts one
+  bit level to the whole word, the paper's trick for handing a fault
+  from FPTPG to APTPG "by simply flattening the active bit of a logic
+  value to multiple bit levels".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..circuit import Circuit, GateType
+from ..logic import seven_valued, three_valued
+from ..logic.words import mask_for
+
+Planes = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Algebra:
+    """A pluggable multi-valued logic: the engine is algebra-agnostic."""
+
+    name: str
+    n_planes: int
+    x: Planes
+    forward: Callable[[GateType, Sequence[Planes], int], Planes]
+    backward: Callable[[GateType, Planes, Sequence[Planes], int], List[Planes]]
+    conflict: Callable[[Planes], int]
+    known: Callable[[Planes], int]
+    unjustified: Callable[[GateType, Planes, Sequence[Planes], int], int]
+    unjustified_planes: Callable[[GateType, Planes, Sequence[Planes], int], Planes]
+    decode_lane: Callable[[Planes, int], str]
+
+
+#: The nonrobust 3-valued algebra (paper Table 1).
+THREE_VALUED = Algebra(
+    name="three_valued",
+    n_planes=three_valued.N_PLANES,
+    x=three_valued.X,
+    forward=three_valued.forward,
+    backward=three_valued.backward,
+    conflict=three_valued.conflict,
+    known=three_valued.known,
+    unjustified=three_valued.unjustified,
+    unjustified_planes=three_valued.unjustified_planes,
+    decode_lane=three_valued.decode_lane,
+)
+
+#: The robust 7-valued algebra (paper Table 2).
+SEVEN_VALUED = Algebra(
+    name="seven_valued",
+    n_planes=seven_valued.N_PLANES,
+    x=seven_valued.X,
+    forward=seven_valued.forward,
+    backward=seven_valued.backward,
+    conflict=seven_valued.conflict,
+    known=seven_valued.known,
+    unjustified=seven_valued.unjustified,
+    unjustified_planes=seven_valued.unjustified_planes,
+    decode_lane=seven_valued.decode_lane,
+)
+
+
+class TpgState:
+    """Plane-per-signal circuit state for one TPG attempt.
+
+    Args:
+        circuit: frozen target circuit.
+        algebra: :data:`THREE_VALUED` or :data:`SEVEN_VALUED`.
+        width: number of bit lanes ``L`` (the machine word length).
+        use_backward: apply unique backward implications (True, the
+            paper's "best suited implication procedure"); disabling
+            them reproduces a weaker, purely forward engine — useful
+            for the Figure 2 walkthrough and the implication-strength
+            ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        algebra: Algebra,
+        width: int,
+        use_backward: bool = True,
+    ):
+        self.circuit = circuit
+        self.algebra = algebra
+        self.width = width
+        self.use_backward = use_backward
+        self.mask = mask_for(width)
+        self.planes: List[Planes] = [algebra.x] * circuit.num_signals
+        self.conflict_mask = 0
+        self.conflict_sites: dict = {}  # lane -> first conflicting signal
+        self._queue: deque = deque()
+        self._queued = [False] * circuit.num_signals
+        self._trail: List[Tuple[int, Planes]] = []
+        self._marks: List[Tuple[int, int]] = []
+        self.implication_passes = 0
+        self.assignments = 0
+
+    # ------------------------------------------------------------------
+    # assignment and checkpoints
+    # ------------------------------------------------------------------
+    def assign(self, signal: int, additions: Planes) -> bool:
+        """OR *additions* into a signal's planes; enqueue on change.
+
+        Returns True if any bit was new.  Conflict bits surface in
+        :attr:`conflict_mask` immediately.
+        """
+        old = self.planes[signal]
+        new = tuple((o | a) & self.mask for o, a in zip(old, additions))
+        if new == old:
+            return False
+        self._trail.append((signal, old))
+        self.planes[signal] = new  # type: ignore[assignment]
+        clash = self.algebra.conflict(new)  # type: ignore[arg-type]
+        fresh = clash & ~self.conflict_mask
+        if fresh:
+            self.conflict_mask |= clash
+            lane = 0
+            while fresh:
+                if fresh & 1 and lane not in self.conflict_sites:
+                    self.conflict_sites[lane] = signal
+                fresh >>= 1
+                lane += 1
+        self.assignments += 1
+        self._enqueue_around(signal)
+        return True
+
+    def mark(self) -> int:
+        """Open a checkpoint; returns a token for :meth:`rollback`."""
+        self._marks.append((len(self._trail), self.conflict_mask))
+        return len(self._marks) - 1
+
+    def rollback(self, token: int) -> None:
+        """Undo every assignment made since checkpoint *token*."""
+        trail_len, conflict_mask = self._marks[token]
+        del self._marks[token:]
+        while len(self._trail) > trail_len:
+            signal, old = self._trail.pop()
+            self.planes[signal] = old
+        self.conflict_mask = conflict_mask
+        self._queue.clear()
+        self._queued = [False] * self.circuit.num_signals
+
+    # ------------------------------------------------------------------
+    # implication fixpoint
+    # ------------------------------------------------------------------
+    def imply(self, stop_when_all_conflicted: bool = True) -> int:
+        """Propagate implications to a fixpoint; returns conflict mask.
+
+        Processes one worklist of gates; for each gate the forward
+        evaluation is merged into the output and the unique backward
+        implications into the inputs — all lanes at once.  Stops early
+        if every lane is already conflicted.
+        """
+        gates = self.circuit.gates
+        mask = self.mask
+        forward = self.algebra.forward
+        backward = self.algebra.backward
+        while self._queue:
+            if stop_when_all_conflicted and self.conflict_mask == mask:
+                self._queue.clear()
+                self._queued = [False] * self.circuit.num_signals
+                break
+            signal = self._queue.popleft()
+            self._queued[signal] = False
+            gate = gates[signal]
+            if gate.is_input:
+                continue
+            self.implication_passes += 1
+            ins = [self.planes[f] for f in gate.fanin]
+            fwd = forward(gate.gate_type, ins, mask)
+            self.assign(signal, fwd)
+            if self.use_backward:
+                out = self.planes[signal]
+                for fanin_signal, add in zip(
+                    gate.fanin, backward(gate.gate_type, out, ins, mask)
+                ):
+                    self.assign(fanin_signal, add)
+        return self.conflict_mask
+
+    def _enqueue_around(self, signal: int) -> None:
+        """Schedule the driver of *signal* and its fanout gates."""
+        if not self._queued[signal] and not self.circuit.gates[signal].is_input:
+            self._queued[signal] = True
+            self._queue.append(signal)
+        for f in self.circuit.fanout(signal):
+            if not self._queued[f]:
+                self._queued[f] = True
+                self._queue.append(f)
+
+    # ------------------------------------------------------------------
+    # justification
+    # ------------------------------------------------------------------
+    def unjustified_lanes(self, signal: int) -> int:
+        """Lane mask where *signal*'s assigned value is not justified."""
+        gate = self.circuit.gates[signal]
+        if gate.is_input:
+            return 0
+        ins = [self.planes[f] for f in gate.fanin]
+        return (
+            self.algebra.unjustified(gate.gate_type, self.planes[signal], ins, self.mask)
+            & ~self.conflict_mask
+        )
+
+    def scan_unjustified(self, lanes: Optional[int] = None) -> List[Tuple[int, int]]:
+        """All (signal, lane-mask) pairs with unjustified values.
+
+        Restricted to the lanes in *lanes* (default: all live lanes).
+        """
+        live = (self.mask if lanes is None else lanes) & ~self.conflict_mask
+        result: List[Tuple[int, int]] = []
+        if not live:
+            return result
+        for gate in self.circuit.gates:
+            if gate.is_input:
+                continue
+            m = self.unjustified_lanes(gate.index) & live
+            if m:
+                result.append((gate.index, m))
+        return result
+
+    def all_justified_mask(self) -> int:
+        """Lanes that are conflict-free and completely justified."""
+        live = self.mask & ~self.conflict_mask
+        for gate in self.circuit.gates:
+            if not live:
+                break
+            if gate.is_input:
+                continue
+            live &= ~self.unjustified_lanes(gate.index)
+        return live
+
+    # ------------------------------------------------------------------
+    # lane utilities
+    # ------------------------------------------------------------------
+    def flatten_lane(self, lane: int) -> None:
+        """Broadcast one bit level to every lane (FPTPG -> APTPG handoff)."""
+        bit = 1 << lane
+        mask = self.mask
+        self.planes = [
+            tuple(mask if (p & bit) else 0 for p in planes)  # type: ignore[misc]
+            for planes in self.planes
+        ]
+        self.conflict_mask = mask if (self.conflict_mask & bit) else 0
+        self._trail.clear()
+        self._marks.clear()
+
+    def lane_values(self, lane: int) -> dict:
+        """Decode one lane into {signal name: value letter} for display."""
+        return {
+            gate.name: self.algebra.decode_lane(self.planes[gate.index], lane)
+            for gate in self.circuit.gates
+        }
+
+    def format_lane_word(self, signal: int | str) -> str:
+        """Render a signal's lanes like the paper's figures (lane L-1 .. 0)."""
+        index = self.circuit.gate(signal).index if isinstance(signal, str) else signal
+        letters = [
+            self.algebra.decode_lane(self.planes[index], lane)
+            for lane in range(self.width - 1, -1, -1)
+        ]
+        return "".join("x" if c == "X" else c for c in letters)

@@ -1,0 +1,42 @@
+"""Multi-valued bit-plane logics and word helpers.
+
+* :mod:`repro.logic.three_valued` — the nonrobust {0, 1, X} logic of
+  the paper's Table 1 (two planes per signal).
+* :mod:`repro.logic.seven_valued` — the robust Lin & Reddy logic of
+  the paper's Table 2 (four planes per signal).
+* :mod:`repro.logic.ten_valued` — the DYNAMITE 10-valued logic the
+  paper names as future work (optional extension).
+* :mod:`repro.logic.words` — machine-word utilities (lane masks,
+  APTPG split partitions, ...).
+"""
+
+from . import seven_valued, ten_valued, three_valued, words
+from .words import (
+    DEFAULT_WORD_LENGTH,
+    broadcast,
+    get_lane,
+    iter_set_lanes,
+    lane_bit,
+    lowest_set_lane,
+    mask_for,
+    max_split_decisions,
+    popcount,
+    split_masks,
+)
+
+__all__ = [
+    "DEFAULT_WORD_LENGTH",
+    "broadcast",
+    "get_lane",
+    "iter_set_lanes",
+    "lane_bit",
+    "lowest_set_lane",
+    "mask_for",
+    "max_split_decisions",
+    "popcount",
+    "seven_valued",
+    "ten_valued",
+    "split_masks",
+    "three_valued",
+    "words",
+]

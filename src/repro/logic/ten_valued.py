@@ -1,0 +1,244 @@
+"""A ten-valued hazard-aware logic (the paper's second future-work item).
+
+The paper notes: "up to now we use the suboptimal seven valued logic
+[5] instead of a ten valued logic [6] for generating robust tests" —
+[6] being DYNAMITE's refined value system.  The refinement adds
+*hazard-freedom*: knowing that a signal makes at most its one
+init-to-final change (no spurious pulses) regardless of gate delays.
+
+This module extends the Table-2 planes with a fifth **hazard-free**
+bit-plane.  The consistent states (named after the DYNAMITE
+convention) are:
+
+==========  =====  =====  ======  ========  ===========
+value       0-bit  1-bit  stable  instable  hazard-free
+==========  =====  =====  ======  ========  ===========
+S0            1      0      1        0          1
+S1            0      1      1        0          1
+HF (clean     1      0      0        1          1
+   fall)
+HR (clean     0      1      0        1          1
+   rise)
+F (fall,      1      0      0        1          0
+   hazards
+   possible)
+R (rise)      0      1      0        1          0
+U0            1      0      0        0          0
+U1            0      1      0        0          0
+X             0      0      0        0          0
+M0/M1         1/0    0/1    0        0          1
+==========  =====  =====  ======  ========  ===========
+
+(M0/M1 — *monotone*, final value known, at most one change, initial
+value unknown — arise from evaluation; together with a conflict
+marker this is the ten-valued system's information content.)
+
+Soundness of the hazard-free plane follows the monotone-signal
+argument: AND/OR over signals that all move in the same direction
+(non-decreasing or non-increasing) cannot glitch; a stable controlling
+input freezes the output entirely; an XOR is hazard-free only when at
+most one input changes and cleanly so.  The test-suite validates every
+claim against enumerated waveforms, as for the 7-valued logic.
+
+The primary consumer is detection-strength classification
+(:func:`repro.sim.delay_sim.detection_strength`): a *hazard-free
+robust* detection is one whose side inputs are provably glitchless —
+the strongest test class, contained in robust, contained in
+nonrobust.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..circuit import GateType
+from . import seven_valued
+
+N_PLANES = 5
+
+Planes = Tuple[int, int, int, int, int]
+
+X: Planes = (0, 0, 0, 0, 0)
+
+VALUES = {
+    "S0": (1, 0, 1, 0, 1),
+    "S1": (0, 1, 1, 0, 1),
+    "HF": (1, 0, 0, 1, 1),
+    "HR": (0, 1, 0, 1, 1),
+    "F": (1, 0, 0, 1, 0),
+    "R": (0, 1, 0, 1, 0),
+    "M0": (1, 0, 0, 0, 1),
+    "M1": (0, 1, 0, 0, 1),
+    "U0": (1, 0, 0, 0, 0),
+    "U1": (0, 1, 0, 0, 0),
+    "X": (0, 0, 0, 0, 0),
+}
+
+_NAMES = {v: k for k, v in VALUES.items()}
+
+
+def encode(name: str) -> Planes:
+    try:
+        return VALUES[name]
+    except KeyError:
+        raise ValueError(f"unknown 10-valued name {name!r}") from None
+
+
+def encode_word(name: str, lanes: int) -> Planes:
+    pattern = encode(name)
+    return tuple(lanes if bit else 0 for bit in pattern)  # type: ignore[return-value]
+
+
+def decode_lane(planes: Planes, lane: int) -> str:
+    bits = tuple((p >> lane) & 1 for p in planes)
+    if (bits[0] and bits[1]) or (bits[2] and bits[3]):
+        return "C"
+    if bits[2] and not bits[4]:
+        return "C"  # stable implies hazard-free
+    return _NAMES.get(bits, "C")
+
+
+def conflict(planes: Planes) -> int:
+    """Illegal lane assignments (inconsistent plane combinations)."""
+    z, o, s, i, h = planes
+    return (z & o) | (s & i) | (s & ~h)
+
+
+def known(planes: Planes) -> int:
+    return planes[0] | planes[1] | planes[2] | planes[3] | planes[4]
+
+
+def merge(a: Planes, b: Planes) -> Planes:
+    return tuple(x | y for x, y in zip(a, b))  # type: ignore[return-value]
+
+
+def from_seven(planes7, stable_is_hazard_free: bool = True) -> Planes:
+    """Lift 7-valued planes: stable lanes are hazard-free by meaning."""
+    z, o, s, i = planes7
+    return (z, o, s, i, s if stable_is_hazard_free else 0)
+
+
+def to_seven(planes: Planes):
+    """Drop the hazard plane (a sound weakening)."""
+    z, o, s, i, _h = planes
+    return (z, o, s, i)
+
+
+# ---------------------------------------------------------------------------
+# forward evaluation
+# ---------------------------------------------------------------------------
+
+
+def _directions(p: Planes) -> Tuple[int, int]:
+    """(non-decreasing, non-increasing) lane masks of a signal.
+
+    Stable signals are both; hazard-free risers are non-decreasing,
+    hazard-free fallers non-increasing; monotone-unknown-init signals
+    move at most once toward their final value.
+    """
+    z, o, s, i, h = p
+    non_decreasing = h & (s | o)
+    non_increasing = h & (s | z)
+    return non_decreasing, non_increasing
+
+
+def _and_hazard_free(inputs: Sequence[Planes], mask: int) -> int:
+    stable_zero = 0
+    all_nd = mask
+    all_ni = mask
+    for p in inputs:
+        z, o, s, i, h = p
+        stable_zero |= z & s
+        nd, ni = _directions(p)
+        all_nd &= nd
+        all_ni &= ni
+    return stable_zero | all_nd | all_ni
+
+
+def _or_hazard_free(inputs: Sequence[Planes], mask: int) -> int:
+    stable_one = 0
+    all_nd = mask
+    all_ni = mask
+    for p in inputs:
+        z, o, s, i, h = p
+        stable_one |= o & s
+        nd, ni = _directions(p)
+        all_nd &= nd
+        all_ni &= ni
+    return stable_one | all_nd | all_ni
+
+
+def _xor_hazard_free(inputs: Sequence[Planes], mask: int) -> int:
+    """Hazard-free iff at most one input changes, and cleanly."""
+    n = len(inputs)
+    stable_pre = [mask] * (n + 1)
+    for k, p in enumerate(inputs):
+        stable_pre[k + 1] = stable_pre[k] & p[2]
+    stable_suf = [mask] * (n + 1)
+    for k in range(n - 1, -1, -1):
+        stable_suf[k] = stable_suf[k + 1] & inputs[k][2]
+    result = stable_pre[n]  # all stable
+    for k, p in enumerate(inputs):
+        others_stable = stable_pre[k] & stable_suf[k + 1]
+        result |= others_stable & p[4]
+    return result
+
+
+def forward(gate_type: GateType, inputs: Sequence[Planes], mask: int) -> Planes:
+    """Implied output planes; the first four planes follow the
+    7-valued rules exactly, the fifth adds hazard-freedom."""
+    seven = seven_valued.forward(
+        gate_type, [to_seven(p) for p in inputs], mask
+    )
+    if gate_type is GateType.BUF:
+        h = inputs[0][4]
+    elif gate_type is GateType.NOT:
+        h = inputs[0][4]
+    elif gate_type in (GateType.AND, GateType.NAND):
+        h = _and_hazard_free(inputs, mask)
+    elif gate_type in (GateType.OR, GateType.NOR):
+        h = _or_hazard_free(inputs, mask)
+    elif gate_type in (GateType.XOR, GateType.XNOR):
+        h = _xor_hazard_free(inputs, mask)
+    else:  # pragma: no cover - closed enum
+        raise ValueError(f"cannot evaluate gate type {gate_type}")
+    z, o, s, i = seven
+    # stability proven by the 7-valued rules implies hazard-freedom
+    return (z, o, s, i, h | s)
+
+
+def unjustified_planes(
+    gate_type: GateType, output: Planes, inputs: Sequence[Planes], mask: int
+) -> Planes:
+    f = forward(gate_type, inputs, mask)
+    return tuple((have & ~implied) & mask for have, implied in zip(output, f))  # type: ignore[return-value]
+
+
+def unjustified(
+    gate_type: GateType, output: Planes, inputs: Sequence[Planes], mask: int
+) -> int:
+    miss = 0
+    for plane in unjustified_planes(gate_type, output, inputs, mask):
+        miss |= plane
+    return miss & mask
+
+
+def backward(
+    gate_type: GateType, output: Planes, inputs: Sequence[Planes], mask: int
+) -> List[Planes]:
+    """Unique backward implications.
+
+    The value/stability planes reuse the 7-valued rules; the hazard
+    plane adds one sound rule: a hazard-free *required* output of a
+    single-input gate requires a hazard-free input.
+    """
+    seven_adds = seven_valued.backward(
+        gate_type, to_seven(output), [to_seven(p) for p in inputs], mask
+    )
+    additions: List[Planes] = []
+    for k, add in enumerate(seven_adds):
+        h_add = 0
+        if gate_type in (GateType.BUF, GateType.NOT):
+            h_add = output[4]
+        additions.append((*add, h_add))
+    return additions

@@ -1,0 +1,249 @@
+"""The 3-valued bit-plane logic for nonrobust TPG (paper Table 1).
+
+Each signal holds ``L`` logic values from {0, 1, X} in two bit-planes:
+
+============  =====  =====
+logic value   0-bit  1-bit
+============  =====  =====
+0               1      0
+1               0      1
+X               0      0
+conflict (C)    1      1
+============  =====  =====
+
+The plane pair ``(1, 1)`` is not a value: it flags a per-lane
+*conflict*, exactly as the paper's Table 1 specifies.  All operations
+below are single bitwise expressions over the planes, so they process
+all ``L`` lanes simultaneously ("bit-parallel implications").
+
+The module provides the three primitives the implication engine needs:
+
+* :func:`forward` — implied output planes of a gate from its inputs,
+* :func:`backward` — unique backward implications (bits to add to each
+  input given the output requirement),
+* :func:`justified` implicitly via ``forward`` (a lane is justified
+  when every assigned output bit is reproduced by ``forward``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..circuit import GateType
+
+#: Number of bit-planes per signal.
+N_PLANES = 2
+
+Planes = Tuple[int, int]
+
+#: The unassigned value (every lane X).
+X: Planes = (0, 0)
+
+
+def encode(value: int) -> Planes:
+    """Plane pattern (single lane) for logic *value* 0 or 1."""
+    if value == 0:
+        return (1, 0)
+    if value == 1:
+        return (0, 1)
+    raise ValueError(f"logic value must be 0 or 1, got {value!r}")
+
+
+def encode_word(value: int, lanes: int) -> Planes:
+    """Plane pattern with *value* in the given lane mask."""
+    if value == 0:
+        return (lanes, 0)
+    if value == 1:
+        return (0, lanes)
+    raise ValueError(f"logic value must be 0 or 1, got {value!r}")
+
+
+def decode_lane(planes: Planes, lane: int) -> str:
+    """The value letter ('0', '1', 'X' or 'C') of one lane."""
+    b0 = (planes[0] >> lane) & 1
+    b1 = (planes[1] >> lane) & 1
+    return ("X", "1", "0", "C")[b0 * 2 + b1]
+
+
+def conflict(planes: Planes) -> int:
+    """Lane mask where the planes encode the illegal (1, 1) pattern."""
+    return planes[0] & planes[1]
+
+
+def known(planes: Planes) -> int:
+    """Lane mask where a value (0 or 1, or conflict) is assigned."""
+    return planes[0] | planes[1]
+
+
+def merge(a: Planes, b: Planes) -> Planes:
+    """Union of two assignments (may create conflicts — by design)."""
+    return (a[0] | b[0], a[1] | b[1])
+
+
+# ---------------------------------------------------------------------------
+# forward evaluation
+# ---------------------------------------------------------------------------
+
+
+def forward(gate_type: GateType, inputs: Sequence[Planes], mask: int) -> Planes:
+    """Implied output planes of *gate_type* over *inputs*, all lanes.
+
+    The rules are the natural 3-valued gate semantics expressed on the
+    planes (AND: output 1 iff all inputs 1, output 0 iff any input 0;
+    OR dual; XOR defined where both operands are known).  Conflicted
+    input lanes may produce arbitrary bits — conflicts are tracked per
+    signal by the engine, and conflicted lanes are dead anyway.
+    """
+    if gate_type is GateType.BUF:
+        (a,) = inputs
+        return a
+    if gate_type is GateType.NOT:
+        (a,) = inputs
+        return (a[1], a[0])
+    if gate_type in (GateType.AND, GateType.NAND):
+        ones = mask
+        zeros = 0
+        for a0, a1 in inputs:
+            ones &= a1
+            zeros |= a0
+        if gate_type is GateType.NAND:
+            return (ones, zeros)
+        return (zeros, ones)
+    if gate_type in (GateType.OR, GateType.NOR):
+        ones = 0
+        zeros = mask
+        for a0, a1 in inputs:
+            ones |= a1
+            zeros &= a0
+        if gate_type is GateType.NOR:
+            return (ones, zeros)
+        return (zeros, ones)
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        z, o = inputs[0]
+        for b0, b1 in inputs[1:]:
+            z, o = (z & b0) | (o & b1), (z & b1) | (o & b0)
+        if gate_type is GateType.XNOR:
+            return (o, z)
+        return (z, o)
+    raise ValueError(f"cannot evaluate gate type {gate_type}")
+
+
+def unjustified_planes(
+    gate_type: GateType, output: Planes, inputs: Sequence[Planes], mask: int
+) -> Planes:
+    """Per-plane lane masks of assigned output bits not implied by inputs."""
+    f0, f1 = forward(gate_type, inputs, mask)
+    return ((output[0] & ~f0) & mask, (output[1] & ~f1) & mask)
+
+
+def unjustified(gate_type: GateType, output: Planes, inputs: Sequence[Planes], mask: int) -> int:
+    """Lanes where the assigned output value is not implied by the inputs.
+
+    A lane is *justified* when every bit assigned to the output is
+    reproduced by :func:`forward` over the current input planes.  The
+    paper's FPTPG loop runs "as long as there is at least one logic
+    value that is not justified".
+    """
+    miss0, miss1 = unjustified_planes(gate_type, output, inputs, mask)
+    return miss0 | miss1
+
+
+# ---------------------------------------------------------------------------
+# backward implication
+# ---------------------------------------------------------------------------
+
+
+def _and_like_backward(
+    out0: int, out1: int, inputs: Sequence[Planes], mask: int
+) -> List[Planes]:
+    """Backward rules of an AND gate with output planes (out0, out1).
+
+    * output 1  -> every input 1,
+    * output 0 with all other inputs known 1 -> this input 0
+      (the classic unique implication, lane-parallel via prefix and
+      suffix products of the 1-planes).
+    """
+    n = len(inputs)
+    additions: List[Planes] = []
+    if n == 1:  # degenerate, should not occur for AND but be safe
+        return [(out0, out1)]
+    prefix = [mask] * (n + 1)
+    for i, (_, a1) in enumerate(inputs):
+        prefix[i + 1] = prefix[i] & a1
+    suffix = [mask] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix[i] = suffix[i + 1] & inputs[i][1]
+    for i in range(n):
+        others_one = prefix[i] & suffix[i + 1]
+        additions.append((out0 & others_one, out1))
+    return additions
+
+
+def _xor_like_backward(
+    out0: int, out1: int, inputs: Sequence[Planes], mask: int
+) -> List[Planes]:
+    """Backward rules of an XOR gate: all-but-one known fixes the last.
+
+    In lanes where the output and all inputs except input *i* are
+    known, input *i* must equal the XOR of the output with the other
+    inputs' parity.
+    """
+    n = len(inputs)
+    if n == 1:
+        return [(out0, out1)]
+    known_pre = [mask] * (n + 1)
+    par_pre = [0] * (n + 1)
+    for i, (a0, a1) in enumerate(inputs):
+        known_pre[i + 1] = known_pre[i] & (a0 | a1)
+        par_pre[i + 1] = par_pre[i] ^ a1
+    known_suf = [mask] * (n + 1)
+    par_suf = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        a0, a1 = inputs[i]
+        known_suf[i] = known_suf[i + 1] & (a0 | a1)
+        par_suf[i] = par_suf[i + 1] ^ a1
+    additions: List[Planes] = []
+    out_known = out0 | out1
+    for i in range(n):
+        others_known = known_pre[i] & known_suf[i + 1]
+        parity = par_pre[i] ^ par_suf[i + 1]  # parity of the other inputs
+        active = others_known & out_known
+        implied_one = ((out1 & ~parity) | (out0 & parity)) & active
+        implied_zero = ((out1 & parity) | (out0 & ~parity)) & active
+        additions.append((implied_zero, implied_one))
+    return additions
+
+
+def backward(
+    gate_type: GateType, output: Planes, inputs: Sequence[Planes], mask: int
+) -> List[Planes]:
+    """Bits each input must additionally take, given the output planes.
+
+    Returns one ``Planes`` of additions per input; the engine ORs them
+    in and re-queues inputs that changed.  The rules are the *unique*
+    (mandatory) implications only — optional choices are left to the
+    backtrace/decision machinery, exactly as in a PODEM-style
+    generator.
+    """
+    out0, out1 = output
+    if gate_type is GateType.BUF:
+        return [(out0, out1)]
+    if gate_type is GateType.NOT:
+        return [(out1, out0)]
+    if gate_type is GateType.AND:
+        return _and_like_backward(out0, out1, inputs, mask)
+    if gate_type is GateType.NAND:
+        return _and_like_backward(out1, out0, inputs, mask)
+    if gate_type is GateType.OR:
+        swapped = [(a1, a0) for a0, a1 in inputs]
+        flipped = _and_like_backward(out1, out0, swapped, mask)
+        return [(add1, add0) for add0, add1 in flipped]
+    if gate_type is GateType.NOR:
+        swapped = [(a1, a0) for a0, a1 in inputs]
+        flipped = _and_like_backward(out0, out1, swapped, mask)
+        return [(add1, add0) for add0, add1 in flipped]
+    if gate_type is GateType.XOR:
+        return _xor_like_backward(out0, out1, inputs, mask)
+    if gate_type is GateType.XNOR:
+        return _xor_like_backward(out1, out0, inputs, mask)
+    raise ValueError(f"cannot imply through gate type {gate_type}")

@@ -1,0 +1,44 @@
+"""Simulation substrates: logic, path delay fault (PPSFP), timing."""
+
+from .logic_sim import pack_vectors, simulate_array, simulate_batch, simulate_words
+from .delay_sim import (
+    DelayFaultSimulator,
+    detection_mask,
+    detection_strength,
+    pack_patterns,
+    simulate_planes,
+    simulate_planes10,
+    strength_masks,
+)
+from .waveform import Waveform
+from .event_sim import (
+    TimingResult,
+    TimingSimulator,
+    fault_injection,
+    prefix_independent,
+    robust_timing_holds,
+    slowed_delays,
+    timing_detects,
+)
+
+__all__ = [
+    "DelayFaultSimulator",
+    "TimingResult",
+    "TimingSimulator",
+    "Waveform",
+    "detection_mask",
+    "detection_strength",
+    "fault_injection",
+    "pack_patterns",
+    "pack_vectors",
+    "prefix_independent",
+    "robust_timing_holds",
+    "simulate_array",
+    "simulate_batch",
+    "simulate_planes",
+    "simulate_planes10",
+    "strength_masks",
+    "simulate_words",
+    "slowed_delays",
+    "timing_detects",
+]

@@ -1,0 +1,293 @@
+"""Parallel-pattern path delay fault simulation (PPSFP).
+
+The paper interleaves generation with bit-parallel fault simulation:
+"we perform parallel pattern fault simulation after every L generated
+test patterns" — detected faults are dropped from the pending list.
+This module implements that simulator, for both test classes.
+
+The simulator packs ``L`` two-vector tests into the bit lanes of a
+7-valued plane state (each primary input becomes S0/S1/R/F according
+to its V1/V2 bits) and evaluates the conservative hazard calculus of
+:mod:`repro.logic.seven_valued` once, forward-only, in topological
+order.  A path delay fault is then checked per pattern lane with pure
+bitwise expressions:
+
+* **launch**: the path input carries the fault's transition,
+* **nonrobust**: at every on-path gate, all off-path inputs have the
+  non-controlling final value (XOR-like gates impose no condition),
+* **robust** (Lin & Reddy conditions): where the on-path transition
+  ends non-controlling the off-path inputs must additionally be
+  *stable*; where it ends controlling their final value suffices;
+  XOR-like gates require stable off-path inputs.
+
+A robust detection is also a nonrobust detection, mirroring the
+model's containment relation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from ..circuit import Circuit, GateType, controlling_value
+from ..logic import seven_valued, ten_valued
+from ..logic.words import mask_for
+from ..paths import PathDelayFault, TestClass
+
+
+class PatternLike(Protocol):
+    """Anything with V1/V2 vectors (e.g. repro.core.patterns.TestPattern)."""
+
+    v1: Tuple[int, ...]
+    v2: Tuple[int, ...]
+
+
+Planes = Tuple[int, int, int, int]
+
+
+def pack_patterns(
+    circuit: Circuit, patterns: Sequence[PatternLike]
+) -> Tuple[List[Planes], int]:
+    """Pack patterns into per-input 7-valued plane words.
+
+    Lane ``k`` carries pattern ``k``: S0/S1 where V1 == V2, R/F where
+    the vectors differ.  Returns (per-signal planes for inputs, width).
+    """
+    width = len(patterns)
+    if width == 0:
+        return [], 0
+    planes: List[Planes] = []
+    for position, _pi in enumerate(circuit.inputs):
+        z = o = s = i = 0
+        for lane, pattern in enumerate(patterns):
+            initial = pattern.v1[position]
+            final = pattern.v2[position]
+            bit = 1 << lane
+            if final:
+                o |= bit
+            else:
+                z |= bit
+            if initial == final:
+                s |= bit
+            else:
+                i |= bit
+        planes.append((z, o, s, i))
+    return planes, width
+
+
+def simulate_planes(
+    circuit: Circuit, patterns: Sequence[PatternLike]
+) -> Tuple[List[Planes], int]:
+    """Forward 7-valued simulation of all patterns; returns signal planes."""
+    input_planes, width = pack_patterns(circuit, patterns)
+    if width == 0:
+        return [], 0
+    mask = mask_for(width)
+    values: List[Planes] = [(0, 0, 0, 0)] * circuit.num_signals
+    for planes, pi in zip(input_planes, circuit.inputs):
+        values[pi] = planes
+    for index in circuit.topological_order():
+        gate = circuit.gates[index]
+        if gate.is_input:
+            continue
+        ins = [values[f] for f in gate.fanin]
+        values[index] = seven_valued.forward(gate.gate_type, ins, mask)  # type: ignore[assignment]
+    return values, width
+
+
+def detection_mask(
+    circuit: Circuit,
+    fault: PathDelayFault,
+    values: Sequence[Planes],
+    width: int,
+    test_class: TestClass,
+) -> int:
+    """Lane mask of patterns that detect *fault* under *test_class*.
+
+    The conditions are *polarity-free*: the on-path transition may be
+    inverted by XOR side inputs at 1, so the robust stability rule
+    (stable off-path inputs where the on-path transition ends
+    non-controlling) is evaluated against the on-path input's
+    *simulated* final value, per lane, not against the structural
+    parity convention.
+    """
+    mask = mask_for(width)
+
+    # launch: path input must carry the fault's transition
+    z, o, s, i = values[fault.input_signal]
+    want_final_one = fault.transition.final == 1
+    detected = i & (o if want_final_one else z)
+
+    robust = test_class is TestClass.ROBUST
+    for position, signal in enumerate(fault.signals):
+        if not detected:
+            break
+        if position == 0:
+            continue
+        gate = circuit.gates[signal]
+        on_path_input = fault.signals[position - 1]
+        dz, do, _ds, _di = values[on_path_input]
+        control = controlling_value(gate.gate_type)
+        for fanin_signal in gate.fanin:
+            if fanin_signal == on_path_input:
+                continue
+            fz, fo, fs, fi = values[fanin_signal]
+            if control is None:
+                # XOR-like: any final value sensitizes nonrobustly; a
+                # robust test needs glitch-free (stable) side inputs
+                if robust:
+                    detected &= fs
+                continue
+            nc = 1 - control
+            has_nc_final = fo if nc == 1 else fz
+            detected &= has_nc_final
+            if robust:
+                # lanes where the on-path input ends non-controlling
+                # additionally need a stable side input
+                on_nc = do if nc == 1 else dz
+                detected &= fs | ~on_nc
+    return detected & mask
+
+
+class DelayFaultSimulator:
+    """Convenience wrapper: simulate batches, report per-fault detection."""
+
+    def __init__(self, circuit: Circuit, test_class: TestClass):
+        self.circuit = circuit
+        self.test_class = test_class
+
+    def detected_faults(
+        self,
+        patterns: Sequence[PatternLike],
+        faults: Iterable[PathDelayFault],
+    ) -> Dict[PathDelayFault, int]:
+        """Map each fault to the lane mask of detecting patterns (0 = none)."""
+        values, width = simulate_planes(self.circuit, patterns)
+        if width == 0:
+            return {fault: 0 for fault in faults}
+        return {
+            fault: detection_mask(self.circuit, fault, values, width, self.test_class)
+            for fault in faults
+        }
+
+    def detects(self, pattern: PatternLike, fault: PathDelayFault) -> bool:
+        """True if a single pattern detects a single fault."""
+        return bool(self.detected_faults([pattern], [fault])[fault])
+
+    def coverage(
+        self,
+        patterns: Sequence[PatternLike],
+        faults: Sequence[PathDelayFault],
+        batch: int = 64,
+    ) -> float:
+        """Fraction of *faults* detected by *patterns* (batched PPSFP)."""
+        if not faults:
+            return 1.0
+        remaining = set(faults)
+        for start in range(0, len(patterns), batch):
+            chunk = patterns[start : start + batch]
+            hits = self.detected_faults(chunk, remaining)
+            remaining -= {fault for fault, lanes in hits.items() if lanes}
+            if not remaining:
+                break
+        return 1.0 - len(remaining) / len(faults)
+
+
+# ---------------------------------------------------------------------------
+# ten-valued (hazard-aware) simulation and detection-strength grading
+# ---------------------------------------------------------------------------
+
+Planes10 = Tuple[int, int, int, int, int]
+
+
+def simulate_planes10(
+    circuit: Circuit, patterns: Sequence[PatternLike]
+) -> Tuple[List[Planes10], int]:
+    """Forward 10-valued simulation: primary-input transitions are
+    single clean edges, so they enter as S0/S1/HR/HF."""
+    input_planes, width = pack_patterns(circuit, patterns)
+    if width == 0:
+        return [], 0
+    mask = mask_for(width)
+    values: List[Planes10] = [(0, 0, 0, 0, 0)] * circuit.num_signals
+    for planes, pi in zip(input_planes, circuit.inputs):
+        z, o, st, i = planes
+        values[pi] = (z, o, st, i, mask)  # PI waveforms are hazard-free
+    for index in circuit.topological_order():
+        gate = circuit.gates[index]
+        if gate.is_input:
+            continue
+        ins = [values[f] for f in gate.fanin]
+        values[index] = ten_valued.forward(gate.gate_type, ins, mask)  # type: ignore[assignment]
+    return values, width
+
+
+def strength_masks(
+    circuit: Circuit,
+    fault: PathDelayFault,
+    values: Sequence[Planes10],
+    width: int,
+) -> Tuple[int, int, int]:
+    """(nonrobust, robust, hazard-free-robust) detection lane masks.
+
+    The hazard-free robust class strengthens the robust conditions by
+    requiring every off-path input to be provably glitchless (the
+    ten-valued h-plane) — the detection then cannot be disturbed by
+    any hazard timing.  Containment (strong <= robust <= nonrobust)
+    holds by construction and is asserted by the test-suite.
+    """
+    mask = mask_for(width)
+    z, o, s, i, _h = values[fault.input_signal]
+    want_final_one = fault.transition.final == 1
+    launch = i & (o if want_final_one else z)
+
+    nonrobust = launch
+    robust = launch
+    strong = launch
+    for position, signal in enumerate(fault.signals):
+        if not nonrobust:
+            break
+        if position == 0:
+            continue
+        gate = circuit.gates[signal]
+        on_path_input = fault.signals[position - 1]
+        dz, do, _ds, _di, _dh = values[on_path_input]
+        control = controlling_value(gate.gate_type)
+        for fanin_signal in gate.fanin:
+            if fanin_signal == on_path_input:
+                continue
+            fz, fo, fs, _fi, fh = values[fanin_signal]
+            if control is None:
+                robust &= fs
+                strong &= fs
+                continue
+            nc = 1 - control
+            has_nc_final = fo if nc == 1 else fz
+            nonrobust &= has_nc_final
+            robust &= has_nc_final
+            strong &= has_nc_final & fh
+            on_nc = do if nc == 1 else dz
+            stable_where_needed = fs | ~on_nc
+            robust &= stable_where_needed
+            strong &= stable_where_needed
+    return nonrobust & mask, robust & mask, strong & mask
+
+
+def detection_strength(
+    circuit: Circuit, pattern: PatternLike, fault: PathDelayFault
+) -> Optional[str]:
+    """The strongest class in which *pattern* detects *fault*.
+
+    Returns ``"hazard_free_robust"``, ``"robust"``, ``"nonrobust"`` or
+    ``None``.
+    """
+    values, width = simulate_planes10(circuit, [pattern])
+    if width == 0:
+        return None
+    nonrobust, robust, strong = strength_masks(circuit, fault, values, width)
+    if strong & 1:
+        return "hazard_free_robust"
+    if robust & 1:
+        return "robust"
+    if nonrobust & 1:
+        return "nonrobust"
+    return None

@@ -1,0 +1,90 @@
+"""Signal waveforms for the event-driven timing simulator.
+
+A :class:`Waveform` is a piecewise-constant 0/1 signal: an initial
+value plus a sorted sequence of (time, value) changes.  The timing
+simulator uses transport delays, so glitches are preserved — which is
+exactly what distinguishes robust from nonrobust tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """An immutable piecewise-constant waveform."""
+
+    initial: int
+    events: Tuple[Tuple[float, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        last_t = float("-inf")
+        value = self.initial
+        for t, v in self.events:
+            if t < last_t:
+                raise ValueError("events must be sorted by time")
+            if v == value:
+                raise ValueError("events must change the value")
+            last_t, value = t, v
+
+    # ------------------------------------------------------------------
+    @property
+    def final(self) -> int:
+        """Settled value after the last event."""
+        return self.events[-1][1] if self.events else self.initial
+
+    def value_at(self, time: float) -> int:
+        """Value at *time* (events take effect at their timestamp)."""
+        value = self.initial
+        for t, v in self.events:
+            if t > time:
+                break
+            value = v
+        return value
+
+    def transition_count(self) -> int:
+        return len(self.events)
+
+    @property
+    def is_stable(self) -> bool:
+        """True when the waveform never changes."""
+        return not self.events
+
+    def last_event_time(self) -> float:
+        """Arrival time of the final value (0.0 when stable)."""
+        return self.events[-1][0] if self.events else 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, value: int) -> "Waveform":
+        return cls(value, ())
+
+    @classmethod
+    def step(cls, initial: int, final: int, time: float) -> "Waveform":
+        """A single transition from *initial* to *final* at *time*."""
+        if initial == final:
+            return cls(initial, ())
+        return cls(initial, ((time, final),))
+
+    @classmethod
+    def from_changes(cls, initial: int, changes: Sequence[Tuple[float, int]]) -> "Waveform":
+        """Build from possibly redundant (time, value) samples."""
+        events: List[Tuple[float, int]] = []
+        value = initial
+        for t, v in sorted(changes):
+            if v != value:
+                events.append((t, v))
+                value = v
+        return cls(initial, tuple(events))
+
+    def shifted(self, delta: float) -> "Waveform":
+        """The same waveform delayed by *delta* (transport delay)."""
+        return Waveform(self.initial, tuple((t + delta, v) for t, v in self.events))
+
+    def describe(self) -> str:
+        parts = [str(self.initial)]
+        for t, v in self.events:
+            parts.append(f"-({t:g})->{v}")
+        return "".join(parts)

@@ -1,0 +1,137 @@
+"""Unit tests for the backtrace procedure."""
+
+from repro.circuit import CircuitBuilder
+from repro.core.backtrace import PiObjective, backtrace
+from repro.core.controllability import compute_controllability
+from repro.core.state import SEVEN_VALUED, THREE_VALUED, TpgState
+from repro.logic import seven_valued as sv
+from repro.logic import three_valued as tv
+
+
+def chain_circuit():
+    b = CircuitBuilder("chain")
+    b.inputs("a", "b", "c", "d")
+    b.and_("g1", "a", "b")
+    b.or_("g2", "g1", "c")
+    b.not_("g3", "g2")
+    b.and_("y", "g3", "d")
+    b.outputs("y")
+    return b.build()
+
+
+class TestBacktraceWalk:
+    def test_walks_to_pi_through_or(self):
+        c = chain_circuit()
+        st = TpgState(c, THREE_VALUED, 1)
+        cc = compute_controllability(c)
+        # objective: g2 = 1; the OR picks the cheapest 1-controllable
+        # input, which is the primary input c (cost 1) over g1 (cost 3)
+        result = backtrace(st, cc, c.index_of("g2"), 1, False, 0)
+        assert result == PiObjective(c.index_of("c"), 1, False)
+
+    def test_inversion_flips_objective(self):
+        c = chain_circuit()
+        st = TpgState(c, THREE_VALUED, 1)
+        cc = compute_controllability(c)
+        # g3 = NOT(g2): objective g3=0 becomes g2=1 becomes c=1
+        result = backtrace(st, cc, c.index_of("g3"), 0, False, 0)
+        assert result == PiObjective(c.index_of("c"), 1, False)
+
+    def test_and_output_one_walks_hardest_first(self):
+        c = chain_circuit()
+        st = TpgState(c, THREE_VALUED, 1)
+        cc = compute_controllability(c)
+        # y = AND(g3, d) = 1: both needed; g3 (deep) is harder than d
+        result = backtrace(st, cc, c.index_of("y"), 1, False, 0)
+        # g3=1 -> g2=0 -> both g1 and c must be 0, hardest-first picks
+        # g1 (cost CC0=2) over c (cost 1)... then g1=0 picks min CC0 in {a,b}
+        assert result is not None
+        assert c.gates[result.signal].is_input
+        assert result.signal in (c.index_of("a"), c.index_of("b"))
+        assert result.value == 0
+
+    def test_avoids_assigned_inputs(self):
+        c = chain_circuit()
+        st = TpgState(c, THREE_VALUED, 1)
+        cc = compute_controllability(c)
+        # pre-assign c=0: the OR objective g2=1 must avoid it
+        st.assign(c.index_of("c"), tv.encode(0))
+        result = backtrace(st, cc, c.index_of("g2"), 1, False, 0)
+        assert result is not None
+        assert result.signal in (c.index_of("a"), c.index_of("b"))
+        assert result.value == 1
+
+    def test_returns_none_when_no_candidate(self):
+        c = chain_circuit()
+        st = TpgState(c, THREE_VALUED, 1)
+        cc = compute_controllability(c)
+        st.assign(c.index_of("c"), tv.encode(0))
+        st.assign(c.index_of("a"), tv.encode(0))
+        st.assign(c.index_of("b"), tv.encode(0))
+        result = backtrace(st, cc, c.index_of("g2"), 1, False, 0)
+        assert result is None
+
+    def test_contradicting_pi_assignment_returns_none(self):
+        c = chain_circuit()
+        st = TpgState(c, THREE_VALUED, 1)
+        cc = compute_controllability(c)
+        st.assign(c.index_of("d"), tv.encode(0))
+        result = backtrace(st, cc, c.index_of("d"), 1, False, 0)
+        assert result is None
+
+    def test_lane_sensitivity(self):
+        c = chain_circuit()
+        st = TpgState(c, THREE_VALUED, 2)
+        cc = compute_controllability(c)
+        st.assign(c.index_of("c"), tv.encode_word(0, 0b01))  # lane 0 only
+        in_lane0 = backtrace(st, cc, c.index_of("g2"), 1, False, 0)
+        in_lane1 = backtrace(st, cc, c.index_of("g2"), 1, False, 1)
+        assert in_lane0.signal != c.index_of("c")
+        assert in_lane1.signal == c.index_of("c")
+
+
+class TestXorObjectives:
+    def test_parity_completion(self):
+        b = CircuitBuilder("xor")
+        b.inputs("a", "b")
+        b.xor("y", "a", "b")
+        b.outputs("y")
+        c = b.build()
+        st = TpgState(c, THREE_VALUED, 1)
+        cc = compute_controllability(c)
+        st.assign(c.index_of("a"), tv.encode(1))
+        # y = 1 with a = 1 forces b = 0
+        result = backtrace(st, cc, c.index_of("y"), 1, False, 0)
+        assert result == PiObjective(c.index_of("b"), 0, False)
+
+
+class TestStabilityObjectives:
+    def test_stable_objective_reaches_pi_with_stable_flag(self):
+        c = chain_circuit()
+        st = TpgState(c, SEVEN_VALUED, 1)
+        cc = compute_controllability(c)
+        result = backtrace(st, cc, c.index_of("g2"), 1, True, 0)
+        assert result is not None
+        assert result.stable
+
+    def test_stability_chase_when_value_known(self):
+        c = chain_circuit()
+        st = TpgState(c, SEVEN_VALUED, 1)
+        cc = compute_controllability(c)
+        # c already final-1 but not stable: the walk should still find
+        # an assignment that can stabilize the cone
+        st.assign(c.index_of("c"), sv.encode("U1"))
+        result = backtrace(st, cc, c.index_of("g2"), 1, True, 0)
+        assert result is not None
+
+    def test_instable_input_not_a_stability_candidate(self):
+        b = CircuitBuilder("buf")
+        b.inputs("a")
+        b.buf("y", "a")
+        b.outputs("y")
+        c = b.build()
+        st = TpgState(c, SEVEN_VALUED, 1)
+        cc = compute_controllability(c)
+        st.assign(c.index_of("a"), sv.encode("R"))
+        result = backtrace(st, cc, c.index_of("y"), 1, True, 0)
+        assert result is None  # a is known-instable: cannot stabilize

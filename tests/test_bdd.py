@@ -1,0 +1,139 @@
+"""Unit tests for the ROBDD package."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.bdd import FALSE, TRUE, Bdd, BddLimitExceeded
+
+
+class TestBasics:
+    def test_terminals(self):
+        bdd = Bdd(2)
+        assert bdd.const(True) == TRUE
+        assert bdd.const(False) == FALSE
+
+    def test_var_bounds(self):
+        bdd = Bdd(2)
+        with pytest.raises(ValueError):
+            bdd.var(2)
+
+    def test_canonicity(self):
+        """Equal functions share one node (hash consing)."""
+        bdd = Bdd(2)
+        a, b = bdd.var(0), bdd.var(1)
+        f1 = bdd.and_(a, b)
+        f2 = bdd.not_(bdd.or_(bdd.not_(a), bdd.not_(b)))  # De Morgan
+        assert f1 == f2
+
+    def test_reduction(self):
+        bdd = Bdd(2)
+        a = bdd.var(0)
+        assert bdd.or_(a, bdd.not_(a)) == TRUE
+        assert bdd.and_(a, bdd.not_(a)) == FALSE
+        assert bdd.xor(a, a) == FALSE
+
+
+class TestSemantics:
+    """Every connective must match its truth table on all assignments."""
+
+    def test_connectives_exhaustive(self):
+        bdd = Bdd(3)
+        variables = [bdd.var(k) for k in range(3)]
+        cases = {
+            "and": (lambda f, g: bdd.and_(f, g), lambda x, y: x and y),
+            "or": (lambda f, g: bdd.or_(f, g), lambda x, y: x or y),
+            "xor": (lambda f, g: bdd.xor(f, g), lambda x, y: x != y),
+            "xnor": (lambda f, g: bdd.xnor(f, g), lambda x, y: x == y),
+            "implies": (lambda f, g: bdd.implies(f, g), lambda x, y: (not x) or y),
+        }
+        f = bdd.xor(variables[0], variables[2])
+        g = bdd.and_(variables[1], variables[2])
+        for name, (op, ref) in cases.items():
+            node = op(f, g)
+            for bits in itertools.product((0, 1), repeat=3):
+                env = dict(enumerate(bits))
+                want = ref(
+                    bits[0] != bits[2], bool(bits[1] and bits[2])
+                )
+                assert bdd.evaluate(node, env) == want, (name, bits)
+
+    def test_ite_general(self):
+        bdd = Bdd(3)
+        a, b, c = (bdd.var(k) for k in range(3))
+        node = bdd.ite(a, b, c)  # a ? b : c
+        for bits in itertools.product((0, 1), repeat=3):
+            env = dict(enumerate(bits))
+            want = bool(bits[1] if bits[0] else bits[2])
+            assert bdd.evaluate(node, env) == want
+
+    def test_restrict(self):
+        bdd = Bdd(2)
+        a, b = bdd.var(0), bdd.var(1)
+        f = bdd.and_(a, b)
+        assert bdd.restrict(f, 0, 1) == b
+        assert bdd.restrict(f, 0, 0) == FALSE
+        assert bdd.restrict(f, 1, 1) == a
+
+
+class TestQueries:
+    def test_satisfy_one(self):
+        bdd = Bdd(3)
+        a, b, c = (bdd.var(k) for k in range(3))
+        f = bdd.and_(bdd.and_(a, bdd.not_(b)), c)
+        model = bdd.satisfy_one(f)
+        assert model == {0: 1, 1: 0, 2: 1}
+        assert bdd.satisfy_one(FALSE) is None
+        assert bdd.satisfy_one(TRUE) == {}
+
+    def test_count_sat(self):
+        bdd = Bdd(3)
+        a, b, c = (bdd.var(k) for k in range(3))
+        assert bdd.count_sat(TRUE) == 8
+        assert bdd.count_sat(FALSE) == 0
+        assert bdd.count_sat(a) == 4
+        assert bdd.count_sat(bdd.and_(a, b)) == 2
+        assert bdd.count_sat(bdd.xor(a, c)) == 4
+        assert bdd.count_sat(bdd.or_(a, bdd.or_(b, c))) == 7
+
+    def test_count_matches_enumeration(self):
+        bdd = Bdd(4)
+        vs = [bdd.var(k) for k in range(4)]
+        f = bdd.or_(bdd.and_(vs[0], vs[2]), bdd.xor(vs[1], vs[3]))
+        expected = sum(
+            1
+            for bits in itertools.product((0, 1), repeat=4)
+            if (bits[0] and bits[2]) or (bits[1] != bits[3])
+        )
+        assert bdd.count_sat(f) == expected
+
+    def test_iter_models(self):
+        bdd = Bdd(2)
+        a, b = bdd.var(0), bdd.var(1)
+        f = bdd.xor(a, b)
+        models = list(bdd.iter_models(f))
+        assert len(models) == 2
+        for model in models:
+            assert bdd.evaluate(f, model)
+
+    def test_size_of(self):
+        bdd = Bdd(2)
+        a, b = bdd.var(0), bdd.var(1)
+        f = bdd.and_(a, b)
+        assert bdd.size_of(f) == 4  # two decision nodes + two terminals
+
+
+class TestNodeLimit:
+    def test_limit_raises(self):
+        bdd = Bdd(16, node_limit=8)
+        with pytest.raises(BddLimitExceeded):
+            f = bdd.var(0)
+            for k in range(1, 16):
+                f = bdd.xor(f, bdd.var(k))
+
+    def test_limit_allows_small(self):
+        bdd = Bdd(4, node_limit=64)
+        f = bdd.var(0)
+        for k in range(1, 4):
+            f = bdd.xor(f, bdd.var(k))
+        assert bdd.count_sat(f) == 8

@@ -1,0 +1,130 @@
+"""Unit tests for the ISCAS .bench parser and writer."""
+
+import pytest
+
+from repro.circuit import (
+    BenchFormatError,
+    GateType,
+    load_bench,
+    parse_bench,
+    save_bench,
+    write_bench,
+)
+from repro.circuit.library import C17_BENCH, c17
+
+
+class TestParse:
+    def test_c17_structure(self):
+        c = c17()
+        assert len(c.inputs) == 5
+        assert len(c.outputs) == 2
+        assert c.num_gates == 6
+        assert all(
+            g.gate_type is GateType.NAND for g in c.gates if not g.is_input
+        )
+
+    def test_c17_function(self):
+        c = c17()
+        # 22 = NAND(10, 16); spot-check a couple of vectors by hand
+        values = c.evaluate({"1": 0, "2": 0, "3": 0, "6": 0, "7": 0})
+        assert values["10"] == 1 and values["11"] == 1
+        assert values["16"] == 1 and values["19"] == 1
+        assert values["22"] == 0 and values["23"] == 0
+        values = c.evaluate({"1": 1, "2": 1, "3": 1, "6": 1, "7": 1})
+        assert values["10"] == 0 and values["11"] == 0
+        assert values["16"] == 1
+        assert values["22"] == 1
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # a comment
+        INPUT(a)
+
+        OUTPUT(y)
+        y = NOT(a)  # trailing comment
+        """
+        c = parse_bench(text)
+        assert c.gate("y").gate_type is GateType.NOT
+
+    def test_gate_declared_before_fanin(self):
+        text = """
+        INPUT(a)
+        OUTPUT(y)
+        y = NOT(m)
+        m = BUFF(a)
+        """
+        c = parse_bench(text)
+        assert c.evaluate({"a": 1})["y"] == 0
+
+    def test_dff_cut_into_pseudo_io(self):
+        text = """
+        INPUT(a)
+        OUTPUT(y)
+        q = DFF(d)
+        d = AND(a, q)
+        y = NOT(q)
+        """
+        c = parse_bench(text)
+        input_names = {c.signal_name(i) for i in c.inputs}
+        output_names = {c.signal_name(o) for o in c.outputs}
+        assert input_names == {"a", "q"}  # DFF output becomes pseudo input
+        assert "d" in output_names  # DFF input becomes pseudo output
+
+    def test_single_input_and_becomes_buf(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a)\n")
+        assert c.gate("y").gate_type is GateType.BUF
+
+    def test_single_input_nor_becomes_not(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOR(a)\n")
+        assert c.gate("y").gate_type is GateType.NOT
+
+
+class TestParseErrors:
+    def test_unparseable_line(self):
+        with pytest.raises(BenchFormatError, match="line 2"):
+            parse_bench("INPUT(a)\nwhat is this\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(BenchFormatError, match="unknown gate"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ3(a, a, a)\n")
+
+    def test_double_drive(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n"
+        with pytest.raises(BenchFormatError, match="driven twice"):
+            parse_bench(text)
+
+    def test_undriven_signal(self):
+        with pytest.raises(BenchFormatError, match="never driven"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+    def test_cycle(self):
+        text = "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = OR(x, a)\n"
+        with pytest.raises(BenchFormatError, match="cycle"):
+            parse_bench(text)
+
+    def test_dff_arity(self):
+        with pytest.raises(BenchFormatError, match="DFF"):
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n")
+
+
+class TestRoundTrip:
+    def test_c17_roundtrip(self):
+        original = parse_bench(C17_BENCH, name="c17")
+        again = parse_bench(write_bench(original), name="c17")
+        assert [g.name for g in again.gates] == [g.name for g in original.gates]
+        assert [g.gate_type for g in again.gates] == [
+            g.gate_type for g in original.gates
+        ]
+        assert again.outputs == original.outputs
+        # behaviour identical on every vector (5 inputs -> 32 vectors)
+        for code in range(32):
+            vec = [(code >> k) & 1 for k in range(5)]
+            assert original.output_values(vec) == again.output_values(vec)
+
+    def test_file_io(self, tmp_path):
+        c = c17()
+        path = tmp_path / "c17.bench"
+        save_bench(c, path)
+        back = load_bench(path)
+        assert back.name == "c17"
+        assert back.num_gates == c.num_gates

@@ -1,0 +1,75 @@
+"""Unit tests for the fluent CircuitBuilder."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError, GateType
+
+
+class TestBuilder:
+    def test_out_of_order_declaration(self):
+        b = CircuitBuilder("ooo")
+        b.outputs("y")
+        b.gate("y", "AND", ["m", "n"])  # m, n declared later
+        b.gate("m", "NOT", ["a"])
+        b.gate("n", "OR", ["a", "b"])
+        b.inputs("a", "b")
+        c = b.build()
+        assert c.gate("y").gate_type is GateType.AND
+        assert c.evaluate({"a": 0, "b": 1})["y"] == 1
+
+    def test_cycle_detected(self):
+        b = CircuitBuilder()
+        b.inputs("a")
+        b.gate("x", "AND", ["a", "y"])
+        b.gate("y", "OR", ["x", "a"])
+        b.outputs("y")
+        with pytest.raises(CircuitError, match="cycle"):
+            b.build()
+
+    def test_missing_driver_detected(self):
+        b = CircuitBuilder()
+        b.inputs("a")
+        b.gate("x", "AND", ["a", "ghost"])
+        b.outputs("x")
+        with pytest.raises(CircuitError, match="never driven"):
+            b.build()
+
+    def test_duplicate_rejected(self):
+        b = CircuitBuilder()
+        b.inputs("a")
+        with pytest.raises(CircuitError, match="duplicate"):
+            b.inputs("a")
+        b.gate("x", "NOT", ["a"])
+        with pytest.raises(CircuitError, match="duplicate"):
+            b.gate("x", "BUF", ["a"])
+
+    def test_convenience_helpers(self):
+        b = CircuitBuilder("conv")
+        b.inputs("a", "b")
+        b.and_("g1", "a", "b")
+        b.or_("g2", "a", "b")
+        b.nand("g3", "a", "b")
+        b.nor("g4", "a", "b")
+        b.xor("g5", "a", "b")
+        b.xnor("g6", "a", "b")
+        b.not_("g7", "a")
+        b.buf("g8", "b")
+        b.outputs(*[f"g{i}" for i in range(1, 9)])
+        c = b.build()
+        values = c.evaluate({"a": 1, "b": 0})
+        assert values["g1"] == 0 and values["g2"] == 1
+        assert values["g3"] == 1 and values["g4"] == 0
+        assert values["g5"] == 1 and values["g6"] == 0
+        assert values["g7"] == 0 and values["g8"] == 0
+
+    def test_deep_chain_no_recursion_error(self):
+        b = CircuitBuilder("deep")
+        b.inputs("a")
+        prev = "a"
+        for k in range(5000):
+            b.not_(f"n{k}", prev)
+            prev = f"n{k}"
+        b.outputs(prev)
+        c = b.build()
+        assert c.depth == 5000
+        assert c.evaluate({"a": 0})[prev] == 0  # even number of inverters

@@ -1,0 +1,141 @@
+"""Unit tests for the Circuit data structure."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitError, GateType, iter_gates_by_level
+
+
+def build_half_adder() -> Circuit:
+    c = Circuit("ha")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    c.add_gate("sum", GateType.XOR, [a, b])
+    c.add_gate("carry", GateType.AND, ["a", "b"])
+    c.mark_output("sum")
+    c.mark_output("carry")
+    return c.freeze()
+
+
+class TestConstruction:
+    def test_ids_are_dense_insertion_order(self):
+        c = build_half_adder()
+        assert [g.name for g in c.gates] == ["a", "b", "sum", "carry"]
+        assert [g.index for g in c.gates] == [0, 1, 2, 3]
+
+    def test_duplicate_name_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError, match="duplicate"):
+            c.add_input("a")
+
+    def test_fanin_by_name_must_exist(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError, match="no signal named"):
+            c.add_gate("g", GateType.NOT, ["missing"])
+
+    def test_fanin_count_enforced(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError, match="cannot take"):
+            c.add_gate("g", GateType.AND, ["a"])
+        with pytest.raises(CircuitError, match="cannot take"):
+            c.add_gate("n", GateType.NOT, ["a", "a"])
+
+    def test_freeze_requires_outputs(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError, match="no outputs"):
+            c.freeze()
+
+    def test_frozen_rejects_mutation(self):
+        c = build_half_adder()
+        with pytest.raises(CircuitError, match="frozen"):
+            c.add_input("z")
+
+    def test_mark_output_idempotent(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", GateType.NOT, ["a"])
+        c.mark_output("g")
+        c.mark_output("g")
+        c.freeze()
+        assert c.outputs == [c.index_of("g")]
+
+    def test_string_gate_type(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", "INV", ["a"])
+        assert c.gate("g").gate_type is GateType.NOT
+
+
+class TestDerivedStructure:
+    def test_levels(self):
+        c = build_half_adder()
+        assert c.level("a") == 0
+        assert c.level("sum") == 1
+        assert c.depth == 1
+
+    def test_fanout(self):
+        c = build_half_adder()
+        assert set(c.fanout("a")) == {c.index_of("sum"), c.index_of("carry")}
+        assert c.fanout("sum") == ()
+
+    def test_topological_order_respects_levels(self):
+        c = build_half_adder()
+        order = c.topological_order()
+        position = {s: i for i, s in enumerate(order)}
+        for g in c.gates:
+            for f in g.fanin:
+                assert position[f] < position[g.index]
+
+    def test_accessors_require_freeze(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError, match="frozen"):
+            c.fanout("a")
+
+    def test_iter_gates_by_level(self):
+        c = build_half_adder()
+        levels = dict(iter_gates_by_level(c))
+        assert set(levels[0]) == {0, 1}
+        assert set(levels[1]) == {2, 3}
+
+    def test_counts(self):
+        c = build_half_adder()
+        assert c.num_signals == 4
+        assert c.num_gates == 2
+        assert len(c) == 4
+
+
+class TestEvaluation:
+    def test_half_adder_truth_table(self):
+        c = build_half_adder()
+        for a in (0, 1):
+            for b in (0, 1):
+                values = c.evaluate({"a": a, "b": b})
+                assert values["sum"] == a ^ b
+                assert values["carry"] == a & b
+
+    def test_sequence_assignment(self):
+        c = build_half_adder()
+        assert c.output_values([1, 1]) == (0, 1)
+
+    def test_wrong_vector_length(self):
+        c = build_half_adder()
+        with pytest.raises(CircuitError, match="expected 2"):
+            c.evaluate([1])
+
+    def test_non_binary_value_rejected(self):
+        c = build_half_adder()
+        with pytest.raises(CircuitError, match="0/1"):
+            c.evaluate([1, 2])
+
+    def test_stats(self):
+        c = build_half_adder()
+        stats = c.stats()
+        assert stats["inputs"] == 2
+        assert stats["outputs"] == 2
+        assert stats["gates"] == 2
+        assert stats["n_xor"] == 1
+        assert stats["n_and"] == 1

@@ -1,0 +1,78 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.circuit.library import C17_BENCH
+from repro.cli import main_atpg, main_experiments, main_paths, resolve_circuit
+
+
+class TestResolveCircuit:
+    def test_embedded(self):
+        assert resolve_circuit("c17").name == "c17"
+
+    def test_suite(self):
+        assert resolve_circuit("s713").name == "s713_like"
+
+    def test_bench_file(self, tmp_path):
+        path = tmp_path / "mini.bench"
+        path.write_text(C17_BENCH)
+        assert resolve_circuit(str(path)).name == "mini"
+
+    def test_unknown(self):
+        with pytest.raises(SystemExit, match="unknown circuit"):
+            resolve_circuit("not_a_circuit")
+
+
+class TestAtpgCommand:
+    def test_basic_run(self, capsys):
+        assert main_atpg(["c17"]) == 0
+        out = capsys.readouterr().out
+        assert "ATPG summary" in out
+        assert "c17" in out
+
+    def test_robust_with_patterns(self, capsys):
+        assert main_atpg(["paper_example", "--class", "robust", "--patterns"]) == 0
+        out = capsys.readouterr().out
+        assert "V1=" in out and "V2=" in out
+
+    def test_single_bit_and_caps(self, capsys):
+        assert main_atpg(["c17", "--single-bit", "--max-faults", "6"]) == 0
+        out = capsys.readouterr().out
+        assert " 6" in out  # the capped fault count appears in the table
+
+
+class TestPathsCommand:
+    def test_counts(self, capsys):
+        assert main_paths(["paper_example"]) == 0
+        out = capsys.readouterr().out
+        assert "paths     : 13" in out
+        assert "faults    : 26" in out
+
+    def test_histogram_and_list(self, capsys):
+        assert main_paths(["paper_example", "--histogram", "--list", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "path length histogram" in out
+        assert out.count("-") > 5  # some paths got listed
+
+
+class TestExperimentsCommand:
+    def test_figure1(self, capsys):
+        assert main_experiments(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "redundant" in out
+        assert "lane words" in out
+
+    def test_figure2(self, capsys):
+        assert main_experiments(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "status: tested" in out
+
+    def test_table_run(self, capsys):
+        assert main_experiments(["table4", "--fault-cap", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "table4 (reproduction)" in out
+        assert "c432-like" in out
+
+    def test_invalid_choice(self):
+        with pytest.raises(SystemExit):
+            main_experiments(["table9"])

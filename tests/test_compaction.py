@@ -1,0 +1,83 @@
+"""Tests for test-set compaction."""
+
+import pytest
+
+from repro.circuit.generators import ripple_carry_adder
+from repro.circuit.library import c17, paper_example
+from repro.core import generate_tests
+from repro.core.compaction import (
+    compaction_report,
+    greedy_compaction,
+    reverse_order_compaction,
+)
+from repro.paths import TestClass, all_faults
+from repro.sim import DelayFaultSimulator
+
+
+@pytest.fixture(params=[c17, paper_example])
+def setup(request):
+    circuit = request.param()
+    faults = all_faults(circuit)
+    report = generate_tests(circuit, faults, TestClass.NONROBUST)
+    return circuit, faults, report.patterns
+
+
+class TestReverseOrder:
+    def test_preserves_coverage(self, setup):
+        circuit, faults, patterns = setup
+        compacted = reverse_order_compaction(circuit, patterns, faults)
+        sim = DelayFaultSimulator(circuit, TestClass.NONROBUST)
+        assert sim.coverage(compacted, faults) == pytest.approx(
+            sim.coverage(patterns, faults)
+        )
+
+    def test_never_grows(self, setup):
+        circuit, faults, patterns = setup
+        compacted = reverse_order_compaction(circuit, patterns, faults)
+        assert len(compacted) <= len(patterns)
+
+    def test_keeps_original_order(self, setup):
+        circuit, faults, patterns = setup
+        compacted = reverse_order_compaction(circuit, patterns, faults)
+        positions = [patterns.index(p) for p in compacted]
+        assert positions == sorted(positions)
+
+
+class TestGreedy:
+    def test_preserves_coverage(self, setup):
+        circuit, faults, patterns = setup
+        compacted = greedy_compaction(circuit, patterns, faults)
+        sim = DelayFaultSimulator(circuit, TestClass.NONROBUST)
+        assert sim.coverage(compacted, faults) == pytest.approx(
+            sim.coverage(patterns, faults)
+        )
+
+    def test_not_larger_than_reverse(self, setup):
+        circuit, faults, patterns = setup
+        greedy = greedy_compaction(circuit, patterns, faults)
+        reverse = reverse_order_compaction(circuit, patterns, faults)
+        assert len(greedy) <= len(reverse)
+
+
+class TestReport:
+    def test_report_shape(self):
+        circuit = ripple_carry_adder(3)
+        faults = all_faults(circuit, cap=60)
+        patterns = generate_tests(circuit, faults, TestClass.NONROBUST).patterns
+        report = compaction_report(circuit, patterns, faults)
+        assert report["reverse_order"] <= report["patterns"]
+        assert report["greedy"] <= report["reverse_order"]
+        assert report["coverage_greedy"] == pytest.approx(report["coverage_full"])
+
+    def test_actually_compacts(self):
+        """On the adder, many early patterns are subsumed by later ones."""
+        circuit = ripple_carry_adder(4)
+        faults = all_faults(circuit, cap=100)
+        patterns = generate_tests(circuit, faults, TestClass.NONROBUST).patterns
+        compacted = greedy_compaction(circuit, patterns, faults)
+        assert len(compacted) < len(patterns)
+
+    def test_empty_patterns(self):
+        circuit = c17()
+        assert reverse_order_compaction(circuit, [], []) == []
+        assert greedy_compaction(circuit, [], []) == []

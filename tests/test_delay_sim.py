@@ -1,0 +1,132 @@
+"""Unit tests for the PPSFP path delay fault simulator."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuit.library import c17, paper_example
+from repro.core import TestPattern
+from repro.paths import PathDelayFault, TestClass, Transition, all_faults
+from repro.sim import DelayFaultSimulator
+from repro.sim.delay_sim import pack_patterns, simulate_planes
+from repro.logic import seven_valued as sv
+
+
+class TestPackPatterns:
+    def test_transition_classification(self):
+        c = paper_example()
+        patterns = [
+            TestPattern((0, 0, 0, 0), (0, 1, 0, 0)),  # b rises
+            TestPattern((1, 1, 1, 1), (1, 1, 1, 1)),  # all stable
+        ]
+        planes, width = pack_patterns(c, patterns)
+        assert width == 2
+        b_planes = planes[1]
+        assert sv.decode_lane(b_planes, 0) == "R"
+        assert sv.decode_lane(b_planes, 1) == "S1"
+        a_planes = planes[0]
+        assert sv.decode_lane(a_planes, 0) == "S0"
+        assert sv.decode_lane(a_planes, 1) == "S1"
+
+    def test_empty(self):
+        planes, width = pack_patterns(paper_example(), [])
+        assert width == 0 and planes == []
+
+
+class TestDetectionSemantics:
+    def test_known_nonrobust_detection(self):
+        c = paper_example()
+        fault = PathDelayFault.from_names(c, ("b", "p", "x"), Transition.RISING)
+        sim = DelayFaultSimulator(c, TestClass.NONROBUST)
+        # a=0 (off-path at p), s must be 1: d=1 provides it
+        good = TestPattern((0, 0, 0, 1), (0, 1, 0, 1))
+        assert sim.detects(good, fault)
+        # without d=1 (and with c=0), s=0: not sensitized
+        bad = TestPattern((0, 0, 0, 0), (0, 1, 0, 0))
+        assert not sim.detects(bad, fault)
+        # no launch (b stable): never a test
+        no_launch = TestPattern((0, 1, 0, 1), (0, 1, 0, 1))
+        assert not sim.detects(no_launch, fault)
+
+    def test_robust_needs_stable_side_input(self):
+        c = paper_example()
+        # rising b through p=OR then x=AND: s must be STABLE 1 for a
+        # robust test; d rising gives s final 1 but unstable
+        fault = PathDelayFault.from_names(c, ("b", "p", "x"), Transition.RISING)
+        robust = DelayFaultSimulator(c, TestClass.ROBUST)
+        nonrobust = DelayFaultSimulator(c, TestClass.NONROBUST)
+        s_stable = TestPattern((0, 0, 0, 1), (0, 1, 0, 1))  # d stable 1
+        s_unstable = TestPattern((0, 0, 0, 0), (0, 1, 0, 1))  # d rises with b
+        assert robust.detects(s_stable, fault)
+        assert nonrobust.detects(s_unstable, fault)
+        assert not robust.detects(s_unstable, fault)
+
+    def test_robust_detection_implies_nonrobust(self):
+        c = c17()
+        rng = random.Random(9)
+        faults = all_faults(c)
+        robust = DelayFaultSimulator(c, TestClass.ROBUST)
+        nonrobust = DelayFaultSimulator(c, TestClass.NONROBUST)
+        patterns = [
+            TestPattern(
+                tuple(rng.randint(0, 1) for _ in c.inputs),
+                tuple(rng.randint(0, 1) for _ in c.inputs),
+            )
+            for _ in range(48)
+        ]
+        robust_hits = robust.detected_faults(patterns, faults)
+        nonrobust_hits = nonrobust.detected_faults(patterns, faults)
+        for fault in faults:
+            # per-lane containment: a robust detection is nonrobust too
+            assert robust_hits[fault] & ~nonrobust_hits[fault] == 0
+
+    def test_xor_path_no_nonrobust_side_condition(self):
+        b = CircuitBuilder("xorp")
+        b.inputs("a", "b")
+        b.xor("y", "a", "b")
+        b.outputs("y")
+        c = b.build()
+        fault = PathDelayFault.from_names(c, ("a", "y"), Transition.RISING)
+        nonrobust = DelayFaultSimulator(c, TestClass.NONROBUST)
+        robust = DelayFaultSimulator(c, TestClass.ROBUST)
+        # b may even transition: nonrobust does not care, robust does
+        both_change = TestPattern((0, 0), (1, 1))
+        assert nonrobust.detects(both_change, fault)
+        assert not robust.detects(both_change, fault)
+        side_stable = TestPattern((0, 1), (1, 1))
+        assert robust.detects(side_stable, fault)
+
+    def test_lane_mask_positions(self):
+        c = paper_example()
+        fault = PathDelayFault.from_names(c, ("b", "p", "x"), Transition.RISING)
+        sim = DelayFaultSimulator(c, TestClass.NONROBUST)
+        patterns = [
+            TestPattern((0, 1, 0, 1), (0, 1, 0, 1)),  # no launch
+            TestPattern((0, 0, 0, 1), (0, 1, 0, 1)),  # detecting
+        ]
+        hits = sim.detected_faults(patterns, [fault])
+        assert hits[fault] == 0b10
+
+
+class TestCoverage:
+    def test_coverage_counts(self):
+        c = paper_example()
+        faults = all_faults(c)
+        sim = DelayFaultSimulator(c, TestClass.NONROBUST)
+        # exhaustive single-input-change patterns give good coverage
+        vectors = list(itertools.product((0, 1), repeat=4))
+        patterns = []
+        for v2 in vectors:
+            for flip in range(4):
+                v1 = list(v2)
+                v1[flip] = 1 - v1[flip]
+                patterns.append(TestPattern(tuple(v1), v2))
+        coverage = sim.coverage(patterns, faults)
+        # 8 of the 26 faults are redundant (cf. engine tests)
+        assert coverage == pytest.approx(18 / 26)
+
+    def test_empty_faults(self):
+        sim = DelayFaultSimulator(paper_example(), TestClass.NONROBUST)
+        assert sim.coverage([], []) == 1.0

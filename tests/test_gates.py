@@ -1,0 +1,168 @@
+"""Unit tests for the gate primitive definitions."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.gates import (
+    GateType,
+    controlling_value,
+    evaluate,
+    evaluate_word,
+    gate_type_from_name,
+    inversion_parity,
+    inverts,
+    max_fanin,
+    min_fanin,
+    noncontrolling_value,
+)
+
+MULTI_INPUT = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+class TestNames:
+    def test_roundtrip_names(self):
+        for t in GateType:
+            assert gate_type_from_name(t.value) is t
+
+    def test_case_insensitive(self):
+        assert gate_type_from_name("nand") is GateType.NAND
+        assert gate_type_from_name(" Or ") is GateType.OR
+
+    def test_aliases(self):
+        assert gate_type_from_name("INV") is GateType.NOT
+        assert gate_type_from_name("BUFF") is GateType.BUF
+        assert gate_type_from_name("BUFFER") is GateType.BUF
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown gate type"):
+            gate_type_from_name("FROB")
+
+
+class TestControllingValues:
+    def test_and_family_controlled_by_zero(self):
+        assert controlling_value(GateType.AND) == 0
+        assert controlling_value(GateType.NAND) == 0
+
+    def test_or_family_controlled_by_one(self):
+        assert controlling_value(GateType.OR) == 1
+        assert controlling_value(GateType.NOR) == 1
+
+    def test_xor_family_has_none(self):
+        assert controlling_value(GateType.XOR) is None
+        assert controlling_value(GateType.XNOR) is None
+        assert noncontrolling_value(GateType.XNOR) is None
+
+    def test_noncontrolling_complements(self):
+        for t in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+            assert noncontrolling_value(t) == 1 - controlling_value(t)
+
+
+class TestInversion:
+    def test_inverting_set(self):
+        assert inverts(GateType.NOT)
+        assert inverts(GateType.NAND)
+        assert inverts(GateType.NOR)
+        assert inverts(GateType.XNOR)
+        assert not inverts(GateType.AND)
+        assert not inverts(GateType.BUF)
+
+    def test_parity(self):
+        assert inversion_parity([GateType.AND, GateType.OR]) == 0
+        assert inversion_parity([GateType.NAND]) == 1
+        assert inversion_parity([GateType.NAND, GateType.NOR]) == 0
+        assert inversion_parity([GateType.NOT, GateType.NAND, GateType.XNOR]) == 1
+
+
+class TestFaninBounds:
+    def test_input(self):
+        assert min_fanin(GateType.INPUT) == 0
+        assert max_fanin(GateType.INPUT) == 0
+
+    def test_single_input_gates(self):
+        for t in (GateType.BUF, GateType.NOT):
+            assert min_fanin(t) == 1
+            assert max_fanin(t) == 1
+
+    def test_multi_input_gates(self):
+        for t in MULTI_INPUT:
+            assert min_fanin(t) == 2
+            assert max_fanin(t) is None
+
+
+class TestEvaluate:
+    def test_truth_tables_two_inputs(self):
+        expected = {
+            GateType.AND: [0, 0, 0, 1],
+            GateType.NAND: [1, 1, 1, 0],
+            GateType.OR: [0, 1, 1, 1],
+            GateType.NOR: [1, 0, 0, 0],
+            GateType.XOR: [0, 1, 1, 0],
+            GateType.XNOR: [1, 0, 0, 1],
+        }
+        for t, table in expected.items():
+            for code, want in enumerate(table):
+                a, b = code >> 1, code & 1
+                assert evaluate(t, [a, b]) == want, (t, a, b)
+
+    def test_single_input(self):
+        assert evaluate(GateType.BUF, [0]) == 0
+        assert evaluate(GateType.BUF, [1]) == 1
+        assert evaluate(GateType.NOT, [0]) == 1
+        assert evaluate(GateType.NOT, [1]) == 0
+
+    def test_three_input_gates(self):
+        for t in MULTI_INPUT:
+            for bits in itertools.product((0, 1), repeat=3):
+                via_pairs = evaluate(t, list(bits))
+                if t in (GateType.AND, GateType.NAND):
+                    raw = int(all(bits))
+                elif t in (GateType.OR, GateType.NOR):
+                    raw = int(any(bits))
+                else:
+                    raw = sum(bits) & 1
+                want = 1 - raw if inverts(t) else raw
+                assert via_pairs == want
+
+    def test_input_gate_rejects_evaluation(self):
+        with pytest.raises(ValueError):
+            evaluate(GateType.INPUT, [])
+
+
+class TestEvaluateWord:
+    """evaluate_word must agree with evaluate on every lane."""
+
+    @pytest.mark.parametrize("gate_type", MULTI_INPUT)
+    def test_matches_scalar_two_inputs(self, gate_type):
+        width = 4
+        mask = (1 << width) - 1
+        # lanes enumerate all four input combinations
+        a_word = 0b0011
+        b_word = 0b0101
+        word = evaluate_word(gate_type, [a_word, b_word], mask)
+        for lane in range(width):
+            a = (a_word >> lane) & 1
+            b = (b_word >> lane) & 1
+            assert (word >> lane) & 1 == evaluate(gate_type, [a, b])
+
+    def test_not_and_buf(self):
+        mask = 0b1111
+        assert evaluate_word(GateType.NOT, [0b0101], mask) == 0b1010
+        assert evaluate_word(GateType.BUF, [0b0110], mask) == 0b0110
+
+    def test_three_inputs_all_lanes(self):
+        width = 8
+        mask = (1 << width) - 1
+        a, b, c = 0b00001111, 0b00110011, 0b01010101
+        for t in MULTI_INPUT:
+            word = evaluate_word(t, [a, b, c], mask)
+            for lane in range(width):
+                bits = [(a >> lane) & 1, (b >> lane) & 1, (c >> lane) & 1]
+                assert (word >> lane) & 1 == evaluate(t, bits)

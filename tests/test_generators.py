@@ -1,0 +1,198 @@
+"""Unit tests for the synthetic circuit generators: every generated
+circuit must be structurally valid *and* functionally correct."""
+
+import random
+
+import pytest
+
+from repro.circuit import validate_circuit
+from repro.circuit.generators import (
+    PROFILES,
+    array_multiplier,
+    carry_lookahead_adder,
+    comparator,
+    decoder,
+    mux_tree,
+    parity_tree,
+    random_dag,
+    reconvergent_ladder,
+    ripple_carry_adder,
+)
+from repro.circuit.bench_parser import write_bench
+from repro.paths import count_paths
+
+
+def to_bits(value, width):
+    return [(value >> k) & 1 for k in range(width)]
+
+
+def from_bits(bits):
+    return sum(b << k for k, b in enumerate(bits))
+
+
+class TestRippleCarryAdder:
+    def test_valid(self):
+        assert validate_circuit(ripple_carry_adder(6)) == []
+
+    @pytest.mark.parametrize("width", [1, 3, 5])
+    def test_adds_correctly(self, width):
+        c = ripple_carry_adder(width)
+        rng = random.Random(width)
+        for _ in range(20):
+            a = rng.randrange(1 << width)
+            b = rng.randrange(1 << width)
+            cin = rng.randint(0, 1)
+            vec = to_bits(a, width) + to_bits(b, width) + [cin]
+            outs = c.output_values(vec)
+            assert from_bits(outs) == a + b + cin
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+
+
+class TestCarryLookaheadAdder:
+    def test_valid(self):
+        assert validate_circuit(carry_lookahead_adder(8)) == []
+
+    def test_matches_ripple(self):
+        width = 6
+        rca = ripple_carry_adder(width)
+        cla = carry_lookahead_adder(width)
+        rng = random.Random(7)
+        for _ in range(30):
+            vec = [rng.randint(0, 1) for _ in range(2 * width + 1)]
+            assert from_bits(cla.output_values(vec)) == from_bits(
+                rca.output_values(vec)
+            )
+
+
+class TestArrayMultiplier:
+    def test_valid(self):
+        assert validate_circuit(array_multiplier(4)) == []
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_multiplies_correctly(self, width):
+        c = array_multiplier(width)
+        rng = random.Random(width)
+        for _ in range(15):
+            a = rng.randrange(1 << width)
+            b = rng.randrange(1 << width)
+            vec = to_bits(a, width) + to_bits(b, width)
+            outs = c.output_values(vec)
+            # product is in the first 2*width outputs; extra carries are 0
+            assert from_bits(outs[: 2 * width]) == a * b
+            assert all(bit == 0 for bit in outs[2 * width :])
+
+    def test_path_explosion(self):
+        # the c6288 phenomenon: path count grows much faster than size
+        small = count_paths(array_multiplier(3))
+        large = count_paths(array_multiplier(5))
+        assert large > 20 * small
+
+
+class TestParityTree:
+    def test_valid(self):
+        assert validate_circuit(parity_tree(9)) == []
+
+    def test_computes_parity(self):
+        width = 7
+        c = parity_tree(width)
+        rng = random.Random(3)
+        for _ in range(20):
+            vec = [rng.randint(0, 1) for _ in range(width)]
+            assert c.output_values(vec) == (sum(vec) & 1,)
+
+
+class TestMuxTree:
+    def test_valid(self):
+        assert validate_circuit(mux_tree(3)) == []
+
+    def test_selects(self):
+        depth = 3
+        c = mux_tree(depth)
+        rng = random.Random(5)
+        for _ in range(20):
+            data = [rng.randint(0, 1) for _ in range(1 << depth)]
+            sel = rng.randrange(1 << depth)
+            vec = data + to_bits(sel, depth)
+            assert c.output_values(vec) == (data[sel],)
+
+
+class TestReconvergentLadder:
+    def test_valid(self):
+        assert validate_circuit(reconvergent_ladder(5)) == []
+
+    def test_path_count_doubles_per_stage(self):
+        for stages in (2, 4, 6):
+            c = reconvergent_ladder(stages)
+            # the seed input alone contributes 2^stages paths
+            seed_paths = count_paths(c, from_inputs=[c.index_of("seed")])
+            assert seed_paths == 2 ** stages
+
+    def test_identity_function(self):
+        # u XOR w == (v | ctl) XOR (v & ~ctl) == v XOR ctl: staged XOR
+        c = reconvergent_ladder(3)
+        rng = random.Random(11)
+        for _ in range(10):
+            vec = [rng.randint(0, 1) for _ in range(4)]
+            seed, ctls = vec[0], vec[1:]
+            expected = seed
+            for bit in ctls:
+                expected ^= bit
+            assert c.output_values(vec) == (expected,)
+
+
+class TestComparator:
+    def test_valid(self):
+        assert validate_circuit(comparator(4)) == []
+
+    def test_compares(self):
+        width = 4
+        c = comparator(width)
+        rng = random.Random(13)
+        for _ in range(30):
+            a = rng.randrange(1 << width)
+            b = rng.randrange(1 << width)
+            eq, gt = c.output_values(to_bits(a, width) + to_bits(b, width))
+            assert eq == int(a == b)
+            assert gt == int(a > b)
+
+
+class TestDecoder:
+    def test_valid(self):
+        assert validate_circuit(decoder(3)) == []
+
+    def test_one_hot(self):
+        width = 3
+        c = decoder(width)
+        for code in range(1 << width):
+            outs = c.output_values(to_bits(code, width))
+            assert sum(outs) == 1
+            assert outs[code] == 1
+
+
+class TestRandomDag:
+    def test_valid_across_profiles(self):
+        for profile in PROFILES:
+            c = random_dag(8, 40, seed=1, profile=profile)
+            assert validate_circuit(c) == [], profile
+
+    def test_deterministic(self):
+        a = random_dag(10, 60, seed=42)
+        b = random_dag(10, 60, seed=42)
+        assert write_bench(a) == write_bench(b)
+
+    def test_different_seeds_differ(self):
+        a = random_dag(10, 60, seed=1)
+        b = random_dag(10, 60, seed=2)
+        assert write_bench(a) != write_bench(b)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            random_dag(4, 4, seed=0, profile="nope")
+
+    def test_sizes(self):
+        c = random_dag(12, 100, seed=9)
+        assert len(c.inputs) == 12
+        assert c.num_gates == 100

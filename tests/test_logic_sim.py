@@ -1,0 +1,94 @@
+"""Unit tests for the bit-parallel two-valued logic simulators."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuit.generators import random_dag, ripple_carry_adder
+from repro.circuit.library import c17, paper_example
+from repro.sim.logic_sim import (
+    pack_vectors,
+    simulate_array,
+    simulate_batch,
+    simulate_words,
+)
+
+
+class TestPackVectors:
+    def test_lane_layout(self):
+        words = pack_vectors([[1, 0], [0, 1], [1, 1]])
+        assert words == [0b101, 0b110]
+
+    def test_empty(self):
+        assert pack_vectors([]) == []
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            pack_vectors([[1, 0], [1]])
+
+
+class TestSimulateWords:
+    @pytest.mark.parametrize("factory", [c17, paper_example])
+    def test_matches_reference_per_lane(self, factory):
+        circuit = factory()
+        rng = random.Random(1)
+        vectors = [
+            [rng.randint(0, 1) for _ in circuit.inputs] for _ in range(32)
+        ]
+        words = pack_vectors(vectors)
+        values = simulate_words(circuit, words, len(vectors))
+        for lane, vector in enumerate(vectors):
+            reference = circuit.evaluate(vector)
+            for gate in circuit.gates:
+                assert (values[gate.index] >> lane) & 1 == reference[gate.name], (
+                    gate.name,
+                    lane,
+                )
+
+    def test_wrong_input_count(self):
+        with pytest.raises(ValueError):
+            simulate_words(c17(), [0, 0], 1)
+
+    def test_batch_matches_outputs(self):
+        circuit = ripple_carry_adder(4)
+        rng = random.Random(2)
+        vectors = [
+            [rng.randint(0, 1) for _ in circuit.inputs] for _ in range(300)
+        ]
+        outputs = simulate_batch(circuit, vectors)
+        for vector, outs in zip(vectors[:20], outputs[:20]):
+            assert outs == circuit.output_values(vector)
+
+
+class TestSimulateArray:
+    def test_matches_word_simulation(self):
+        circuit = random_dag(10, 50, seed=3)
+        rng = random.Random(4)
+        vectors = [
+            [rng.randint(0, 1) for _ in circuit.inputs] for _ in range(128)
+        ]
+        # numpy layout: 2 words of 64 lanes
+        bits = np.zeros((len(circuit.inputs), 2), dtype=np.uint64)
+        for lane, vector in enumerate(vectors):
+            word, offset = divmod(lane, 64)
+            for i, bit in enumerate(vector):
+                if bit:
+                    bits[i, word] |= np.uint64(1) << np.uint64(offset)
+        array_values = simulate_array(circuit, bits)
+        words0 = pack_vectors(vectors[:64])
+        int_values = simulate_words(circuit, words0, 64)
+        for gate in circuit.gates:
+            assert int(array_values[gate.index, 0]) == int_values[gate.index]
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            simulate_array(c17(), np.zeros((2, 1), dtype=np.uint64))
+
+    def test_not_gate_masking(self):
+        # inverted values must not leak beyond 64 bits (uint64 wraps)
+        circuit = paper_example()
+        bits = np.zeros((4, 1), dtype=np.uint64)
+        values = simulate_array(circuit, bits)
+        t = circuit.index_of("t")  # NOT of p, p = OR(a,b) = 0 -> t = all ones
+        assert int(values[t, 0]) == 0xFFFFFFFFFFFFFFFF

@@ -1,0 +1,147 @@
+"""Reproduction fixtures for the paper's Figures 1 and 2.
+
+These tests pin the published walkthroughs: FPTPG on four paths of the
+example circuit (bit levels 0..3) and APTPG on path a-p-x with four
+alternatives.  They are the ground truth the examples print.
+"""
+
+import pytest
+
+from repro.circuit.library import paper_example
+from repro.core import FaultStatus
+from repro.core.aptpg import run_aptpg
+from repro.core.fptpg import run_fptpg
+from repro.core.sensitize import sensitize_nonrobust
+from repro.core.state import THREE_VALUED, TpgState
+from repro.paths import PathDelayFault, TestClass, Transition
+from repro.sim import DelayFaultSimulator
+
+
+@pytest.fixture
+def circuit():
+    return paper_example()
+
+
+@pytest.fixture
+def figure1_faults(circuit):
+    """The four paths of Figure 1, bit levels 0 through 3."""
+    return [
+        PathDelayFault.from_names(circuit, ("b", "p", "x"), Transition.RISING),
+        PathDelayFault.from_names(circuit, ("b", "q", "s", "x"), Transition.RISING),
+        PathDelayFault.from_names(circuit, ("c", "r", "s", "x"), Transition.RISING),
+        PathDelayFault.from_names(circuit, ("c", "r", "s", "y"), Transition.RISING),
+    ]
+
+
+class TestFigure1:
+    """FPTPG for 4 paths in parallel on bit levels 0..3 (L = 4)."""
+
+    def test_lane_outcomes_match_paper(self, circuit, figure1_faults):
+        out = run_fptpg(circuit, figure1_faults, TestClass.NONROBUST, width=4)
+        # "On bit level 2 and 3 all signal values are justified.
+        #  Hence, the two corresponding paths are tested."
+        assert out.statuses[2] is FaultStatus.TESTED
+        assert out.statuses[3] is FaultStatus.TESTED
+        # "On bit level 1 a conflict occurred ... the path is redundant."
+        assert out.statuses[1] is FaultStatus.REDUNDANT
+        # "On bit level 0 no conflict occurred, but the value 1 at
+        #  signal s is not yet justified ... a test pattern for path
+        #  b-p-x is found."
+        assert out.statuses[0] is FaultStatus.TESTED
+
+    def test_level0_backtrace_assigns_d(self, circuit, figure1_faults):
+        """'The result of the backtrace procedure is to assign a 1 to
+        input d.'"""
+        out = run_fptpg(circuit, figure1_faults, TestClass.NONROBUST, width=4)
+        pattern = out.patterns[0]
+        d_position = circuit.inputs.index(circuit.index_of("d"))
+        assert pattern.v2[d_position] == 1
+        assert out.decisions == 1  # a single backtrace suffced
+
+    def test_level1_conflict_before_decisions(self, circuit, figure1_faults):
+        """The redundancy proof must not rest on optional assignments."""
+        out = run_fptpg(circuit, figure1_faults, TestClass.NONROBUST, width=4)
+        assert out.state.conflict_mask & 0b0010
+        # the conflict emerged during the initial implications: the
+        # conflicting lane is exactly the redundant one
+        assert out.statuses[1] is FaultStatus.REDUNDANT
+
+    def test_subpath_redundancy_generalizes(self, circuit):
+        """'all paths containing this subpath are proved to be
+        redundant, too' — b-q-s with a rising b also dies via y."""
+        fault = PathDelayFault.from_names(
+            circuit, ("b", "q", "s", "y"), Transition.RISING
+        )
+        out = run_aptpg(circuit, fault, TestClass.NONROBUST, width=4)
+        assert out.status is FaultStatus.REDUNDANT
+
+    def test_all_patterns_detect_their_faults(self, circuit, figure1_faults):
+        out = run_fptpg(circuit, figure1_faults, TestClass.NONROBUST, width=4)
+        sim = DelayFaultSimulator(circuit, TestClass.NONROBUST)
+        for fault, status, pattern in zip(
+            figure1_faults, out.statuses, out.patterns
+        ):
+            if status is FaultStatus.TESTED:
+                assert sim.detects(pattern, fault), fault.describe(circuit)
+
+    def test_unused_lanes_do_not_disturb(self, circuit, figure1_faults):
+        """Running the same 4 faults in a 64-lane word changes nothing."""
+        out4 = run_fptpg(circuit, figure1_faults, TestClass.NONROBUST, width=4)
+        out64 = run_fptpg(circuit, figure1_faults, TestClass.NONROBUST, width=64)
+        assert out4.statuses == out64.statuses
+
+
+class TestFigure2:
+    """APTPG for path a-p-x with a falling transition at a (L = 4)."""
+
+    @pytest.fixture
+    def fault(self, circuit):
+        return PathDelayFault.from_names(circuit, ("a", "p", "x"), Transition.FALLING)
+
+    def test_path_is_tested(self, circuit, fault):
+        out = run_aptpg(circuit, fault, TestClass.NONROBUST, width=4)
+        assert out.status is FaultStatus.TESTED
+        assert out.backtracks == 0
+        sim = DelayFaultSimulator(circuit, TestClass.NONROBUST)
+        assert sim.detects(out.pattern, fault)
+
+    def test_four_alternatives_enumeration(self, circuit, fault):
+        """The literal figure: split both c and d over four lanes;
+        exactly the (c=0, d=0) alternative conflicts and the other
+        three levels are conflict-free — 'as there is at least one bit
+        level without conflict the path is tested'."""
+        state = TpgState(circuit, THREE_VALUED, 4)
+        for signal, planes in sensitize_nonrobust(circuit, fault, 0b1111):
+            state.assign(signal, planes)
+        state.imply()
+        assert state.conflict_mask == 0
+        state.assign(circuit.index_of("c"), (0b0011, 0b1100))
+        state.assign(circuit.index_of("d"), (0b0101, 0b1010))
+        state.imply()
+        assert state.conflict_mask == 0b0001  # only c=0, d=0 fails
+        assert state.all_justified_mask() == 0b1110
+
+    def test_single_bit_also_finds_it(self, circuit, fault):
+        out = run_aptpg(circuit, fault, TestClass.NONROBUST, width=1)
+        assert out.status is FaultStatus.TESTED
+
+
+class TestFigureRobustVariants:
+    """The same walkthroughs hold for robust generation."""
+
+    def test_figure1_robust(self, circuit, figure1_faults):
+        out = run_fptpg(circuit, figure1_faults, TestClass.ROBUST, width=4)
+        assert out.statuses[1] is FaultStatus.REDUNDANT
+        sim = DelayFaultSimulator(circuit, TestClass.ROBUST)
+        for fault, status, pattern in zip(
+            figure1_faults, out.statuses, out.patterns
+        ):
+            if status is FaultStatus.TESTED:
+                assert sim.detects(pattern, fault), fault.describe(circuit)
+
+    def test_figure2_robust(self, circuit):
+        fault = PathDelayFault.from_names(circuit, ("a", "p", "x"), Transition.FALLING)
+        out = run_aptpg(circuit, fault, TestClass.ROBUST, width=4)
+        assert out.status is FaultStatus.TESTED
+        sim = DelayFaultSimulator(circuit, TestClass.ROBUST)
+        assert sim.detects(out.pattern, fault)

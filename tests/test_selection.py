@@ -1,0 +1,73 @@
+"""Unit tests for fault-list construction strategies."""
+
+import pytest
+
+from repro.circuit.generators import ripple_carry_adder
+from repro.circuit.library import c17
+from repro.paths import (
+    all_faults,
+    count_faults,
+    describe_fault_universe,
+    fault_list,
+    longest_path_faults,
+    sampled_faults,
+)
+
+
+class TestStrategies:
+    def test_all_faults_uncapped(self):
+        c = c17()
+        assert len(all_faults(c)) == count_faults(c)
+
+    def test_all_faults_capped(self):
+        c = c17()
+        assert len(all_faults(c, cap=4)) == 4
+
+    def test_longest_path_faults(self):
+        c = ripple_carry_adder(4)
+        faults = longest_path_faults(c, 5)
+        assert len(faults) == 10  # two transitions per path
+        lengths = [f.length for f in faults[::2]]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_sampled_faults_deterministic(self):
+        c = ripple_carry_adder(4)
+        a = sampled_faults(c, 20, seed=3)
+        b = sampled_faults(c, 20, seed=3)
+        assert a == b
+        assert len(a) == 20
+
+    def test_sampled_faults_different_seeds(self):
+        c = ripple_carry_adder(4)
+        assert sampled_faults(c, 20, seed=1) != sampled_faults(c, 20, seed=2)
+
+    def test_sample_smaller_than_pool_returns_all(self):
+        c = c17()
+        total = count_faults(c)
+        assert len(sampled_faults(c, total + 50)) == total
+
+    def test_fault_list_dispatch(self):
+        c = c17()
+        assert len(fault_list(c, strategy="all")) == count_faults(c)
+        assert len(fault_list(c, cap=6, strategy="sample")) == 6
+        longest = fault_list(c, cap=6, strategy="longest")
+        assert len(longest) == 6
+
+    def test_fault_list_needs_cap_for_non_all(self):
+        c = c17()
+        with pytest.raises(ValueError, match="requires a cap"):
+            fault_list(c, strategy="sample")
+
+    def test_unknown_strategy(self):
+        c = c17()
+        with pytest.raises(ValueError, match="unknown strategy"):
+            fault_list(c, cap=4, strategy="bogus")
+
+    def test_describe_universe(self):
+        c = c17()
+        info = describe_fault_universe(c, cap=5)
+        assert info["total_faults"] == count_faults(c)
+        assert info["listed_faults"] == 5
+        assert info["capped"] is True
+        info = describe_fault_universe(c)
+        assert info["capped"] is False

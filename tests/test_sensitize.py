@@ -1,0 +1,136 @@
+"""Unit tests for path sensitization (nonrobust and robust)."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuit.library import paper_example
+from repro.core.sensitize import (
+    sensitization_is_trivial,
+    sensitize_nonrobust,
+    sensitize_robust,
+)
+from repro.logic import seven_valued as sv
+from repro.logic import three_valued as tv
+from repro.paths import PathDelayFault, Transition
+
+
+def as_dict(assignments):
+    merged = {}
+    for signal, planes in assignments:
+        if signal in merged:
+            merged[signal] = tuple(a | b for a, b in zip(merged[signal], planes))
+        else:
+            merged[signal] = planes
+    return merged
+
+
+class TestNonrobust:
+    def test_on_path_final_values(self):
+        c = paper_example()
+        fault = PathDelayFault.from_names(c, ("b", "p", "x"), Transition.RISING)
+        values = as_dict(sensitize_nonrobust(c, fault, 1))
+        assert values[c.index_of("b")] == tv.encode(1)
+        assert values[c.index_of("p")] == tv.encode(1)
+        assert values[c.index_of("x")] == tv.encode(1)
+
+    def test_off_path_noncontrolling(self):
+        c = paper_example()
+        fault = PathDelayFault.from_names(c, ("b", "p", "x"), Transition.RISING)
+        values = as_dict(sensitize_nonrobust(c, fault, 1))
+        # p = OR(a, b): off-path a must be 0; x = AND(p, s): s must be 1
+        assert values[c.index_of("a")] == tv.encode(0)
+        assert values[c.index_of("s")] == tv.encode(1)
+
+    def test_falling_inverts_finals(self):
+        c = paper_example()
+        fault = PathDelayFault.from_names(c, ("b", "p", "x"), Transition.FALLING)
+        values = as_dict(sensitize_nonrobust(c, fault, 1))
+        assert values[c.index_of("b")] == tv.encode(0)
+        assert values[c.index_of("x")] == tv.encode(0)
+
+    def test_inverting_gate_flips_parity(self):
+        c = paper_example()
+        fault = PathDelayFault.from_names(c, ("a", "p", "t", "y"), Transition.RISING)
+        values = as_dict(sensitize_nonrobust(c, fault, 1))
+        assert values[c.index_of("p")][1] == 1  # rising through OR: final 1
+        assert values[c.index_of("t")][0] == 1  # NOT inverts: final 0
+        assert values[c.index_of("y")][0] == 1
+
+    def test_lane_masking(self):
+        c = paper_example()
+        fault = PathDelayFault.from_names(c, ("b", "p", "x"), Transition.RISING)
+        values = as_dict(sensitize_nonrobust(c, fault, 0b100))
+        assert values[c.index_of("b")] == (0, 0b100)
+
+    def test_xor_off_path_fixed_to_zero(self):
+        b = CircuitBuilder("xor_path")
+        b.inputs("a", "b")
+        b.xor("y", "a", "b")
+        b.outputs("y")
+        c = b.build()
+        fault = PathDelayFault.from_names(c, ("a", "y"), Transition.RISING)
+        values = as_dict(sensitize_nonrobust(c, fault, 1))
+        assert values[c.index_of("b")] == tv.encode(0)
+
+
+class TestRobust:
+    def test_launch_value(self):
+        c = paper_example()
+        fault = PathDelayFault.from_names(c, ("b", "p", "x"), Transition.RISING)
+        values = as_dict(sensitize_robust(c, fault, 1))
+        assert values[c.index_of("b")] == sv.encode("R")
+
+    def test_off_path_stable_when_on_path_ends_noncontrolling(self):
+        c = paper_example()
+        # rising b through p = OR(a, b): on-path final 1 = controlling
+        # for OR -> off-path a needs only final 0 (U0)
+        # x = AND(p, s): on-path p final 1 = non-controlling -> s must
+        # be stable 1 (S1)
+        fault = PathDelayFault.from_names(c, ("b", "p", "x"), Transition.RISING)
+        values = as_dict(sensitize_robust(c, fault, 1))
+        assert values[c.index_of("a")] == sv.encode("U0")
+        assert values[c.index_of("s")] == sv.encode("S1")
+
+    def test_off_path_final_when_on_path_ends_controlling(self):
+        c = paper_example()
+        # falling b through p = OR: final 0 = non-controlling for OR ->
+        # off-path a must be stable 0; x = AND(p, s): p final 0 =
+        # controlling -> s needs final 1 only
+        fault = PathDelayFault.from_names(c, ("b", "p", "x"), Transition.FALLING)
+        values = as_dict(sensitize_robust(c, fault, 1))
+        assert values[c.index_of("a")] == sv.encode("S0")
+        assert values[c.index_of("s")] == sv.encode("U1")
+
+    def test_on_path_internal_signals_carry_final_value_only(self):
+        c = paper_example()
+        fault = PathDelayFault.from_names(c, ("b", "p", "x"), Transition.RISING)
+        values = as_dict(sensitize_robust(c, fault, 1))
+        assert values[c.index_of("p")] == sv.encode("U1")
+        assert values[c.index_of("x")] == sv.encode("U1")
+
+    def test_xor_off_path_stable_zero(self):
+        b = CircuitBuilder("xor_path")
+        b.inputs("a", "b")
+        b.xor("y", "a", "b")
+        b.outputs("y")
+        c = b.build()
+        fault = PathDelayFault.from_names(c, ("a", "y"), Transition.RISING)
+        values = as_dict(sensitize_robust(c, fault, 1))
+        assert values[c.index_of("b")] == sv.encode("S0")
+
+
+class TestTrivial:
+    def test_wire_chain_is_trivial(self):
+        b = CircuitBuilder("wires")
+        b.inputs("a")
+        b.not_("n", "a")
+        b.buf("y", "n")
+        b.outputs("y")
+        c = b.build()
+        fault = PathDelayFault.from_names(c, ("a", "n", "y"), Transition.RISING)
+        assert sensitization_is_trivial(c, fault)
+
+    def test_gate_path_is_not_trivial(self):
+        c = paper_example()
+        fault = PathDelayFault.from_names(c, ("b", "p", "x"), Transition.RISING)
+        assert not sensitization_is_trivial(c, fault)

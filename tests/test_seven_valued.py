@@ -1,0 +1,280 @@
+"""Tests of the 7-valued bit-plane logic (paper Table 2).
+
+The forward rules form a conservative hazard calculus; their claims
+are validated *semantically*: each 7-value denotes a family of
+concrete waveforms, and for every gate type and every combination of
+input values, each claim of the evaluated output value (final value,
+stability, instability) must hold for every sampled combination of
+concretization waveforms — including glitchy ones.
+"""
+
+import itertools
+
+import pytest
+
+from repro.circuit import GateType
+from repro.logic import seven_valued as sv
+from repro.sim.event_sim import TimingSimulator
+from repro.sim.waveform import Waveform
+
+GATES_2IN = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+VALUE_NAMES = ["S0", "S1", "R", "F", "U0", "U1", "X"]
+
+#: Adversarial concrete waveforms per 7-value: the calculus must be
+#: sound for *all* of them (times are arbitrary positive reals).
+CONCRETIZATIONS = {
+    "S0": [Waveform.constant(0)],
+    "S1": [Waveform.constant(1)],
+    "R": [Waveform.step(0, 1, 1.0), Waveform.step(0, 1, 3.0)],
+    "F": [Waveform.step(1, 0, 1.0), Waveform.step(1, 0, 3.0)],
+    "U0": [
+        Waveform.constant(0),
+        Waveform.step(1, 0, 2.0),
+        Waveform(0, ((1.0, 1), (2.5, 0))),  # 0-1-0 glitch
+    ],
+    "U1": [
+        Waveform.constant(1),
+        Waveform.step(0, 1, 2.0),
+        Waveform(1, ((1.0, 0), (2.5, 1))),  # 1-0-1 glitch
+    ],
+    "X": [
+        Waveform.constant(0),
+        Waveform.constant(1),
+        Waveform.step(0, 1, 2.0),
+        Waveform.step(1, 0, 2.0),
+        Waveform(0, ((1.0, 1), (2.5, 0))),
+        Waveform(1, ((1.0, 0), (2.5, 1))),
+    ],
+}
+
+
+def planes_for(names):
+    """Pack one named value per lane."""
+    acc = [0, 0, 0, 0]
+    for lane, name in enumerate(names):
+        pattern = sv.encode(name)
+        for k in range(4):
+            if pattern[k]:
+                acc[k] |= 1 << lane
+    return tuple(acc)
+
+
+class TestEncoding:
+    def test_paper_table2_exact(self):
+        # rows of Table 2: value / 0-bit / 1-bit / stable-bit / instable-bit
+        assert sv.encode("S0") == (1, 0, 1, 0)
+        assert sv.encode("S1") == (0, 1, 1, 0)
+        assert sv.encode("F") == (1, 0, 0, 1)
+        assert sv.encode("R") == (0, 1, 0, 1)
+        assert sv.encode("U0") == (1, 0, 0, 0)
+        assert sv.encode("U1") == (0, 1, 0, 0)
+        assert sv.encode("X") == (0, 0, 0, 0)
+
+    def test_conflict_rows(self):
+        # 0-bit & 1-bit set, or stable & instable set
+        assert sv.conflict((1, 1, 0, 0)) == 1
+        assert sv.conflict((0, 1, 1, 1)) == 1
+        assert sv.conflict((0, 1, 1, 0)) == 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            sv.encode("S2")
+
+    def test_decode_roundtrip(self):
+        for name in VALUE_NAMES:
+            assert sv.decode_lane(sv.encode(name), 0) == name
+
+    def test_decode_conflict(self):
+        assert sv.decode_lane((1, 1, 0, 0), 0) == "C"
+
+    def test_init_planes(self):
+        # S1 starts at 1, F starts at 1, R starts at 0, U0 unknown
+        i0, i1 = sv.init_planes(sv.encode("S1"))
+        assert (i0, i1) == (0, 1)
+        i0, i1 = sv.init_planes(sv.encode("F"))
+        assert (i0, i1) == (0, 1)
+        i0, i1 = sv.init_planes(sv.encode("R"))
+        assert (i0, i1) == (1, 0)
+        i0, i1 = sv.init_planes(sv.encode("U0"))
+        assert (i0, i1) == (0, 0)
+
+
+class TestForwardSemantics:
+    """Every claim of forward() must hold on all concretizations."""
+
+    @pytest.mark.parametrize("gate_type", GATES_2IN)
+    def test_two_input_gates(self, gate_type):
+        combos = list(itertools.product(VALUE_NAMES, repeat=2))
+        width = len(combos)
+        mask = (1 << width) - 1
+        a = planes_for([c[0] for c in combos])
+        b = planes_for([c[1] for c in combos])
+        out = sv.forward(gate_type, [a, b], mask)
+        for lane, combo in enumerate(combos):
+            self._check_claims(gate_type, combo, out, lane)
+
+    @pytest.mark.parametrize("gate_type", [GateType.AND, GateType.OR])
+    def test_three_input_gates(self, gate_type):
+        subset = ["S0", "S1", "R", "F", "U1", "X"]
+        combos = list(itertools.product(subset, repeat=3))
+        width = len(combos)
+        mask = (1 << width) - 1
+        planes = [planes_for([c[k] for c in combos]) for k in range(3)]
+        out = sv.forward(gate_type, planes, mask)
+        for lane, combo in enumerate(combos):
+            self._check_claims(gate_type, combo, out, lane, max_samples=2)
+
+    @staticmethod
+    def _check_claims(gate_type, combo, out, lane, max_samples=None):
+        bits = tuple((p >> lane) & 1 for p in out)
+        claims_final = 1 if bits[1] else (0 if bits[0] else None)
+        claims_stable = bool(bits[2])
+        claims_instable = bool(bits[3])
+        assert not (bits[0] and bits[1]), (gate_type, combo)
+        assert not (bits[2] and bits[3]), (gate_type, combo)
+        families = [
+            CONCRETIZATIONS[name][:max_samples] if max_samples else CONCRETIZATIONS[name]
+            for name in combo
+        ]
+        for waves in itertools.product(*families):
+            result = TimingSimulator._evaluate_gate(gate_type, list(waves), 0.0)
+            if claims_final is not None:
+                assert result.final == claims_final, (gate_type, combo, waves)
+            if claims_stable:
+                assert result.is_stable, (gate_type, combo, waves)
+            if claims_instable:
+                assert result.initial != result.final, (gate_type, combo, waves)
+
+    def test_not_inverts_value_keeps_stability(self):
+        for name, want in [("S0", "S1"), ("R", "F"), ("U1", "U0"), ("X", "X")]:
+            out = sv.forward(GateType.NOT, [sv.encode(name)], 1)
+            assert sv.decode_lane(out, 0) == want
+
+    def test_known_examples(self):
+        mask = 1
+        # AND(R, S1) propagates the rise
+        out = sv.forward(GateType.AND, [sv.encode("R"), sv.encode("S1")], mask)
+        assert sv.decode_lane(out, 0) == "R"
+        # AND(F, U1): final 0 but the transition is not provable
+        out = sv.forward(GateType.AND, [sv.encode("F"), sv.encode("U1")], mask)
+        assert sv.decode_lane(out, 0) == "U0"
+        # AND(anything, S0) is stable 0
+        for name in VALUE_NAMES:
+            out = sv.forward(GateType.AND, [sv.encode(name), sv.encode("S0")], mask)
+            assert sv.decode_lane(out, 0) == "S0"
+        # XOR(R, F): both change, final 1^0=... init 0^1=1, final 1^0=1,
+        # but a race can glitch: value is U1, never stable
+        out = sv.forward(GateType.XOR, [sv.encode("R"), sv.encode("F")], mask)
+        assert sv.decode_lane(out, 0) == "U1"
+        # XOR(R, R): init 0, final 0, possible pulse: U0
+        out = sv.forward(GateType.XOR, [sv.encode("R"), sv.encode("R")], mask)
+        assert sv.decode_lane(out, 0) == "U0"
+
+
+class TestForwardAgreesWithThreeValued:
+    """The final-value planes must match the 3-valued logic exactly."""
+
+    @pytest.mark.parametrize("gate_type", GATES_2IN)
+    def test_value_planes_match(self, gate_type):
+        from repro.logic import three_valued as tv
+
+        combos = list(itertools.product(VALUE_NAMES, repeat=2))
+        width = len(combos)
+        mask = (1 << width) - 1
+        a = planes_for([c[0] for c in combos])
+        b = planes_for([c[1] for c in combos])
+        out7 = sv.forward(gate_type, [a, b], mask)
+        out3 = tv.forward(gate_type, [(a[0], a[1]), (b[0], b[1])], mask)
+        assert out7[0] == out3[0]
+        assert out7[1] == out3[1]
+
+
+class TestBackward:
+    def test_and_stable_one_forces_stable_one_inputs(self):
+        out = sv.encode("S1")
+        adds = sv.backward(GateType.AND, out, [sv.X, sv.X], 1)
+        for add in adds:
+            assert add[1] == 1 and add[2] == 1  # final 1 + stable
+
+    def test_and_stable_zero_unique_implication(self):
+        # one input is rising (cannot be stable-0): the other must be S0
+        out = sv.encode("S0")
+        adds = sv.backward(GateType.AND, out, [sv.encode("R"), sv.X], 1)
+        assert adds[1][0] == 1 and adds[1][2] == 1
+
+    def test_and_falling_output_constrains_initials(self):
+        # output falls => all inputs initially 1: a known-final-0 input
+        # must be falling, a known-final-1 input must be stable
+        out = sv.encode("F")
+        adds = sv.backward(
+            GateType.AND, out, [sv.encode("U0"), sv.encode("U1")], 1
+        )
+        assert adds[0][3] == 1  # instable (falling)
+        assert adds[1][2] == 1  # stable at 1
+
+    def test_and_rising_output_with_stable_sibling(self):
+        out = sv.encode("R")
+        adds = sv.backward(GateType.AND, out, [sv.X, sv.encode("S1")], 1)
+        assert adds[0][1] == 1 and adds[0][3] == 1  # must rise
+
+    def test_or_stable_zero_forces_all(self):
+        out = sv.encode("S0")
+        adds = sv.backward(GateType.OR, out, [sv.X, sv.X], 1)
+        for add in adds:
+            assert add[0] == 1 and add[2] == 1
+
+    def test_nand_swaps_output_planes(self):
+        # NAND output S0 behaves like AND output S1
+        out = sv.encode("S0")
+        adds = sv.backward(GateType.NAND, out, [sv.X, sv.X], 1)
+        for add in adds:
+            assert add[1] == 1 and add[2] == 1
+
+    def test_xor_stable_output_forces_stable_inputs(self):
+        out = sv.encode("S1")
+        adds = sv.backward(GateType.XOR, out, [sv.X, sv.X], 1)
+        for add in adds:
+            assert add[2] == 1
+
+    def test_xor_instable_with_stable_sibling(self):
+        out = sv.encode("R")
+        adds = sv.backward(GateType.XOR, out, [sv.X, sv.encode("S0")], 1)
+        assert adds[0][3] == 1  # the free input carries the transition
+        assert adds[0][1] == 1  # and must end at 1 (parity completion)
+
+    def test_backward_consistent_with_forward(self):
+        """Re-implying the forward result must never create conflicts."""
+        for gate_type in GATES_2IN:
+            for a_name, b_name in itertools.product(VALUE_NAMES, repeat=2):
+                a = sv.encode(a_name)
+                b = sv.encode(b_name)
+                out = sv.forward(gate_type, [a, b], 1)
+                adds = sv.backward(gate_type, out, [a, b], 1)
+                merged_a = sv.merge(a, adds[0])
+                merged_b = sv.merge(b, adds[1])
+                assert sv.conflict(merged_a) == 0, (gate_type, a_name, b_name)
+                assert sv.conflict(merged_b) == 0, (gate_type, a_name, b_name)
+
+
+class TestUnjustified:
+    def test_stable_requirement_counts(self):
+        # output required S1, inputs only final-1: the stable bit is
+        # assigned but not implied -> unjustified
+        out = sv.encode("S1")
+        ins = [sv.encode("U1"), sv.encode("U1")]
+        assert sv.unjustified(GateType.AND, out, ins, 1) == 1
+        ins = [sv.encode("S1"), sv.encode("S1")]
+        assert sv.unjustified(GateType.AND, out, ins, 1) == 0
+
+    def test_value_only_requirement(self):
+        out = sv.encode("U0")
+        assert sv.unjustified(GateType.AND, out, [sv.X, sv.X], 1) == 1
+        assert sv.unjustified(GateType.AND, out, [sv.encode("U0"), sv.X], 1) == 0

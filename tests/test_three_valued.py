@@ -1,0 +1,200 @@
+"""Tests of the 3-valued bit-plane logic (paper Table 1).
+
+The forward rules are checked exhaustively against the 3-valued
+semantics (output bit known iff every completion of the X inputs
+agrees); the backward rules are checked against brute-force "forced in
+all consistent completions" computation, so unique implications are
+proven both sound and complete for this logic.
+"""
+
+import itertools
+
+import pytest
+
+from repro.circuit import GateType
+from repro.circuit.gates import evaluate
+from repro.logic import three_valued as tv
+
+GATES_2IN = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+VALUES = ["0", "1", "X"]
+
+
+def planes_of(symbols, width=None):
+    """Build plane words from per-lane value letters ('0', '1', 'X')."""
+    z = o = 0
+    for lane, s in enumerate(symbols):
+        if s == "0":
+            z |= 1 << lane
+        elif s == "1":
+            o |= 1 << lane
+    return (z, o)
+
+
+def completions(symbols):
+    """All 0/1 tuples consistent with per-input value letters."""
+    choices = [(0, 1) if s == "X" else (int(s),) for s in symbols]
+    return list(itertools.product(*choices))
+
+
+class TestEncoding:
+    def test_paper_table1_exact(self):
+        # logic value / 0-bit / 1-bit rows of Table 1
+        assert tv.encode(0) == (1, 0)
+        assert tv.encode(1) == (0, 1)
+        assert tv.X == (0, 0)
+        # conflict row: (1, 1) is not a value and flags a conflict
+        assert tv.conflict((1, 1)) == 1
+        assert tv.conflict((1, 0)) == 0
+        assert tv.conflict((0, 1)) == 0
+        assert tv.conflict((0, 0)) == 0
+
+    def test_encode_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            tv.encode(2)
+
+    def test_encode_word(self):
+        assert tv.encode_word(1, 0b101) == (0, 0b101)
+        assert tv.encode_word(0, 0b011) == (0b011, 0)
+
+    def test_decode_lane(self):
+        planes = (0b0101, 0b0110)
+        assert tv.decode_lane(planes, 0) == "0"
+        assert tv.decode_lane(planes, 1) == "1"
+        assert tv.decode_lane(planes, 2) == "C"
+        assert tv.decode_lane(planes, 3) == "X"
+
+    def test_known_and_merge(self):
+        a = tv.encode_word(0, 0b01)
+        b = tv.encode_word(1, 0b10)
+        merged = tv.merge(a, b)
+        assert tv.known(merged) == 0b11
+        assert tv.conflict(merged) == 0
+
+
+class TestForward:
+    @pytest.mark.parametrize("gate_type", GATES_2IN)
+    def test_exhaustive_two_inputs(self, gate_type):
+        """Forward must be exactly the 3-valued gate function, per lane."""
+        combos = list(itertools.product(VALUES, repeat=2))
+        width = len(combos)
+        mask = (1 << width) - 1
+        a = planes_of([c[0] for c in combos])
+        b = planes_of([c[1] for c in combos])
+        out = tv.forward(gate_type, [a, b], mask)
+        for lane, combo in enumerate(combos):
+            outcomes = {
+                evaluate(gate_type, list(bits)) for bits in completions(combo)
+            }
+            want = str(outcomes.pop()) if len(outcomes) == 1 else "X"
+            assert tv.decode_lane(out, lane) == want, (gate_type, combo)
+
+    @pytest.mark.parametrize("gate_type", [GateType.AND, GateType.OR, GateType.XOR])
+    def test_exhaustive_three_inputs(self, gate_type):
+        combos = list(itertools.product(VALUES, repeat=3))
+        width = len(combos)
+        mask = (1 << width) - 1
+        planes = [planes_of([c[k] for c in combos]) for k in range(3)]
+        out = tv.forward(gate_type, planes, mask)
+        for lane, combo in enumerate(combos):
+            outcomes = {
+                evaluate(gate_type, list(bits)) for bits in completions(combo)
+            }
+            want = str(outcomes.pop()) if len(outcomes) == 1 else "X"
+            assert tv.decode_lane(out, lane) == want, (gate_type, combo)
+
+    def test_not_and_buf(self):
+        planes = planes_of(["0", "1", "X"])
+        assert tv.forward(GateType.NOT, [planes], 0b111) == (planes[1], planes[0])
+        assert tv.forward(GateType.BUF, [planes], 0b111) == planes
+
+
+class TestBackward:
+    @pytest.mark.parametrize("gate_type", GATES_2IN)
+    @pytest.mark.parametrize("n_inputs", [2, 3])
+    def test_unique_implications_sound_and_complete(self, gate_type, n_inputs):
+        """Backward == bits forced in every consistent completion."""
+        for in_combo in itertools.product(VALUES, repeat=n_inputs):
+            for out_value in (0, 1):
+                inputs = [planes_of([s]) for s in in_combo]
+                output = tv.encode(out_value)
+                additions = tv.backward(gate_type, output, inputs, 1)
+                consistent = [
+                    bits
+                    for bits in completions(in_combo)
+                    if evaluate(gate_type, list(bits)) == out_value
+                ]
+                if not consistent:
+                    continue  # contradictory: any implication is moot
+                for i in range(n_inputs):
+                    observed = {bits[i] for bits in consistent}
+                    add_z, add_o = additions[i]
+                    implied = None
+                    if add_o & 1:
+                        implied = 1
+                    if add_z & 1:
+                        implied = 0 if implied is None else "C"
+                    if len(observed) == 1 and in_combo[i] == "X":
+                        forced = observed.pop()
+                        assert implied == forced, (
+                            gate_type,
+                            in_combo,
+                            out_value,
+                            i,
+                        )
+                    elif in_combo[i] == "X":
+                        assert implied is None, (gate_type, in_combo, out_value, i)
+
+    def test_not_backward(self):
+        adds = tv.backward(GateType.NOT, tv.encode(1), [tv.X], 1)
+        assert adds == [(1, 0)]  # output 1 -> input 0
+
+    def test_buf_backward(self):
+        adds = tv.backward(GateType.BUF, tv.encode(0), [tv.X], 1)
+        assert adds == [(1, 0)]
+
+    def test_and_all_ones(self):
+        inputs = [tv.X, tv.X, tv.X]
+        adds = tv.backward(GateType.AND, tv.encode(1), inputs, 1)
+        assert all(a == (0, 1) for a in adds)
+
+    def test_and_last_free_input_forced_zero(self):
+        inputs = [tv.encode(1), tv.encode(1), tv.X]
+        adds = tv.backward(GateType.AND, tv.encode(0), inputs, 1)
+        assert adds[2] == (1, 0)
+
+    def test_xor_parity_completion(self):
+        inputs = [tv.encode(1), tv.encode(0), tv.X]
+        adds = tv.backward(GateType.XOR, tv.encode(0), inputs, 1)
+        assert adds[2] == (0, 1)  # 1 ^ 0 ^ x = 0 -> x = 1
+
+
+class TestUnjustified:
+    def test_and_output_one_unjustified_until_inputs_known(self):
+        a, b = tv.X, tv.X
+        out = tv.encode(1)
+        assert tv.unjustified(GateType.AND, out, [a, b], 1) == 1
+        assert tv.unjustified(GateType.AND, out, [tv.encode(1), tv.encode(1)], 1) == 0
+
+    def test_or_output_one_justified_by_single_one(self):
+        out = tv.encode(1)
+        assert tv.unjustified(GateType.OR, out, [tv.encode(1), tv.X], 1) == 0
+        assert tv.unjustified(GateType.OR, out, [tv.encode(0), tv.X], 1) == 1
+
+    def test_unassigned_output_is_justified(self):
+        assert tv.unjustified(GateType.AND, tv.X, [tv.X, tv.X], 1) == 0
+
+    def test_per_lane_masking(self):
+        width = 2
+        mask = 0b11
+        out = (0, 0b11)  # output 1 in both lanes
+        a = (0, 0b01)  # input a known 1 only in lane 0
+        b = (0, 0b01)
+        assert tv.unjustified(GateType.AND, out, [a, b], mask) == 0b10

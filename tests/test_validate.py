@@ -1,0 +1,42 @@
+"""Unit tests for circuit validation."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError, assert_valid, validate_circuit
+from repro.circuit.library import EMBEDDED
+
+
+class TestValidate:
+    def test_all_embedded_circuits_valid(self):
+        for name, factory in EMBEDDED.items():
+            assert validate_circuit(factory()) == [], name
+
+    def test_unfrozen_flagged(self):
+        from repro.circuit import Circuit
+
+        c = Circuit()
+        c.add_input("a")
+        assert validate_circuit(c) == ["circuit is not frozen"]
+
+    def test_dangling_gate_flagged(self):
+        b = CircuitBuilder("dangle")
+        b.inputs("a", "b")
+        b.and_("used", "a", "b")
+        b.or_("unused", "a", "b")  # never feeds an output
+        b.outputs("used")
+        c = b.build()
+        problems = validate_circuit(c)
+        assert any("unused" in p and "output" in p for p in problems)
+
+    def test_assert_valid_passes_good(self):
+        c = EMBEDDED["c17"]()
+        assert assert_valid(c) is c
+
+    def test_assert_valid_raises_on_bad(self):
+        b = CircuitBuilder("dangle")
+        b.inputs("a", "b")
+        b.and_("used", "a", "b")
+        b.or_("unused", "a", "b")
+        b.outputs("used")
+        with pytest.raises(CircuitError, match="failed validation"):
+            assert_valid(b.build())

@@ -1,0 +1,64 @@
+"""Unit tests for the waveform representation."""
+
+import pytest
+
+from repro.sim.waveform import Waveform
+
+
+class TestConstruction:
+    def test_constant(self):
+        w = Waveform.constant(1)
+        assert w.initial == 1
+        assert w.final == 1
+        assert w.is_stable
+
+    def test_step(self):
+        w = Waveform.step(0, 1, 2.5)
+        assert w.initial == 0
+        assert w.final == 1
+        assert w.events == ((2.5, 1),)
+
+    def test_step_same_value_is_constant(self):
+        w = Waveform.step(1, 1, 2.0)
+        assert w.is_stable
+
+    def test_unsorted_events_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Waveform(0, ((2.0, 1), (1.0, 0)))
+
+    def test_non_changing_event_rejected(self):
+        with pytest.raises(ValueError, match="change"):
+            Waveform(0, ((1.0, 0),))
+
+    def test_from_changes_deduplicates(self):
+        w = Waveform.from_changes(0, [(1.0, 1), (2.0, 1), (3.0, 0)])
+        assert w.events == ((1.0, 1), (3.0, 0))
+
+    def test_from_changes_sorts(self):
+        w = Waveform.from_changes(0, [(3.0, 0), (1.0, 1)])
+        assert w.events == ((1.0, 1), (3.0, 0))
+        w = Waveform.from_changes(0, [(3.0, 1), (1.0, 1)])
+        assert w.events == ((1.0, 1),)
+
+
+class TestQueries:
+    def test_value_at(self):
+        w = Waveform(0, ((1.0, 1), (2.0, 0), (4.0, 1)))
+        assert w.value_at(0.5) == 0
+        assert w.value_at(1.0) == 1
+        assert w.value_at(3.0) == 0
+        assert w.value_at(10.0) == 1
+
+    def test_transition_count_and_times(self):
+        w = Waveform(0, ((1.0, 1), (2.0, 0)))
+        assert w.transition_count() == 2
+        assert w.last_event_time() == 2.0
+        assert Waveform.constant(0).last_event_time() == 0.0
+
+    def test_shifted(self):
+        w = Waveform(0, ((1.0, 1),)).shifted(2.0)
+        assert w.events == ((3.0, 1),)
+
+    def test_describe(self):
+        w = Waveform(1, ((1.5, 0),))
+        assert w.describe() == "1-(1.5)->0"
