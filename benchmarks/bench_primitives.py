@@ -12,7 +12,7 @@ import random
 import pytest
 
 from repro.circuit.suites import suite_circuit
-from repro.core import TestPattern
+from repro.core.patterns import random_patterns
 from repro.core.fptpg import run_fptpg
 from repro.core.state import THREE_VALUED, TpgState
 from repro.logic import three_valued as tv
@@ -55,17 +55,21 @@ def test_fptpg_batch_64_faults(benchmark, circuit):
 
 
 def test_ppsfp_simulation_64_patterns(benchmark, circuit):
-    rng = random.Random(6)
-    n = len(circuit.inputs)
-    patterns = [
-        TestPattern(
-            tuple(rng.randint(0, 1) for _ in range(n)),
-            tuple(rng.randint(0, 1) for _ in range(n)),
-        )
-        for _ in range(64)
-    ]
+    patterns = random_patterns(circuit, 64, seed=6)
     faults = fault_list(circuit, cap=128, strategy="all")
     simulator = DelayFaultSimulator(circuit, TestClass.ROBUST)
+
+    def run():
+        return simulator.detected_faults(patterns, faults)
+
+    benchmark(run)
+
+
+def test_ppsfp_batch_2048_patterns_numpy(benchmark, circuit):
+    """The multi-word bulk path: 2048 patterns in one numpy pass."""
+    patterns = random_patterns(circuit, 2048, seed=8)
+    faults = fault_list(circuit, cap=128, strategy="all")
+    simulator = DelayFaultSimulator(circuit, TestClass.ROBUST, backend="numpy")
 
     def run():
         return simulator.detected_faults(patterns, faults)

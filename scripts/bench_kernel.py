@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Regenerate BENCH_kernel.json: seed vs compiled-kernel PPSFP throughput.
+
+Thin wrapper over ``tip-bench-sim`` pinning the comparison the kernel
+refactor is gated on: robust-class PPSFP over the c880-scale generator
+suite rows, 4096-pattern batches, best of three runs.  Usage::
+
+    PYTHONPATH=src python scripts/bench_kernel.py [output.json]
+"""
+
+import sys
+
+from repro.cli import main_bench_sim
+
+CIRCUITS = ["c880", "c499", "c1908", "s1423"]
+
+
+def main() -> int:
+    out = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernel.json"
+    return main_bench_sim(
+        CIRCUITS
+        + ["--class", "robust", "--patterns", "4096", "--fault-cap", "128",
+           "--repeat", "3", "--json", out]
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,6 +67,10 @@ class Circuit:
     _fanout: Optional[List[Tuple[int, ...]]] = None
     _level: Optional[List[int]] = None
     _order: Optional[List[int]] = None
+    # excluded from __eq__/__repr__: holds a back-reference to self via
+    # CompiledCircuit.circuit, which would recurse, and numpy arrays,
+    # which have no scalar truth value
+    _compiled: Optional[object] = field(default=None, compare=False, repr=False)
 
     # ------------------------------------------------------------------
     # construction
@@ -109,7 +113,10 @@ class Circuit:
     def freeze(self) -> "Circuit":
         """Finalize the structure and compute the derived arrays.
 
-        Returns ``self`` so construction can be written fluently.
+        Freezing memoizes every derived view: fanout lists, levels,
+        the topological order, and (lazily, on first use) the compiled
+        kernel form returned by :meth:`compiled`.  Returns ``self`` so
+        construction can be written fluently.
         """
         if self._frozen:
             return self
@@ -119,6 +126,21 @@ class Circuit:
         self._compute_fanout()
         self._compute_levels()
         return self
+
+    def compiled(self):
+        """The cached :class:`repro.kernel.CompiledCircuit` lowering.
+
+        Compiled exactly once per frozen circuit; every simulator and
+        the TPG implication engine execute on this shared form instead
+        of re-walking the object graph.  Raises ``CircuitError`` when
+        the circuit is still mutable.
+        """
+        self._check_frozen()
+        if self._compiled is None:
+            from ..kernel.compiled import compile_circuit  # deferred: layering
+
+            self._compiled = compile_circuit(self)
+        return self._compiled
 
     # ------------------------------------------------------------------
     # accessors

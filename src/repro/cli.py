@@ -1,18 +1,26 @@
 """Command-line interface.
 
-Three entry points (also installed as console scripts):
+Four entry points, invoked as ``PYTHONPATH=src python -c "from
+repro.cli import main_<name>; main_<name>([...])"`` (no console
+scripts are registered — the setup shim carries no entry-point
+metadata):
 
 * ``tip-atpg`` — generate robust/nonrobust path delay tests for a
   circuit (a ``.bench`` file, an embedded circuit, or a suite name).
 * ``tip-paths`` — count/enumerate structural paths and faults.
 * ``tip-experiments`` — regenerate the paper's tables and figures.
+* ``tip-bench-sim`` — PPSFP throughput (patterns x faults / second)
+  of the compiled-kernel backends against the seed object-graph path.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import platform
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
 from .analysis import (
     render_table,
@@ -161,6 +169,150 @@ def main_paths(argv: Optional[List[str]] = None) -> int:
         print()
         for path in iter_paths(circuit, max_paths=args.list):
             print("-".join(circuit.signal_name(s) for s in path))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# tip-bench-sim
+# ---------------------------------------------------------------------------
+
+
+def bench_ppsfp(
+    circuit: Circuit,
+    test_class: TestClass,
+    n_patterns: int = 1024,
+    fault_cap: int = 128,
+    repeat: int = 3,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Time seed object-graph PPSFP against the compiled numpy kernel.
+
+    Both paths process the identical workload — every fault checked
+    against every pattern.  The seed path (preserved verbatim in
+    :mod:`repro.sim.reference`) simulates in one-machine-word chunks
+    of 64 lanes, exactly as the seed engine's drop loop did; the
+    kernel path streams the whole batch through
+    :class:`repro.kernel.NumpyWordBackend` in one pass.  Detection
+    masks are asserted equal lane-for-lane, so the speed-up is never
+    bought with a semantics change.  Throughput is patterns x faults
+    per second, best of *repeat* runs.
+    """
+    from .core.patterns import random_patterns
+    from .sim import DelayFaultSimulator
+    from .sim.reference import detected_faults_reference
+
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    faults = fault_list(circuit, cap=fault_cap, strategy="all")
+    patterns = random_patterns(circuit, n_patterns, seed)
+    work = len(patterns) * len(faults)
+
+    def run_seed() -> Dict:
+        merged = {fault: 0 for fault in faults}
+        for start in range(0, len(patterns), 64):
+            chunk = patterns[start : start + 64]
+            hits = detected_faults_reference(circuit, chunk, faults, test_class)
+            for fault, lanes in hits.items():
+                merged[fault] |= lanes << start
+        return merged
+
+    kernel_sim = DelayFaultSimulator(circuit, test_class, backend="numpy")
+
+    def run_kernel() -> Dict:
+        return kernel_sim.detected_faults(patterns, faults)
+
+    def best_of(fn) -> tuple:
+        best = float("inf")
+        result = None
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    seed_seconds, seed_masks = best_of(run_seed)
+    kernel_seconds, kernel_masks = best_of(run_kernel)
+    if seed_masks != kernel_masks:
+        raise AssertionError(
+            f"kernel and seed PPSFP disagree on {circuit.name}"
+        )
+    return {
+        "circuit": circuit.name,
+        "test_class": test_class.value,
+        "signals": circuit.num_signals,
+        "faults": len(faults),
+        "patterns": n_patterns,
+        "seed_seconds": round(seed_seconds, 6),
+        "kernel_seconds": round(kernel_seconds, 6),
+        "seed_throughput": round(work / seed_seconds, 1),
+        "kernel_throughput": round(work / kernel_seconds, 1),
+        "speedup": round(seed_seconds / kernel_seconds, 2),
+    }
+
+
+def main_bench_sim(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tip-bench-sim",
+        description=(
+            "PPSFP throughput: seed object-graph path vs compiled kernel "
+            "(patterns x faults per second)."
+        ),
+    )
+    parser.add_argument(
+        "circuits",
+        nargs="*",
+        default=["c880"],
+        help="circuit specs (default: the c880-scale generator suite row)",
+    )
+    parser.add_argument(
+        "--class",
+        dest="test_class",
+        choices=["robust", "nonrobust"],
+        default="robust",
+        help="detection conditions to simulate (default: robust)",
+    )
+    parser.add_argument("--patterns", type=int, default=4096, help="batch size")
+    parser.add_argument(
+        "--fault-cap", type=int, default=128, help="cap on the fault list"
+    )
+    parser.add_argument("--repeat", type=int, default=3, help="best-of runs")
+    parser.add_argument("--scale", type=int, default=1, help="suite circuit scale")
+    parser.add_argument(
+        "--json", dest="json_path", default=None, help="also write rows as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    test_class = (
+        TestClass.ROBUST if args.test_class == "robust" else TestClass.NONROBUST
+    )
+    rows = []
+    for spec in args.circuits:
+        circuit = resolve_circuit(spec, args.scale)
+        rows.append(
+            bench_ppsfp(
+                circuit,
+                test_class,
+                n_patterns=args.patterns,
+                fault_cap=args.fault_cap,
+                repeat=args.repeat,
+            )
+        )
+    print(
+        render_table(
+            rows, title="PPSFP throughput: seed object graph vs compiled kernel"
+        )
+    )
+    if args.json_path:
+        payload = {
+            "benchmark": "ppsfp_throughput",
+            "units": "patterns*faults/second",
+            "python": platform.python_version(),
+            "rows": rows,
+        }
+        with open(args.json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_path}")
     return 0
 
 

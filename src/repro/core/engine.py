@@ -46,6 +46,9 @@ class TpgOptions:
             sends every fault straight to APTPG and vice versa.
         unique_backward: apply unique backward implications (see
             :class:`repro.core.state.TpgState`).
+        sim_backend: word backend of the PPSFP drop simulator
+            (``"auto"``, ``"int"`` or ``"numpy"``; see
+            :class:`repro.sim.delay_sim.DelayFaultSimulator`).
     """
 
     width: int = DEFAULT_WORD_LENGTH
@@ -54,6 +57,7 @@ class TpgOptions:
     use_fptpg: bool = True
     use_aptpg: bool = True
     unique_backward: bool = True
+    sim_backend: str = "auto"
 
 
 def generate_tests(
@@ -77,8 +81,12 @@ def generate_tests(
     if not faults:
         return report
 
+    # Lower the netlist once; every stage below — sensitization,
+    # implication, PPSFP dropping — executes on the shared compiled
+    # kernel rather than the circuit object graph.
+    circuit.compiled()
     controllability = compute_controllability(circuit)
-    simulator = DelayFaultSimulator(circuit, test_class)
+    simulator = DelayFaultSimulator(circuit, test_class, backend=options.sim_backend)
     records: Dict[int, FaultRecord] = {}
     pending: List[int] = list(range(len(faults)))
     aptpg_queue: List[int] = []

@@ -13,6 +13,7 @@ and simulation-ready.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -89,6 +90,27 @@ def extract_pattern(
         launched[position] = 1 - pattern.v2[position]
         pattern = TestPattern(tuple(launched), pattern.v2, fault)
     return pattern
+
+
+def random_patterns(
+    circuit: Circuit, count: int, seed: int = 0
+) -> List[TestPattern]:
+    """Deterministic random two-vector tests (benchmark/test workloads).
+
+    The single source of the synthetic PPSFP workload used by
+    ``tip-bench-sim``, the pytest benchmarks, and the kernel
+    cross-check tests, so all three exercise identical batches for a
+    given seed.
+    """
+    rng = random.Random(seed)
+    n = len(circuit.inputs)
+    return [
+        TestPattern(
+            tuple(rng.randint(0, 1) for _ in range(n)),
+            tuple(rng.randint(0, 1) for _ in range(n)),
+        )
+        for _ in range(count)
+    ]
 
 
 @dataclass

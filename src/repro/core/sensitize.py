@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..circuit import Circuit, GateType, controlling_value, inverts
+from ..circuit import Circuit, GateType
 from ..circuit.gates import XOR_LIKE
 from ..logic import seven_valued, three_valued
 from ..paths import PathDelayFault
@@ -55,15 +55,15 @@ def xor_side_signals(circuit: Circuit, fault: PathDelayFault) -> List[int]:
     each may be fixed to 0 or 1 and both choices propagate the
     transition (with opposite polarity downstream).
     """
+    compiled = circuit.compiled()
     sides: List[int] = []
     for position, signal in enumerate(fault.signals):
         if position == 0:
             continue
-        gate = circuit.gates[signal]
-        if gate.gate_type not in XOR_LIKE:
+        if compiled.gate_types[signal] not in XOR_LIKE:
             continue
         on_path_input = fault.signals[position - 1]
-        for fanin_signal in gate.fanin:
+        for fanin_signal in compiled.py_fanin[signal]:
             if fanin_signal != on_path_input and fanin_signal not in sides:
                 sides.append(fanin_signal)
     return sides
@@ -80,18 +80,19 @@ def path_final_values(
     side inputs fixed to 1, each of which flips the propagating
     transition once more.
     """
+    compiled = circuit.compiled()
     sides = xor_sides or {}
     value = fault.transition.final
     finals = [value]
     for position, signal in enumerate(fault.signals):
         if position == 0:
             continue
-        gate = circuit.gates[signal]
-        if inverts(gate.gate_type):
+        gate_type = compiled.gate_types[signal]
+        if compiled.inverting[signal]:
             value = 1 - value
-        if gate.gate_type in XOR_LIKE:
+        if gate_type in XOR_LIKE:
             on_path_input = fault.signals[position - 1]
-            for fanin_signal in gate.fanin:
+            for fanin_signal in compiled.py_fanin[signal]:
                 if fanin_signal != on_path_input and sides.get(fanin_signal, 0):
                     value = 1 - value
         finals.append(value)
@@ -105,6 +106,7 @@ def sensitize_nonrobust(
     xor_sides: Optional[Dict[int, int]] = None,
 ) -> List[Assignment]:
     """3-valued sensitization assignments for *fault* in lane mask *lanes*."""
+    compiled = circuit.compiled()
     assignments: List[Assignment] = []
     sides = xor_sides or {}
     finals = path_final_values(circuit, fault, sides)
@@ -114,10 +116,9 @@ def sensitize_nonrobust(
         )
         if position == 0:
             continue
-        gate = circuit.gates[signal]
         on_path_input = fault.signals[position - 1]
-        nc = controlling_value(gate.gate_type)
-        for fanin_signal in gate.fanin:
+        nc = compiled.controlling[signal]
+        for fanin_signal in compiled.py_fanin[signal]:
             if fanin_signal == on_path_input:
                 continue
             if nc is None:  # XOR-like: fix the side to its chosen polarity
@@ -147,6 +148,7 @@ def sensitize_robust(
     effect being propagated — its instability is established by the
     off-path conditions, not justified like a required value).
     """
+    compiled = circuit.compiled()
     assignments: List[Assignment] = []
     sides = xor_sides or {}
     finals = path_final_values(circuit, fault, sides)
@@ -160,10 +162,9 @@ def sensitize_robust(
         assignments.append(
             (signal, seven_valued.encode_word(f"U{finals[position]}", lanes))
         )
-        gate = circuit.gates[signal]
         on_path_input = fault.signals[position - 1]
         on_path_final = finals[position - 1]
-        control = controlling_value(gate.gate_type)
+        control = compiled.controlling[signal]
         if control is None:
             off_value = None  # per-side choice below (stable at polarity)
         else:
@@ -172,7 +173,7 @@ def sensitize_robust(
                 off_value = f"S{nc}"  # ends non-controlling: must be stable
             else:
                 off_value = f"U{nc}"  # ends controlling: final value suffices
-        for fanin_signal in gate.fanin:
+        for fanin_signal in compiled.py_fanin[signal]:
             if fanin_signal == on_path_input:
                 continue
             if off_value is None:
@@ -191,7 +192,7 @@ def sensitization_is_trivial(circuit: Circuit, fault: PathDelayFault) -> bool:
     Such paths (every on-path gate is BUF/NOT) have no off-path inputs
     at all: any transition at the input is a test.
     """
+    gate_types = circuit.compiled().gate_types
     return all(
-        circuit.gates[s].gate_type in (GateType.BUF, GateType.NOT)
-        for s in fault.signals[1:]
+        gate_types[s] in (GateType.BUF, GateType.NOT) for s in fault.signals[1:]
     )

@@ -100,6 +100,7 @@ class TpgState:
         use_backward: bool = True,
     ):
         self.circuit = circuit
+        self.compiled = circuit.compiled()
         self.algebra = algebra
         self.width = width
         self.use_backward = use_backward
@@ -168,42 +169,49 @@ class TpgState:
         Processes one worklist of gates; for each gate the forward
         evaluation is merged into the output and the unique backward
         implications into the inputs — all lanes at once.  Stops early
-        if every lane is already conflicted.
+        if every lane is already conflicted.  Gate structure is read
+        from the compiled kernel arrays, not the object graph.
         """
-        gates = self.circuit.gates
+        compiled = self.compiled
+        gate_types = compiled.gate_types
+        fanins = compiled.py_fanin
+        is_input = compiled.is_input
+        planes = self.planes
         mask = self.mask
         forward = self.algebra.forward
         backward = self.algebra.backward
         while self._queue:
             if stop_when_all_conflicted and self.conflict_mask == mask:
                 self._queue.clear()
-                self._queued = [False] * self.circuit.num_signals
+                self._queued = [False] * compiled.n_signals
                 break
             signal = self._queue.popleft()
             self._queued[signal] = False
-            gate = gates[signal]
-            if gate.is_input:
+            if is_input[signal]:
                 continue
             self.implication_passes += 1
-            ins = [self.planes[f] for f in gate.fanin]
-            fwd = forward(gate.gate_type, ins, mask)
+            gate_type = gate_types[signal]
+            fanin = fanins[signal]
+            ins = [planes[f] for f in fanin]
+            fwd = forward(gate_type, ins, mask)
             self.assign(signal, fwd)
             if self.use_backward:
-                out = self.planes[signal]
+                out = planes[signal]
                 for fanin_signal, add in zip(
-                    gate.fanin, backward(gate.gate_type, out, ins, mask)
+                    fanin, backward(gate_type, out, ins, mask)
                 ):
                     self.assign(fanin_signal, add)
         return self.conflict_mask
 
     def _enqueue_around(self, signal: int) -> None:
         """Schedule the driver of *signal* and its fanout gates."""
-        if not self._queued[signal] and not self.circuit.gates[signal].is_input:
-            self._queued[signal] = True
+        queued = self._queued
+        if not queued[signal] and not self.compiled.is_input[signal]:
+            queued[signal] = True
             self._queue.append(signal)
-        for f in self.circuit.fanout(signal):
-            if not self._queued[f]:
-                self._queued[f] = True
+        for f in self.compiled.py_fanout[signal]:
+            if not queued[f]:
+                queued[f] = True
                 self._queue.append(f)
 
     # ------------------------------------------------------------------
@@ -211,12 +219,14 @@ class TpgState:
     # ------------------------------------------------------------------
     def unjustified_lanes(self, signal: int) -> int:
         """Lane mask where *signal*'s assigned value is not justified."""
-        gate = self.circuit.gates[signal]
-        if gate.is_input:
+        compiled = self.compiled
+        if compiled.is_input[signal]:
             return 0
-        ins = [self.planes[f] for f in gate.fanin]
+        ins = [self.planes[f] for f in compiled.py_fanin[signal]]
         return (
-            self.algebra.unjustified(gate.gate_type, self.planes[signal], ins, self.mask)
+            self.algebra.unjustified(
+                compiled.gate_types[signal], self.planes[signal], ins, self.mask
+            )
             & ~self.conflict_mask
         )
 
@@ -229,23 +239,23 @@ class TpgState:
         result: List[Tuple[int, int]] = []
         if not live:
             return result
-        for gate in self.circuit.gates:
-            if gate.is_input:
+        for index, is_input in enumerate(self.compiled.is_input):
+            if is_input:
                 continue
-            m = self.unjustified_lanes(gate.index) & live
+            m = self.unjustified_lanes(index) & live
             if m:
-                result.append((gate.index, m))
+                result.append((index, m))
         return result
 
     def all_justified_mask(self) -> int:
         """Lanes that are conflict-free and completely justified."""
         live = self.mask & ~self.conflict_mask
-        for gate in self.circuit.gates:
+        for index, is_input in enumerate(self.compiled.is_input):
             if not live:
                 break
-            if gate.is_input:
+            if is_input:
                 continue
-            live &= ~self.unjustified_lanes(gate.index)
+            live &= ~self.unjustified_lanes(index)
         return live
 
     # ------------------------------------------------------------------

@@ -1,0 +1,63 @@
+"""Compiled netlist kernel: one levelized execution substrate.
+
+The layers (see ARCHITECTURE.md):
+
+* :mod:`repro.kernel.compiled` — :class:`CompiledCircuit`, the frozen
+  circuit lowered once into flat arrays (gate-type codes, CSR
+  fanin/fanout, level buckets, cached topological order, I/O index
+  vectors) plus the evaluation plan every simulator executes.
+* :mod:`repro.kernel.packed` — :class:`PackedPatterns`, arbitrarily
+  many two-vector tests as numpy ``uint64`` lane-plane arrays.
+* :mod:`repro.kernel.backends` — the pluggable word backends:
+  :class:`IntWordBackend` (Python-int words, the TPG state machine's
+  representation) and :class:`NumpyWordBackend` (multi-word uint64
+  bulk simulation).
+"""
+
+from .backends import (
+    IntWordBackend,
+    NumpyWordBackend,
+    WordBackend,
+    backend_for,
+    eval_gate_word,
+)
+from .compiled import (
+    CODE_AND,
+    CODE_BUF,
+    CODE_INPUT,
+    CODE_NAND,
+    CODE_NOR,
+    CODE_NOT,
+    CODE_OR,
+    CODE_XNOR,
+    CODE_XOR,
+    GATE_CODES,
+    CompiledCircuit,
+    compile_circuit,
+)
+from .packed import FULL_WORD, PackedPatterns, int_to_words, pack_bits, words_to_int
+
+__all__ = [
+    "CODE_AND",
+    "CODE_BUF",
+    "CODE_INPUT",
+    "CODE_NAND",
+    "CODE_NOR",
+    "CODE_NOT",
+    "CODE_OR",
+    "CODE_XNOR",
+    "CODE_XOR",
+    "FULL_WORD",
+    "GATE_CODES",
+    "CompiledCircuit",
+    "IntWordBackend",
+    "NumpyWordBackend",
+    "PackedPatterns",
+    "WordBackend",
+    "backend_for",
+    "compile_circuit",
+    "eval_gate_word",
+    "int_to_words",
+    "pack_bits",
+    "words_to_int",
+]

@@ -1,0 +1,233 @@
+"""Pluggable word backends executing the compiled evaluation plan.
+
+Two execution strategies share one compiled netlist
+(:class:`repro.kernel.compiled.CompiledCircuit`):
+
+* :class:`IntWordBackend` — Python integers as lane words.  Arbitrary
+  lane count in a single "word" (CPython ints are arbitrary
+  precision), zero dependencies, and the fastest option for the small
+  widths the TPG state machine works at (L = 32/64).
+* :class:`NumpyWordBackend` — numpy ``uint64`` arrays, one 64-lane
+  word per element.  Per-gate cost is amortized over every word, so
+  thousand-pattern batches stream through the netlist at a fraction of
+  the per-pattern cost; this is the bulk-simulation backend behind
+  batched PPSFP and ``tip-bench-sim``.
+
+Both backends execute the same plan with the same semantics and are
+cross-checked against each other and against the naive
+:meth:`repro.circuit.Circuit.evaluate` reference in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..logic import seven_valued
+from ..logic.words import mask_for
+from .compiled import (
+    CODE_AND,
+    CODE_BUF,
+    CODE_NAND,
+    CODE_NOR,
+    CODE_NOT,
+    CODE_OR,
+    CODE_XNOR,
+    CODE_XOR,
+    CompiledCircuit,
+)
+from .packed import FULL_WORD, lane_valid_words
+
+#: A 7-valued plane tuple in either representation (ints or arrays).
+PlanesLike = Tuple
+
+
+def eval_gate_word(code: int, values, fanin: Tuple[int, ...], mask: int) -> int:
+    """One plan step over Python-int lane words.
+
+    Shared by the int backend's full-netlist pass and the stuck-at
+    simulator's cone resimulation so the gate semantics live in one
+    place.  Raises on unknown codes: a gate type added to the compiled
+    plan without a rule here must fail loudly, not evaluate wrongly.
+    """
+    if code == CODE_AND or code == CODE_NAND:
+        word = values[fanin[0]]
+        for f in fanin[1:]:
+            word &= values[f]
+        if code == CODE_NAND:
+            word = ~word & mask
+    elif code == CODE_OR or code == CODE_NOR:
+        word = values[fanin[0]]
+        for f in fanin[1:]:
+            word |= values[f]
+        if code == CODE_NOR:
+            word = ~word & mask
+    elif code == CODE_XOR or code == CODE_XNOR:
+        word = values[fanin[0]]
+        for f in fanin[1:]:
+            word ^= values[f]
+        if code == CODE_XNOR:
+            word = ~word & mask
+    elif code == CODE_BUF:
+        word = values[fanin[0]]
+    elif code == CODE_NOT:
+        word = ~values[fanin[0]] & mask
+    else:
+        raise ValueError(f"unhandled gate code {code}")
+    return word
+
+
+class IntWordBackend:
+    """Execute the plan over Python-int lane words of a fixed width."""
+
+    kind = "int"
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise ValueError("word length must be >= 1")
+        self.width = width
+        self.mask = mask_for(width)
+
+    # ------------------------------------------------------------------
+    def simulate_logic(
+        self, compiled: CompiledCircuit, input_words: Sequence[int]
+    ) -> List[int]:
+        """Two-valued simulation; returns one lane word per signal."""
+        if len(input_words) != compiled.n_inputs:
+            raise ValueError(
+                f"expected {compiled.n_inputs} input words, got {len(input_words)}"
+            )
+        mask = self.mask
+        values = [0] * compiled.n_signals
+        for pi, word in zip(compiled.py_inputs, input_words):
+            values[pi] = word & mask
+        for code, out, fanin, _gt in compiled.plan:
+            values[out] = eval_gate_word(code, values, fanin, mask)
+        return values
+
+    def simulate_planes7(
+        self, compiled: CompiledCircuit, input_planes: Sequence[PlanesLike]
+    ) -> List[PlanesLike]:
+        """Forward 7-valued simulation from per-input plane tuples."""
+        if len(input_planes) != compiled.n_inputs:
+            raise ValueError(
+                f"expected {compiled.n_inputs} input planes, got {len(input_planes)}"
+            )
+        mask = self.mask
+        x = seven_valued.X
+        values: List[PlanesLike] = [x] * compiled.n_signals
+        for pi, planes in zip(compiled.py_inputs, input_planes):
+            values[pi] = planes
+        forward = seven_valued.forward
+        for _code, out, fanin, gate_type in compiled.plan:
+            values[out] = forward(gate_type, [values[f] for f in fanin], mask)
+        return values
+
+
+class NumpyWordBackend:
+    """Execute the plan over numpy uint64 multi-word lane arrays."""
+
+    kind = "numpy"
+
+    def __init__(self, n_lanes: int):
+        self.lane_valid = lane_valid_words(n_lanes)
+        self.n_lanes = n_lanes
+        self.n_words = len(self.lane_valid)
+        self.full = FULL_WORD
+
+    # ------------------------------------------------------------------
+    def simulate_logic(
+        self, compiled: CompiledCircuit, input_bits: np.ndarray
+    ) -> np.ndarray:
+        """Two-valued simulation over ``(n_inputs, n_words)`` uint64 bits.
+
+        Returns ``(n_signals, n_words)`` lane words; padding lanes in
+        the last word carry unspecified values (mask with
+        :attr:`lane_valid` before counting).
+        """
+        input_bits = np.asarray(input_bits, dtype=np.uint64)
+        if input_bits.ndim == 1:
+            input_bits = input_bits[:, None]
+        if input_bits.shape[0] != compiled.n_inputs:
+            raise ValueError(
+                f"expected {compiled.n_inputs} input rows, got {input_bits.shape[0]}"
+            )
+        n_words = input_bits.shape[1]
+        full = self.full
+        values = np.zeros((compiled.n_signals, n_words), dtype=np.uint64)
+        values[compiled.input_index] = input_bits
+        for code, out, fanin, _gt in compiled.plan:
+            if code == CODE_AND or code == CODE_NAND:
+                word = values[fanin[0]].copy()
+                for f in fanin[1:]:
+                    word &= values[f]
+                if code == CODE_NAND:
+                    word ^= full
+            elif code == CODE_OR or code == CODE_NOR:
+                word = values[fanin[0]].copy()
+                for f in fanin[1:]:
+                    word |= values[f]
+                if code == CODE_NOR:
+                    word ^= full
+            elif code == CODE_XOR or code == CODE_XNOR:
+                word = values[fanin[0]].copy()
+                for f in fanin[1:]:
+                    word ^= values[f]
+                if code == CODE_XNOR:
+                    word ^= full
+            elif code == CODE_BUF:
+                word = values[fanin[0]].copy()
+            elif code == CODE_NOT:
+                word = values[fanin[0]] ^ full
+            else:
+                raise ValueError(f"unhandled gate code {code}")
+            values[out] = word
+        return values
+
+    def simulate_planes7(
+        self, compiled: CompiledCircuit, input_planes: Sequence[PlanesLike]
+    ) -> List[PlanesLike]:
+        """Forward 7-valued simulation with array-valued planes.
+
+        The plane calculus of :mod:`repro.logic.seven_valued` is pure
+        bitwise arithmetic, so the very same rules evaluate uint64
+        arrays element-wise; the all-lanes mask becomes the all-ones
+        word.  Padding lanes stay ``X`` end to end because the input
+        planes leave them all-zero.
+        """
+        if len(input_planes) != compiled.n_inputs:
+            raise ValueError(
+                f"expected {compiled.n_inputs} input planes, got {len(input_planes)}"
+            )
+        zero = np.zeros(self.n_words, dtype=np.uint64)
+        x = (zero, zero, zero, zero)
+        values: List[PlanesLike] = [x] * compiled.n_signals
+        for pi, planes in zip(compiled.py_inputs, input_planes):
+            values[pi] = planes
+        forward = seven_valued.forward
+        full = self.full
+        for _code, out, fanin, gate_type in compiled.plan:
+            values[out] = forward(gate_type, [values[f] for f in fanin], full)
+        return values
+
+
+WordBackend = Union[IntWordBackend, NumpyWordBackend]
+
+
+def backend_for(n_lanes: int, prefer: str = "auto") -> WordBackend:
+    """Choose a backend for an *n_lanes*-wide batch.
+
+    ``prefer`` is ``"int"``, ``"numpy"`` or ``"auto"`` (numpy once the
+    batch exceeds one machine word — the crossover where per-gate
+    numpy overhead is amortized).
+    """
+    if prefer == "int":
+        return IntWordBackend(n_lanes)
+    if prefer == "numpy":
+        return NumpyWordBackend(n_lanes)
+    if prefer != "auto":
+        raise ValueError(f"unknown backend preference {prefer!r}")
+    if n_lanes > 64:
+        return NumpyWordBackend(n_lanes)
+    return IntWordBackend(n_lanes)

@@ -1,0 +1,141 @@
+"""Packed pattern containers: arbitrarily many tests as uint64 planes.
+
+The paper packs ``L`` patterns into the ``L`` bit lanes of one machine
+word.  :class:`PackedPatterns` generalizes this kyupy-style: ``n``
+two-vector tests are stored as numpy ``uint64`` lane-plane arrays of
+shape ``(n_inputs, n_words)`` with pattern ``k`` living in bit
+``k % 64`` of word ``k // 64`` — so a batch is no longer limited to
+one machine word and the numpy backend can stream thousands of
+patterns through the compiled netlist in one topological pass.
+
+Lane numbering matches :mod:`repro.logic.words`: the Python-int lane
+mask of a packed quantity is simply the little-endian concatenation of
+its words (:func:`words_to_int`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: All 64 lanes of one word.
+FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def words_to_int(words: np.ndarray) -> int:
+    """Little-endian concatenation of uint64 lane words into one int.
+
+    Lane ``k`` of the result is bit ``k % 64`` of ``words[k // 64]`` —
+    the Python-int view used throughout the TPG state.
+    """
+    return int.from_bytes(np.ascontiguousarray(words, dtype="<u8").tobytes(), "little")
+
+
+def int_to_words(value: int, n_words: int) -> np.ndarray:
+    """Inverse of :func:`words_to_int` (value must fit in *n_words*)."""
+    return (
+        np.frombuffer(value.to_bytes(8 * n_words, "little"), dtype="<u8")
+        .astype(np.uint64)
+    )
+
+
+def lane_valid_words(n_lanes: int) -> np.ndarray:
+    """Per-word mask of valid lanes for an *n_lanes*-wide batch.
+
+    Full words are all-ones; the tail of the last word (padding lanes
+    past ``n_lanes``) is cleared.  The single source of the padding
+    semantics shared by :class:`PackedPatterns` and
+    :class:`repro.kernel.backends.NumpyWordBackend`.
+    """
+    if n_lanes < 1:
+        raise ValueError("need at least one lane")
+    n_words = -(-n_lanes // 64)
+    mask = np.full(n_words, FULL_WORD, dtype=np.uint64)
+    tail = n_lanes % 64
+    if tail:
+        mask[-1] = np.uint64((1 << tail) - 1)
+    return mask
+
+
+def pack_bits(rows: np.ndarray) -> np.ndarray:
+    """Pack a (n_patterns, n_columns) 0/1 array into uint64 lane words.
+
+    Returns shape ``(n_columns, n_words)`` with pattern ``k`` in lane
+    ``k`` (bit ``k % 64`` of word ``k // 64``).
+    """
+    n_patterns, n_columns = rows.shape
+    n_words = max(1, -(-n_patterns // 64))
+    padded = np.zeros((n_columns, n_words * 64), dtype=np.uint8)
+    padded[:, :n_patterns] = rows.T
+    packed = np.packbits(padded, axis=1, bitorder="little")
+    # explicit little-endian view so lane k lands in bit k % 64 of word
+    # k // 64 regardless of host byte order
+    return np.ascontiguousarray(packed).view("<u8").astype(np.uint64)
+
+
+@dataclass(frozen=True)
+class PackedPatterns:
+    """``n`` two-vector tests packed into per-input uint64 lane planes.
+
+    Attributes:
+        v1: initial-vector bits, shape ``(n_inputs, n_words)``.
+        v2: final-vector bits, same shape.
+        n_patterns: number of valid lanes (the tail of the last word
+            is padding and masked off by :meth:`lane_valid`).
+    """
+
+    v1: np.ndarray
+    v2: np.ndarray
+    n_patterns: int
+
+    @classmethod
+    def from_patterns(cls, patterns: Sequence) -> "PackedPatterns":
+        """Pack PatternLike objects (``.v1``/``.v2`` input tuples)."""
+        if not patterns:
+            raise ValueError("cannot pack an empty pattern batch")
+        a = np.asarray([p.v1 for p in patterns], dtype=np.uint8)
+        b = np.asarray([p.v2 for p in patterns], dtype=np.uint8)
+        return cls(v1=pack_bits(a), v2=pack_bits(b), n_patterns=len(patterns))
+
+    @classmethod
+    def from_vectors(cls, vectors: Sequence[Sequence[int]]) -> "PackedPatterns":
+        """Pack single-vector tests (V1 == V2, no transitions)."""
+        if not vectors:
+            raise ValueError("cannot pack an empty vector batch")
+        a = np.asarray(vectors, dtype=np.uint8)
+        bits = pack_bits(a)
+        return cls(v1=bits, v2=bits, n_patterns=len(vectors))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_inputs(self) -> int:
+        return self.v1.shape[0]
+
+    @property
+    def n_words(self) -> int:
+        return self.v1.shape[1]
+
+    def lane_valid(self) -> np.ndarray:
+        """Per-word mask of valid lanes (padding lanes cleared)."""
+        return lane_valid_words(self.n_patterns)
+
+    def planes7(self) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Per-input 7-valued (zero, one, stable, instable) planes.
+
+        Lane ``k`` encodes S0/S1 where the vectors agree and F/R where
+        they differ — the PPSFP input encoding of
+        :func:`repro.sim.delay_sim.pack_patterns`, vectorized.
+        Padding lanes are left all-zero (the 7-valued ``X``), which
+        propagates as ``X`` and never contributes a detection.
+        """
+        valid = self.lane_valid()
+        changed = (self.v1 ^ self.v2) & valid
+        stable = ~changed & valid
+        planes = []
+        for row in range(self.n_inputs):
+            one = self.v2[row] & valid
+            zero = ~self.v2[row] & valid
+            planes.append((zero, one, stable[row], changed[row]))
+        return planes

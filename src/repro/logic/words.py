@@ -41,8 +41,16 @@ def get_lane(word: int, lane: int) -> int:
 
 
 def popcount(word: int) -> int:
-    """Number of set lanes."""
-    return bin(word).count("1") if word >= 0 else bin(word & ~0).count("1")
+    """Number of set lanes.
+
+    Lane words are non-negative by construction (every producer masks
+    with :func:`mask_for`); a negative word has no well-defined lane
+    count in two's complement of unbounded width, so it is rejected
+    rather than silently miscounted.
+    """
+    if word < 0:
+        raise ValueError("popcount requires a non-negative lane word")
+    return word.bit_count()
 
 
 def iter_set_lanes(word: int) -> Iterator[int]:

@@ -10,6 +10,12 @@ from .delay_sim import (
     simulate_planes10,
     strength_masks,
 )
+from .reference import (
+    detected_faults_reference,
+    detection_mask_reference,
+    simulate_planes_reference,
+)
+from .stuck_at_sim import StuckAtSimulator
 from .waveform import Waveform
 from .event_sim import (
     TimingResult,
@@ -23,10 +29,13 @@ from .event_sim import (
 
 __all__ = [
     "DelayFaultSimulator",
+    "StuckAtSimulator",
     "TimingResult",
     "TimingSimulator",
     "Waveform",
+    "detected_faults_reference",
     "detection_mask",
+    "detection_mask_reference",
     "detection_strength",
     "fault_injection",
     "pack_patterns",
@@ -37,6 +46,7 @@ __all__ = [
     "simulate_batch",
     "simulate_planes",
     "simulate_planes10",
+    "simulate_planes_reference",
     "strength_masks",
     "simulate_words",
     "slowed_delays",

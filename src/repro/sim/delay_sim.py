@@ -5,12 +5,21 @@ The paper interleaves generation with bit-parallel fault simulation:
 test patterns" — detected faults are dropped from the pending list.
 This module implements that simulator, for both test classes.
 
-The simulator packs ``L`` two-vector tests into the bit lanes of a
-7-valued plane state (each primary input becomes S0/S1/R/F according
-to its V1/V2 bits) and evaluates the conservative hazard calculus of
-:mod:`repro.logic.seven_valued` once, forward-only, in topological
-order.  A path delay fault is then checked per pattern lane with pure
-bitwise expressions:
+The simulator packs two-vector tests into the bit lanes of a 7-valued
+plane state (each primary input becomes S0/S1/R/F according to its
+V1/V2 bits) and evaluates the conservative hazard calculus of
+:mod:`repro.logic.seven_valued` once, forward-only, over the compiled
+netlist kernel (:class:`repro.kernel.CompiledCircuit`).  Two word
+backends execute that pass:
+
+* Python-int planes (one arbitrary-width word per plane) for batches
+  up to one machine word — the TPG engine's PPSFP drop loop,
+* numpy ``uint64`` multi-word planes (:class:`repro.kernel.
+  PackedPatterns`) for bulk batches of arbitrarily many patterns —
+  the same plane calculus, vectorized element-wise.
+
+A path delay fault is then checked per pattern lane with pure bitwise
+expressions:
 
 * **launch**: the path input carries the fault's transition,
 * **nonrobust**: at every on-path gate, all off-path inputs have the
@@ -21,15 +30,27 @@ bitwise expressions:
   XOR-like gates require stable off-path inputs.
 
 A robust detection is also a nonrobust detection, mirroring the
-model's containment relation.
+model's containment relation.  The pre-kernel object-graph
+implementation survives in :mod:`repro.sim.reference` as the
+validation and benchmark baseline.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
-from ..circuit import Circuit, GateType, controlling_value
-from ..logic import seven_valued, ten_valued
+import numpy as np
+
+from ..circuit import Circuit
+from ..kernel import (
+    CompiledCircuit,
+    IntWordBackend,
+    NumpyWordBackend,
+    PackedPatterns,
+    backend_for,
+    words_to_int,
+)
+from ..logic import ten_valued
 from ..logic.words import mask_for
 from ..paths import PathDelayFault, TestClass
 
@@ -77,21 +98,77 @@ def pack_patterns(
 def simulate_planes(
     circuit: Circuit, patterns: Sequence[PatternLike]
 ) -> Tuple[List[Planes], int]:
-    """Forward 7-valued simulation of all patterns; returns signal planes."""
+    """Forward 7-valued simulation of all patterns; returns signal planes.
+
+    Executes on the compiled kernel with the int word backend; the
+    lane width is the number of patterns (arbitrary, since Python ints
+    are unbounded).
+    """
     input_planes, width = pack_patterns(circuit, patterns)
     if width == 0:
         return [], 0
-    mask = mask_for(width)
-    values: List[Planes] = [(0, 0, 0, 0)] * circuit.num_signals
-    for planes, pi in zip(input_planes, circuit.inputs):
-        values[pi] = planes
-    for index in circuit.topological_order():
-        gate = circuit.gates[index]
-        if gate.is_input:
-            continue
-        ins = [values[f] for f in gate.fanin]
-        values[index] = seven_valued.forward(gate.gate_type, ins, mask)  # type: ignore[assignment]
-    return values, width
+    backend = IntWordBackend(width)
+    return backend.simulate_planes7(circuit.compiled(), input_planes), width
+
+
+def _any_lane(word) -> bool:
+    """Truthiness of a lane word in either representation."""
+    if isinstance(word, np.ndarray):
+        return bool(word.any())
+    return bool(word)
+
+
+def _detection_mask_compiled(
+    compiled: CompiledCircuit,
+    fault: PathDelayFault,
+    values: Sequence,
+    mask,
+    robust: bool,
+):
+    """Detection lane word of *fault* over int or array planes.
+
+    The conditions are *polarity-free*: the on-path transition may be
+    inverted by XOR side inputs at 1, so the robust stability rule
+    (stable off-path inputs where the on-path transition ends
+    non-controlling) is evaluated against the on-path input's
+    *simulated* final value, per lane, not against the structural
+    parity convention.  The arithmetic is identical for Python-int
+    planes (``mask`` = all-lanes int) and uint64 array planes
+    (``mask`` = per-word valid-lane array).
+    """
+    z, o, s, i = values[fault.input_signal]
+    want_final_one = fault.transition.final == 1
+    detected = i & (o if want_final_one else z)
+
+    signals = fault.signals
+    controlling = compiled.controlling
+    fanins = compiled.py_fanin
+    for position in range(1, len(signals)):
+        if not _any_lane(detected):
+            break
+        signal = signals[position]
+        on_path_input = signals[position - 1]
+        dz, do, _ds, _di = values[on_path_input]
+        control = controlling[signal]
+        for fanin_signal in fanins[signal]:
+            if fanin_signal == on_path_input:
+                continue
+            fz, fo, fs, _fi = values[fanin_signal]
+            if control is None:
+                # XOR-like: any final value sensitizes nonrobustly; a
+                # robust test needs glitch-free (stable) side inputs
+                if robust:
+                    detected = detected & fs
+                continue
+            nc = 1 - control
+            has_nc_final = fo if nc == 1 else fz
+            detected = detected & has_nc_final
+            if robust:
+                # lanes where the on-path input ends non-controlling
+                # additionally need a stable side input
+                on_nc = do if nc == 1 else dz
+                detected = detected & (fs | ~on_nc)
+    return detected & mask
 
 
 def detection_mask(
@@ -101,71 +178,75 @@ def detection_mask(
     width: int,
     test_class: TestClass,
 ) -> int:
-    """Lane mask of patterns that detect *fault* under *test_class*.
-
-    The conditions are *polarity-free*: the on-path transition may be
-    inverted by XOR side inputs at 1, so the robust stability rule
-    (stable off-path inputs where the on-path transition ends
-    non-controlling) is evaluated against the on-path input's
-    *simulated* final value, per lane, not against the structural
-    parity convention.
-    """
-    mask = mask_for(width)
-
-    # launch: path input must carry the fault's transition
-    z, o, s, i = values[fault.input_signal]
-    want_final_one = fault.transition.final == 1
-    detected = i & (o if want_final_one else z)
-
-    robust = test_class is TestClass.ROBUST
-    for position, signal in enumerate(fault.signals):
-        if not detected:
-            break
-        if position == 0:
-            continue
-        gate = circuit.gates[signal]
-        on_path_input = fault.signals[position - 1]
-        dz, do, _ds, _di = values[on_path_input]
-        control = controlling_value(gate.gate_type)
-        for fanin_signal in gate.fanin:
-            if fanin_signal == on_path_input:
-                continue
-            fz, fo, fs, fi = values[fanin_signal]
-            if control is None:
-                # XOR-like: any final value sensitizes nonrobustly; a
-                # robust test needs glitch-free (stable) side inputs
-                if robust:
-                    detected &= fs
-                continue
-            nc = 1 - control
-            has_nc_final = fo if nc == 1 else fz
-            detected &= has_nc_final
-            if robust:
-                # lanes where the on-path input ends non-controlling
-                # additionally need a stable side input
-                on_nc = do if nc == 1 else dz
-                detected &= fs | ~on_nc
-    return detected & mask
+    """Lane mask of patterns that detect *fault* under *test_class*."""
+    return _detection_mask_compiled(
+        circuit.compiled(),
+        fault,
+        values,
+        mask_for(width),
+        test_class is TestClass.ROBUST,
+    )
 
 
 class DelayFaultSimulator:
-    """Convenience wrapper: simulate batches, report per-fault detection."""
+    """Convenience wrapper: simulate batches, report per-fault detection.
 
-    def __init__(self, circuit: Circuit, test_class: TestClass):
+    Args:
+        circuit: frozen target circuit (compiled once, cached).
+        test_class: robust or nonrobust detection conditions.
+        backend: ``"int"``, ``"numpy"`` or ``"auto"`` (default) —
+            ``auto`` runs batches larger than one machine word on the
+            numpy multi-word backend and everything else on Python-int
+            words.
+    """
+
+    def __init__(self, circuit: Circuit, test_class: TestClass, backend: str = "auto"):
+        if backend not in ("auto", "int", "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.circuit = circuit
+        self.compiled: CompiledCircuit = circuit.compiled()
         self.test_class = test_class
+        self.backend = backend
 
+    # ------------------------------------------------------------------
     def detected_faults(
         self,
         patterns: Sequence[PatternLike],
         faults: Iterable[PathDelayFault],
     ) -> Dict[PathDelayFault, int]:
-        """Map each fault to the lane mask of detecting patterns (0 = none)."""
-        values, width = simulate_planes(self.circuit, patterns)
+        """Map each fault to the lane mask of detecting patterns (0 = none).
+
+        All pending faults are checked against all patterns in one
+        batched pass: one forward plane simulation of the whole batch,
+        then per-fault pure bitwise detection checks — vectorized over
+        multi-word numpy planes when the batch exceeds one machine
+        word.  Lane ``k`` of a returned mask corresponds to
+        ``patterns[k]`` regardless of backend.
+        """
+        faults = list(faults)
+        width = len(patterns)
         if width == 0:
             return {fault: 0 for fault in faults}
+        robust = self.test_class is TestClass.ROBUST
+        compiled = self.compiled
+        backend = backend_for(width, self.backend)
+        if isinstance(backend, NumpyWordBackend):
+            packed = PackedPatterns.from_patterns(patterns)
+            values = backend.simulate_planes7(compiled, packed.planes7())
+            valid = backend.lane_valid
+            return {
+                fault: words_to_int(
+                    np.asarray(
+                        _detection_mask_compiled(compiled, fault, values, valid, robust),
+                        dtype=np.uint64,
+                    )
+                )
+                for fault in faults
+            }
+        input_planes, _ = pack_patterns(self.circuit, patterns)
+        values = backend.simulate_planes7(compiled, input_planes)
         return {
-            fault: detection_mask(self.circuit, fault, values, width, self.test_class)
+            fault: _detection_mask_compiled(compiled, fault, values, backend.mask, robust)
             for fault in faults
         }
 
@@ -177,9 +258,14 @@ class DelayFaultSimulator:
         self,
         patterns: Sequence[PatternLike],
         faults: Sequence[PathDelayFault],
-        batch: int = 64,
+        batch: int = 256,
     ) -> float:
-        """Fraction of *faults* detected by *patterns* (batched PPSFP)."""
+        """Fraction of *faults* detected by *patterns* (batched PPSFP).
+
+        Batches larger than one machine word run on the numpy backend;
+        detected faults are dropped between batches, so later batches
+        only simulate the shrinking remainder.
+        """
         if not faults:
             return 1.0
         remaining = set(faults)
@@ -208,16 +294,14 @@ def simulate_planes10(
     if width == 0:
         return [], 0
     mask = mask_for(width)
-    values: List[Planes10] = [(0, 0, 0, 0, 0)] * circuit.num_signals
-    for planes, pi in zip(input_planes, circuit.inputs):
+    compiled = circuit.compiled()
+    values: List[Planes10] = [(0, 0, 0, 0, 0)] * compiled.n_signals
+    for planes, pi in zip(input_planes, compiled.py_inputs):
         z, o, st, i = planes
         values[pi] = (z, o, st, i, mask)  # PI waveforms are hazard-free
-    for index in circuit.topological_order():
-        gate = circuit.gates[index]
-        if gate.is_input:
-            continue
-        ins = [values[f] for f in gate.fanin]
-        values[index] = ten_valued.forward(gate.gate_type, ins, mask)  # type: ignore[assignment]
+    forward = ten_valued.forward
+    for _code, out, fanin, gate_type in compiled.plan:
+        values[out] = forward(gate_type, [values[f] for f in fanin], mask)  # type: ignore[assignment]
     return values, width
 
 
@@ -236,6 +320,7 @@ def strength_masks(
     holds by construction and is asserted by the test-suite.
     """
     mask = mask_for(width)
+    compiled = circuit.compiled()
     z, o, s, i, _h = values[fault.input_signal]
     want_final_one = fault.transition.final == 1
     launch = i & (o if want_final_one else z)
@@ -243,16 +328,15 @@ def strength_masks(
     nonrobust = launch
     robust = launch
     strong = launch
-    for position, signal in enumerate(fault.signals):
+    signals = fault.signals
+    for position in range(1, len(signals)):
         if not nonrobust:
             break
-        if position == 0:
-            continue
-        gate = circuit.gates[signal]
-        on_path_input = fault.signals[position - 1]
+        signal = signals[position]
+        on_path_input = signals[position - 1]
         dz, do, _ds, _di, _dh = values[on_path_input]
-        control = controlling_value(gate.gate_type)
-        for fanin_signal in gate.fanin:
+        control = compiled.controlling[signal]
+        for fanin_signal in compiled.py_fanin[signal]:
             if fanin_signal == on_path_input:
                 continue
             fz, fo, fs, _fi, fh = values[fanin_signal]

@@ -81,6 +81,7 @@ class TimingSimulator:
         edge_delays: Optional[Dict[EdgeKey, float]] = None,
     ):
         self.circuit = circuit
+        self.compiled = circuit.compiled()
         self.delays = dict(delays or {})
         self.edge_delays = dict(edge_delays or {})
 
@@ -92,23 +93,21 @@ class TimingSimulator:
         self, v1: Sequence[int], v2: Sequence[int], switch_time: float = 0.0
     ) -> TimingResult:
         """Waveforms for the two-vector test (V1 settled, V2 at time 0)."""
-        circuit = self.circuit
-        waveforms: List[Optional[Waveform]] = [None] * circuit.num_signals
-        for position, pi in enumerate(circuit.inputs):
+        compiled = self.compiled
+        waveforms: List[Optional[Waveform]] = [None] * compiled.n_signals
+        for position, pi in enumerate(compiled.py_inputs):
             waveforms[pi] = Waveform.step(v1[position], v2[position], switch_time)
-        for index in circuit.topological_order():
-            gate = circuit.gates[index]
-            if gate.is_input:
-                continue
+        edge_delays = self.edge_delays
+        for _code, index, fanin, gate_type in compiled.plan:
             ins = []
-            for f in gate.fanin:
+            for f in fanin:
                 wave = waveforms[f]
-                extra = self.edge_delays.get((f, index), 0.0)
+                extra = edge_delays.get((f, index), 0.0) if edge_delays else 0.0
                 ins.append(wave.shifted(extra) if extra else wave)
             waveforms[index] = self._evaluate_gate(
-                gate.gate_type, ins, self.delay_of(index)
+                gate_type, ins, self.delay_of(index)
             )
-        return TimingResult(waveforms=waveforms, circuit=circuit)  # type: ignore[arg-type]
+        return TimingResult(waveforms=waveforms, circuit=self.circuit)  # type: ignore[arg-type]
 
     @staticmethod
     def _evaluate_gate(gate_type, inputs: List[Waveform], delay: float) -> Waveform:
@@ -130,14 +129,12 @@ class TimingSimulator:
 
     def settle_bound(self) -> float:
         """Upper bound on settle time: longest weighted path."""
-        arrival = [0.0] * self.circuit.num_signals
-        for index in self.circuit.topological_order():
-            gate = self.circuit.gates[index]
-            if gate.fanin:
-                arrival[index] = self.delay_of(index) + max(
-                    arrival[f] + self.edge_delays.get((f, index), 0.0)
-                    for f in gate.fanin
-                )
+        arrival = [0.0] * self.compiled.n_signals
+        for _code, index, fanin, _gt in self.compiled.plan:
+            arrival[index] = self.delay_of(index) + max(
+                arrival[f] + self.edge_delays.get((f, index), 0.0)
+                for f in fanin
+            )
         return max(arrival) if arrival else 0.0
 
 
@@ -169,18 +166,17 @@ def prefix_independent(circuit: Circuit, fault: PathDelayFault) -> bool:
     """
     if fault.length < 1:
         return False
-    tainted = [False] * circuit.num_signals
+    compiled = circuit.compiled()
+    tainted = [False] * compiled.n_signals
     tainted[fault.signals[1]] = True
-    for index in circuit.topological_order():
-        gate = circuit.gates[index]
-        if not tainted[index] and any(tainted[f] for f in gate.fanin):
+    for _code, index, fanin, _gt in compiled.plan:
+        if not tainted[index] and any(tainted[f] for f in fanin):
             tainted[index] = True
     for position, signal in enumerate(fault.signals):
         if position == 0:
             continue
-        gate = circuit.gates[signal]
         on_path_input = fault.signals[position - 1]
-        for fanin_signal in gate.fanin:
+        for fanin_signal in compiled.py_fanin[signal]:
             if fanin_signal == on_path_input:
                 continue
             if tainted[fanin_signal]:

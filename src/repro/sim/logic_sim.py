@@ -3,13 +3,14 @@
 The substrate for parallel-pattern processing (PPSFP): ``L`` input
 vectors are packed into the bit lanes of one word per signal and the
 whole circuit is evaluated with one pass of bitwise operations per
-gate.  Two implementations are provided:
+gate.  Both entry points execute the compiled netlist kernel
+(:class:`repro.kernel.CompiledCircuit`) through a word backend:
 
 * :func:`simulate_words` — Python integers as words (arbitrary lane
   count, no dependencies), used by the TPG engine.
 * :func:`simulate_array` — numpy ``uint64`` arrays, vectorizing across
-  many 64-lane words at once; this is the "numpy workaround" that
-  keeps bulk simulation fast under CPython.
+  many 64-lane words at once; this is the bulk backend that keeps
+  large-batch simulation fast under CPython.
 
 Both are cross-checked against the naive per-vector reference
 (:meth:`repro.circuit.Circuit.evaluate`) in the test suite.
@@ -17,13 +18,12 @@ Both are cross-checked against the naive per-vector reference
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..circuit import Circuit, GateType
-from ..circuit.gates import AND_LIKE, OR_LIKE, XOR_LIKE, inverts
-from ..logic.words import mask_for
+from ..circuit import Circuit
+from ..kernel import IntWordBackend, NumpyWordBackend, PackedPatterns, backend_for
 
 
 def pack_vectors(vectors: Sequence[Sequence[int]]) -> List[int]:
@@ -50,57 +50,37 @@ def simulate_words(circuit: Circuit, input_words: Sequence[int], width: int) -> 
 
     Returns one word per signal (indexed by signal id).
     """
-    if len(input_words) != len(circuit.inputs):
-        raise ValueError(
-            f"expected {len(circuit.inputs)} input words, got {len(input_words)}"
-        )
-    mask = mask_for(width)
-    values = [0] * circuit.num_signals
-    for pi, word in zip(circuit.inputs, input_words):
-        values[pi] = word & mask
-    for index in circuit.topological_order():
-        gate = circuit.gates[index]
-        if gate.is_input:
-            continue
-        t = gate.gate_type
-        if t in (GateType.BUF, GateType.NOT):
-            # NOT is flipped by the generic inverts() step below
-            word = values[gate.fanin[0]]
-        elif t in AND_LIKE:
-            word = mask
-            for f in gate.fanin:
-                word &= values[f]
-        elif t in OR_LIKE:
-            word = 0
-            for f in gate.fanin:
-                word |= values[f]
-        elif t in XOR_LIKE:
-            word = 0
-            for f in gate.fanin:
-                word ^= values[f]
-        else:  # pragma: no cover - closed enum
-            raise ValueError(f"unhandled gate type {t}")
-        if inverts(t):
-            word = ~word & mask
-        values[index] = word
-    return values
+    return IntWordBackend(width).simulate_logic(circuit.compiled(), input_words)
 
 
 def simulate_batch(
     circuit: Circuit, vectors: Sequence[Sequence[int]]
 ) -> List[Tuple[int, ...]]:
-    """Simulate many vectors; returns per-vector output tuples."""
-    results: List[Tuple[int, ...]] = []
-    width = 256  # lanes per chunk; Python ints make this a free choice
-    for start in range(0, len(vectors), width):
-        chunk = vectors[start : start + width]
-        words = pack_vectors(chunk)
-        values = simulate_words(circuit, words, len(chunk))
-        for lane in range(len(chunk)):
-            results.append(
-                tuple((values[o] >> lane) & 1 for o in circuit.outputs)
-            )
-    return results
+    """Simulate many vectors; returns per-vector output tuples.
+
+    Batches beyond one machine word run vectorized on the numpy
+    backend via :class:`repro.kernel.PackedPatterns`.
+    """
+    if not vectors:
+        return []
+    outputs = circuit.outputs
+    # int/numpy crossover policy is owned by kernel.backend_for
+    if isinstance(backend_for(len(vectors), "auto"), IntWordBackend):
+        words = pack_vectors(vectors)
+        values = simulate_words(circuit, words, len(vectors))
+        return [
+            tuple((values[o] >> lane) & 1 for o in outputs)
+            for lane in range(len(vectors))
+        ]
+    packed = PackedPatterns.from_vectors(vectors)
+    values = simulate_array(circuit, packed.v2)
+    out_rows = np.ascontiguousarray(
+        values[np.asarray(outputs, dtype=np.intp)], dtype="<u8"
+    )
+    bits = np.unpackbits(
+        out_rows.view(np.uint8), axis=1, bitorder="little"
+    )[:, : len(vectors)]
+    return [tuple(int(b) for b in bits[:, lane]) for lane in range(len(vectors))]
 
 
 def simulate_array(circuit: Circuit, input_bits: np.ndarray) -> np.ndarray:
@@ -115,38 +95,5 @@ def simulate_array(circuit: Circuit, input_bits: np.ndarray) -> np.ndarray:
         lane words.
     """
     input_bits = np.asarray(input_bits, dtype=np.uint64)
-    if input_bits.shape[0] != len(circuit.inputs):
-        raise ValueError(
-            f"expected {len(circuit.inputs)} input rows, got {input_bits.shape[0]}"
-        )
     n_words = input_bits.shape[1] if input_bits.ndim == 2 else 1
-    values = np.zeros((circuit.num_signals, n_words), dtype=np.uint64)
-    for row, pi in enumerate(circuit.inputs):
-        values[pi] = input_bits[row]
-    full = np.uint64(0xFFFFFFFFFFFFFFFF)
-    for index in circuit.topological_order():
-        gate = circuit.gates[index]
-        if gate.is_input:
-            continue
-        t = gate.gate_type
-        if t in (GateType.BUF, GateType.NOT):
-            # NOT is flipped by the generic inverts() step below
-            word = values[gate.fanin[0]].copy()
-        elif t in AND_LIKE:
-            word = np.full(n_words, full, dtype=np.uint64)
-            for f in gate.fanin:
-                word &= values[f]
-        elif t in OR_LIKE:
-            word = np.zeros(n_words, dtype=np.uint64)
-            for f in gate.fanin:
-                word |= values[f]
-        elif t in XOR_LIKE:
-            word = np.zeros(n_words, dtype=np.uint64)
-            for f in gate.fanin:
-                word ^= values[f]
-        else:  # pragma: no cover - closed enum
-            raise ValueError(f"unhandled gate type {t}")
-        if inverts(t):
-            word = word ^ full
-        values[index] = word
-    return values
+    return NumpyWordBackend(64 * n_words).simulate_logic(circuit.compiled(), input_bits)

@@ -1,18 +1,21 @@
 """Bit-parallel stuck-at fault simulation (parallel-pattern).
 
-The counterpart of :mod:`repro.core.stuck_at`: packs up to ``L`` test
-vectors into lane words, simulates the good machine once, and per
-fault re-simulates with the site forced — the classic parallel-pattern
-single-fault propagation (PPSFP) scheme the paper cites as the inspi-
-ration for bit-parallel test *generation*.
+The counterpart of :mod:`repro.core.stuck_at`: packs test vectors into
+lane words, simulates the good machine once over the compiled netlist
+kernel, and per fault re-simulates with the site forced — the classic
+parallel-pattern single-fault propagation (PPSFP) scheme the paper
+cites as the inspiration for bit-parallel test *generation*.  The
+faulty re-simulation walks only the fault site's transitive fanout
+cone (:meth:`repro.kernel.CompiledCircuit.cone_of`), not the whole
+netlist.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
-from ..circuit import Circuit, GateType
-from ..circuit.gates import AND_LIKE, OR_LIKE, XOR_LIKE, inverts
+from ..circuit import Circuit
+from ..kernel.backends import eval_gate_word
 from ..logic.words import mask_for
 from ..core.stuck_at import StuckAtFault
 from .logic_sim import pack_vectors, simulate_words
@@ -23,47 +26,50 @@ class StuckAtSimulator:
 
     def __init__(self, circuit: Circuit):
         self.circuit = circuit
+        self.compiled = circuit.compiled()
 
     # ------------------------------------------------------------------
+    def _cone_plan(self, site: int) -> List:
+        """Evaluation steps for the site's transitive fanout cone.
+
+        Built per call: ``cone_of`` is already topo-sorted, so the
+        construction is O(cone) — the same order as the resimulation
+        that consumes it, which makes caching (and its eviction
+        policy) not worth the retained memory.
+        """
+        compiled = self.compiled
+        return [
+            (
+                compiled.py_codes[s],
+                s,
+                compiled.py_fanin[s],
+                compiled.gate_types[s],
+            )
+            for s in compiled.cone_of(site)
+            if s != site and not compiled.is_input[s]
+        ]
+
     def _faulty_values(
-        self, good: List[int], fault: StuckAtFault, width: int
+        self, good: List[int], fault: StuckAtFault, width: int, plan: List
     ) -> List[int]:
         """Re-simulate with the fault site forced (cone only)."""
-        circuit = self.circuit
         mask = mask_for(width)
         values = list(good)
         values[fault.signal] = mask if fault.value else 0
-        # only signals downstream of the site can change
-        dirty = [False] * circuit.num_signals
+        dirty = [False] * self.compiled.n_signals
         dirty[fault.signal] = True
-        for index in circuit.topological_order():
-            gate = circuit.gates[index]
-            if gate.is_input or index == fault.signal:
+        for code, out, fanin, _gt in plan:
+            changed = False
+            for f in fanin:
+                if dirty[f]:
+                    changed = True
+                    break
+            if not changed:
                 continue
-            if not any(dirty[f] for f in gate.fanin):
-                continue
-            t = gate.gate_type
-            if t in (GateType.BUF, GateType.NOT):
-                word = values[gate.fanin[0]]
-            elif t in AND_LIKE:
-                word = mask
-                for f in gate.fanin:
-                    word &= values[f]
-            elif t in OR_LIKE:
-                word = 0
-                for f in gate.fanin:
-                    word |= values[f]
-            elif t in XOR_LIKE:
-                word = 0
-                for f in gate.fanin:
-                    word ^= values[f]
-            else:  # pragma: no cover - closed enum
-                raise ValueError(f"unhandled gate type {t}")
-            if inverts(t):
-                word = ~word & mask
-            if word != values[index]:
-                values[index] = word
-                dirty[index] = True
+            word = eval_gate_word(code, values, fanin, mask)
+            if word != values[out]:
+                values[out] = word
+                dirty[out] = True
         return values
 
     # ------------------------------------------------------------------
@@ -79,13 +85,20 @@ class StuckAtSimulator:
         width = len(vectors)
         words = pack_vectors(vectors)
         good = simulate_words(self.circuit, words, width)
+        outputs = self.compiled.py_outputs
+        mask = mask_for(width)
         result: Dict[StuckAtFault, int] = {}
+        # the sa0/sa1 pair at each site shares one cone plan per call
+        plans: Dict[int, List] = {}
         for fault in faults:
-            faulty = self._faulty_values(good, fault, width)
+            plan = plans.get(fault.signal)
+            if plan is None:
+                plan = plans[fault.signal] = self._cone_plan(fault.signal)
+            faulty = self._faulty_values(good, fault, width, plan)
             lanes = 0
-            for po in self.circuit.outputs:
+            for po in outputs:
                 lanes |= good[po] ^ faulty[po]
-            result[fault] = lanes & mask_for(width)
+            result[fault] = lanes & mask
         return result
 
     def detects(self, vector: Sequence[int], fault: StuckAtFault) -> bool:

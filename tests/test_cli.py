@@ -3,7 +3,13 @@
 import pytest
 
 from repro.circuit.library import C17_BENCH
-from repro.cli import main_atpg, main_experiments, main_paths, resolve_circuit
+from repro.cli import (
+    main_atpg,
+    main_bench_sim,
+    main_experiments,
+    main_paths,
+    resolve_circuit,
+)
 
 
 class TestResolveCircuit:
@@ -53,6 +59,34 @@ class TestPathsCommand:
         out = capsys.readouterr().out
         assert "path length histogram" in out
         assert out.count("-") > 5  # some paths got listed
+
+
+class TestBenchSimCommand:
+    def test_reports_throughput_and_writes_json(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        assert (
+            main_bench_sim(
+                [
+                    "c499",
+                    "--patterns", "96",
+                    "--fault-cap", "8",
+                    "--repeat", "1",
+                    "--json", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "PPSFP throughput" in out
+        assert "c499_like" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["benchmark"] == "ppsfp_throughput"
+        row = payload["rows"][0]
+        assert row["patterns"] == 96
+        assert row["kernel_throughput"] > 0
+        assert row["seed_throughput"] > 0
 
 
 class TestExperimentsCommand:

@@ -44,6 +44,19 @@ class TestBasics:
         assert popcount(0b1011) == 3
         assert popcount(mask_for(64)) == 64
 
+    def test_popcount_beyond_one_machine_word(self):
+        assert popcount(mask_for(200)) == 200
+        assert popcount(1 << 130) == 1
+
+    def test_popcount_rejects_negative_words(self):
+        # regression: the seed computed bin(word & ~0), a no-op that
+        # returned the set-bit count of the *negative* literal ("-0b101"
+        # has two '1' characters) instead of a lane count
+        with pytest.raises(ValueError):
+            popcount(-1)
+        with pytest.raises(ValueError):
+            popcount(-0b101)
+
     def test_iter_set_lanes(self):
         assert list(iter_set_lanes(0b10110)) == [1, 2, 4]
         assert list(iter_set_lanes(0)) == []
