@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Regenerate BENCH_tpg.json: end-to-end ATPG throughput (faults/sec).
+
+Three runners over the identical fault list of the c880-scale suite
+row (and a second, harder random-DAG row that exercises APTPG and
+dropping):
+
+* the serial engine (``generate_tests`` — itself a 1-worker campaign),
+* a 1-worker campaign (measures the pipeline's own overhead),
+* an N-worker campaign (``--workers``, default: min(4, cpu_count)),
+  with ``shards = workers`` so every process has a batch per round.
+
+The campaign schedule is worker-invariant, so the detected-fault count
+must match the serial engine exactly on the default-shards rows; the
+N-worker row uses a wider round (more shards) and asserts equal
+coverage instead.  Throughput is faults per wall-clock second, best of
+``--repeat`` runs.  Usage::
+
+    PYTHONPATH=src python scripts/bench_tpg.py [output.json]
+        [--workers N] [--fault-cap N] [--repeat N] [--scale N]
+"""
+
+import argparse
+import json
+import multiprocessing
+import platform
+import sys
+import time
+
+from repro.campaign import CampaignOptions, run_campaign
+from repro.circuit.generators import random_dag
+from repro.circuit.suites import suite_circuit
+from repro.core import TpgOptions, generate_tests
+from repro.paths import TestClass, fault_list
+
+
+def _workload(name, scale, fault_cap):
+    if name == "c880":
+        circuit = suite_circuit("c880", scale)
+    else:
+        circuit = random_dag(12, 60 * scale, seed=1995, name="dag60")
+    return circuit, fault_list(circuit, cap=fault_cap, strategy="all")
+
+
+def _best_of(repeat, fn):
+    best_seconds = float("inf")
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        best_seconds = min(best_seconds, time.perf_counter() - t0)
+    return best_seconds, result
+
+
+def bench_circuit(name, circuit, faults, test_class, width, workers, repeat):
+    rows = []
+    circuit.compiled()  # lower once, outside the timed region
+
+    seconds, serial = _best_of(
+        repeat,
+        lambda: generate_tests(circuit, faults, test_class, TpgOptions(width=width)),
+    )
+    serial_seconds = seconds
+    rows.append(
+        {
+            "circuit": name,
+            "runner": "engine_serial",
+            "workers": 1,
+            "shards": 2,
+            "faults": serial.n_faults,
+            "detected": serial.n_tested,
+            "seconds": round(seconds, 6),
+            "faults_per_s": round(serial.n_faults / seconds, 1),
+            "speedup_vs_serial": 1.0,
+        }
+    )
+
+    configs = [("campaign_1worker", 1, 2)]
+    if workers > 1:
+        configs.append((f"campaign_{workers}workers", workers, workers))
+    for runner, n_workers, shards in configs:
+        options = CampaignOptions(width=width, workers=n_workers, shards=shards)
+        seconds, report = _best_of(
+            repeat,
+            lambda options=options: run_campaign(
+                circuit, faults=faults, test_class=test_class, options=options
+            ),
+        )
+        if shards == 2 and report.n_detected != serial.n_tested:
+            raise AssertionError(
+                f"{runner} detected {report.n_detected} != serial "
+                f"{serial.n_tested} on {name}"
+            )
+        if report.n_faults != serial.n_faults:
+            raise AssertionError(f"{runner} fault count mismatch on {name}")
+        rows.append(
+            {
+                "circuit": name,
+                "runner": runner,
+                "workers": n_workers,
+                "shards": shards,
+                "faults": report.n_faults,
+                "detected": report.n_detected,
+                "seconds": round(seconds, 6),
+                "faults_per_s": round(report.n_faults / seconds, 1),
+                "speedup_vs_serial": round(serial_seconds / seconds, 2),
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default="BENCH_tpg.json")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=max(2, min(4, multiprocessing.cpu_count())),
+        help="worker count of the multi-process row",
+    )
+    parser.add_argument("--fault-cap", type=int, default=512)
+    parser.add_argument("--width", type=int, default=32)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument(
+        "--class",
+        dest="test_class",
+        choices=["robust", "nonrobust"],
+        default="robust",
+    )
+    args = parser.parse_args(argv)
+    test_class = (
+        TestClass.ROBUST if args.test_class == "robust" else TestClass.NONROBUST
+    )
+
+    rows = []
+    for name in ("c880", "dag60"):
+        circuit, faults = _workload(name, args.scale, args.fault_cap)
+        rows.extend(
+            bench_circuit(
+                name,
+                circuit,
+                faults,
+                test_class,
+                args.width,
+                args.workers,
+                args.repeat,
+            )
+        )
+
+    payload = {
+        "benchmark": "tpg_end_to_end_throughput",
+        "units": "faults/second (wall clock, best of repeat)",
+        "python": platform.python_version(),
+        "cpu_count": multiprocessing.cpu_count(),
+        "workers": args.workers,
+        "note": (
+            "speedup_vs_serial >= 1.5 on the multi-worker rows requires a "
+            "multi-core runner; on a single core the pool only adds overhead"
+        ),
+        "rows": rows,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    header = f"{'circuit':8} {'runner':22} {'workers':7} {'faults/s':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['circuit']:8} {row['runner']:22} {row['workers']:7} "
+            f"{row['faults_per_s']:>10} {row['speedup_vs_serial']:>8}"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,13 @@ Quickstart::
     print(report.summary())
 """
 
-from . import circuit, core, logic, paths, sim
+from . import campaign, circuit, core, logic, paths, sim
+from .campaign import (
+    CampaignOptions,
+    CampaignReport,
+    FaultUniverse,
+    run_campaign,
+)
 from .circuit import Circuit, CircuitBuilder, GateType, load_bench, parse_bench
 from .core import (
     FaultStatus,
@@ -31,12 +37,15 @@ from .core import (
 )
 from .paths import PathDelayFault, TestClass, Transition, all_faults, count_paths
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CampaignOptions",
+    "CampaignReport",
     "Circuit",
     "CircuitBuilder",
     "FaultStatus",
+    "FaultUniverse",
     "GateType",
     "PathDelayFault",
     "TestClass",
@@ -45,11 +54,13 @@ __all__ = [
     "TpgReport",
     "Transition",
     "all_faults",
+    "campaign",
     "circuit",
     "core",
     "count_paths",
     "generate_tests",
     "generate_tests_single_bit",
+    "run_campaign",
     "load_bench",
     "logic",
     "parse_bench",

@@ -1,0 +1,38 @@
+"""Staged ATPG campaigns: streaming fault universe, sharded
+generation, global fault dropping, checkpoint/resume.
+
+Public API:
+
+* :func:`run_campaign` with :class:`CampaignOptions` — the managed
+  pipeline (the serial engine is a 1-worker instance of it),
+* :class:`FaultUniverse` — lazily streamed, filtered, budget-capped
+  fault sources,
+* :class:`CampaignReport` / :class:`CampaignStats` — results and the
+  durable progress record behind checkpoint/resume,
+* :class:`DropBus` — cross-shard collateral dropping and incremental
+  compaction.
+"""
+
+from .bus import DropBus
+from .report import (
+    DEFAULT_SHARDS,
+    CampaignOptions,
+    CampaignReport,
+    CampaignStats,
+)
+from .runner import run_campaign
+from .scheduler import PoolExecutor, SerialExecutor, ShardResult
+from .universe import FaultUniverse
+
+__all__ = [
+    "CampaignOptions",
+    "CampaignReport",
+    "CampaignStats",
+    "DEFAULT_SHARDS",
+    "DropBus",
+    "FaultUniverse",
+    "PoolExecutor",
+    "SerialExecutor",
+    "ShardResult",
+    "run_campaign",
+]

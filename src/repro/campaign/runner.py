@@ -1,0 +1,414 @@
+"""The staged ATPG campaign: stream -> shard -> generate -> drop.
+
+``run_campaign`` turns the paper's engine into a managed pipeline:
+
+1. **Admission.**  Faults are pulled from a lazily streamed
+   :class:`FaultUniverse` until the pending window is full, each one
+   first drop-checked against the retained pattern set (faults already
+   covered are settled as SIMULATED without ever being scheduled).
+2. **FPTPG rounds.**  The next ``shards`` lane-width batches of
+   pending faults are generated *independently* — in-process or on a
+   worker pool — then the round's fresh patterns are merged on the
+   global drop bus, which runs one batched PPSFP pass over every
+   still-pending fault (window and deferred queue alike).
+3. **APTPG rounds.**  Once the stream is drained (or the window is
+   saturated with deferred faults), rounds of ``shards`` single-fault
+   APTPG searches run the hard residue, again followed by the bus.
+4. **Checkpointing.**  Progress is serialized every few rounds; an
+   interrupted campaign resumes from the snapshot, re-entering the
+   stream by position.
+
+The schedule — window fills, batch composition, drop cadence — is a
+pure function of :class:`CampaignOptions`; worker count and timing
+never influence which faults share a batch or when drops are applied.
+A campaign with ``workers=8`` therefore produces bit-identical
+per-fault statuses to ``workers=1``, and the serial engine
+(:func:`repro.core.engine.generate_tests`) is literally a 1-worker
+campaign over a pre-materialized universe.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..circuit import Circuit
+from ..core.patterns import TestPattern
+from ..core.results import FaultRecord, FaultStatus
+from ..paths import PathDelayFault, TestClass
+from .bus import DropBus
+from .report import (
+    CampaignOptions,
+    CampaignReport,
+    checkpoint_payload,
+    load_checkpoint,
+    restore_from_payload,
+    schedule_fingerprint,
+    write_checkpoint,
+)
+from .scheduler import make_executor
+from .universe import FaultUniverse
+
+#: Admission checks run in bounded slices so an unbounded-window pull
+#: of a huge universe never builds one giant simulation batch.
+_ADMIT_CHUNK = 4096
+
+
+class _Campaign:
+    """One campaign run's mutable state and round loop."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        universe: FaultUniverse,
+        test_class: TestClass,
+        options: CampaignOptions,
+    ):
+        options.validate()
+        self.circuit = circuit
+        self.universe = universe
+        self.options = options
+        self.test_class = test_class
+        self.report = CampaignReport(
+            circuit_name=circuit.name,
+            test_class=test_class,
+            options=options,
+            records={} if options.keep_records else None,
+        )
+        self.bus = DropBus(
+            circuit,
+            test_class,
+            backend=options.sim_backend,
+            enabled=options.drop_faults,
+            compact_every=options.compact_every,
+        )
+        # Live pending set: index -> fault, insertion (= stream) order,
+        # O(1) removal.  Settled faults leave immediately, so drop
+        # rounds never rescan the full universe (the seed engine's
+        # quadratic `[i for i in pending if i not in records]` is gone).
+        self.pending: Dict[int, PathDelayFault] = {}
+        # FPTPG work cursor: indices admitted but not yet batched, in
+        # stream order.  Rounds pop from the head (dropped entries are
+        # skipped lazily), so target selection never rescans pending.
+        self.backlog: Deque[int] = deque()
+        self.queued: set = set()
+        self.queue: List[int] = []
+        self.queue_head = 0
+        self.stream_position = 0
+        self.exhausted = False
+
+    # ------------------------------------------------------------ helpers
+    def settle(
+        self,
+        index: int,
+        fault: Optional[PathDelayFault],
+        status: FaultStatus,
+        pattern: Optional[TestPattern],
+        mode: str,
+    ) -> None:
+        self.report.statuses[index] = status
+        self.report.modes[index] = mode
+        if self.report.records is not None:
+            self.report.records[index] = FaultRecord(fault, status, pattern, mode)
+        self.pending.pop(index, None)
+        self.queued.discard(index)
+
+    def _note_pending_peak(self) -> None:
+        if len(self.pending) > self.report.stats.peak_pending:
+            self.report.stats.peak_pending = len(self.pending)
+
+    # ------------------------------------------------------------ admission
+    def _admit(self, arrivals: List[Tuple[int, PathDelayFault]]) -> None:
+        survivors, dropped = self.bus.admit(arrivals)
+        lookup = dict(arrivals)
+        for index in dropped:
+            self.settle(
+                index, lookup[index], FaultStatus.SIMULATED, None, "simulation"
+            )
+        self.report.stats.admitted_dropped += len(dropped)
+        for index, fault in survivors:
+            self.pending[index] = fault
+            if self.options.use_fptpg:
+                self.backlog.append(index)
+            else:  # ablation: straight to the APTPG queue
+                self.queued.add(index)
+                self.queue.append(index)
+        self._note_pending_peak()
+
+    def pull(self, stream) -> None:
+        """Fill the pending window from the stream (admission-checked)."""
+        window = self.options.window
+        batch: List[Tuple[int, PathDelayFault]] = []
+        while not self.exhausted:
+            if window is not None and len(self.pending) + len(batch) >= window:
+                break
+            try:
+                index, fault = next(stream)
+            except StopIteration:
+                self.exhausted = True
+                break
+            self.stream_position = index + 1
+            self.report.stats.streamed += 1
+            batch.append((index, fault))
+            if len(batch) >= _ADMIT_CHUNK:
+                self._admit(batch)
+                batch = []
+        if batch:
+            self._admit(batch)
+
+    # ------------------------------------------------------------ rounds
+    def _apply_drops(self, dropped: Sequence[int]) -> None:
+        for index in dropped:
+            self.settle(
+                index,
+                self.pending[index],
+                FaultStatus.SIMULATED,
+                None,
+                "simulation",
+            )
+
+    def fptpg_round(self, executor) -> bool:
+        """Generate one round of up to ``shards`` lane-width batches."""
+        options = self.options
+        capacity = options.shards * options.width
+        targets: List[int] = []
+        while self.backlog and len(targets) < capacity:
+            index = self.backlog.popleft()
+            if index in self.pending:  # not dropped in the meantime
+                targets.append(index)
+        if not targets:
+            return False
+        batches = [
+            targets[start : start + options.width]
+            for start in range(0, len(targets), options.width)
+        ]
+        results = executor.run_fptpg(
+            [[self.pending[i] for i in batch] for batch in batches]
+        )
+        stats = self.report.stats
+        fresh: List[TestPattern] = []
+        for batch, result in zip(batches, results):
+            stats.decisions += result.decisions
+            stats.implication_passes += result.implication_passes
+            stats.seconds_sensitize += result.seconds_sensitize
+            for index, status, pattern in zip(
+                batch, result.statuses, result.patterns
+            ):
+                if status is FaultStatus.TESTED:
+                    self.settle(index, self.pending[index], status, pattern, "fptpg")
+                    fresh.append(pattern)
+                elif status is FaultStatus.REDUNDANT:
+                    self.settle(index, self.pending[index], status, None, "fptpg")
+                else:  # deferred to APTPG; stays pending (and droppable)
+                    self.queued.add(index)
+                    self.queue.append(index)
+        self._apply_drops(self.bus.absorb(fresh, self.pending))
+        stats.rounds += 1
+        stats.fptpg_rounds += 1
+        return True
+
+    def aptpg_round(self, executor) -> bool:
+        """Run one round of up to ``shards`` single-fault searches."""
+        targets: List[int] = []
+        while self.queue_head < len(self.queue) and len(targets) < self.options.shards:
+            index = self.queue[self.queue_head]
+            self.queue_head += 1
+            if index in self.pending:  # not dropped in the meantime
+                targets.append(index)
+        if not targets:
+            return False
+        results = executor.run_aptpg([self.pending[i] for i in targets])
+        stats = self.report.stats
+        fresh: List[TestPattern] = []
+        for index, result in zip(targets, results):
+            stats.decisions += result.decisions
+            stats.backtracks += result.backtracks
+            stats.implication_passes += result.implication_passes
+            stats.seconds_sensitize += result.seconds_sensitize
+            status = result.statuses[0]
+            pattern = result.patterns[0]
+            self.settle(index, self.pending[index], status, pattern, "aptpg")
+            if pattern is not None:
+                fresh.append(pattern)
+        self._apply_drops(self.bus.absorb(fresh, self.pending))
+        stats.rounds += 1
+        stats.aptpg_rounds += 1
+        return True
+
+    # ------------------------------------------------------------ checkpoint
+    def _pattern_positions(self) -> Dict[int, int]:
+        if self.report.records is None:
+            return {}
+        positions = {id(p): k for k, p in enumerate(self.bus.patterns)}
+        return {
+            index: positions[id(record.pattern)]
+            for index, record in self.report.records.items()
+            if record.pattern is not None and id(record.pattern) in positions
+        }
+
+    def save_checkpoint(self) -> None:
+        path = self.options.checkpoint
+        if path is None:
+            return
+        self.report.patterns = self.bus.patterns
+        payload = checkpoint_payload(
+            self.report,
+            self.pending,
+            self.queue[self.queue_head :],
+            self.stream_position,
+            self.exhausted,
+            self._pattern_positions(),
+            schedule_fingerprint(self.options, self.universe.describe()),
+            self.bus.obligations,
+        )
+        write_checkpoint(path, payload)
+
+    def try_resume(self) -> bool:
+        options = self.options
+        if not options.resume or options.checkpoint is None:
+            return False
+        if not os.path.exists(options.checkpoint):
+            return False
+        payload = load_checkpoint(options.checkpoint)
+        for key, want in (
+            ("circuit", self.circuit.name),
+            ("test_class", self.test_class.value),
+            ("width", options.width),
+            ("shards", options.shards),
+        ):
+            if payload[key] != want:
+                raise ValueError(
+                    f"checkpoint {options.checkpoint!r} was written for "
+                    f"{key}={payload[key]!r}, not {want!r}"
+                )
+        fingerprint = schedule_fingerprint(options, self.universe.describe())
+        saved = payload["schedule"]
+        if saved != fingerprint:
+            changed = sorted(
+                key
+                for key in set(saved) | set(fingerprint)
+                if saved.get(key) != fingerprint.get(key)
+            )
+            raise ValueError(
+                f"checkpoint {options.checkpoint!r} was written under a "
+                f"different schedule/universe configuration (changed: "
+                f"{', '.join(changed)}); resuming would attach recorded "
+                f"statuses to different faults"
+            )
+        pending, queue, position, exhausted, obligations = restore_from_payload(
+            payload, self.report
+        )
+        self.bus.obligations = obligations
+        self.pending = pending
+        self.queued = set(queue)
+        # pending serializes in stream order, so the rebuilt backlog
+        # preserves the batching cursor of the interrupted run
+        self.backlog = deque(i for i in pending if i not in self.queued)
+        self.queue = queue
+        self.queue_head = 0
+        self.stream_position = position
+        self.exhausted = exhausted
+        self.bus.patterns = self.report.patterns
+        self.bus.seconds_simulate = self.report.stats.seconds_simulate
+        self.bus.compactions = self.report.stats.compactions
+        self.bus.patterns_compacted_away = (
+            self.report.stats.patterns_compacted_away
+        )
+        self.report.complete = bool(payload["complete"])
+        return True
+
+    # ------------------------------------------------------------ main loop
+    def run(self) -> CampaignReport:
+        options = self.options
+        t_start = time.perf_counter()
+        resumed = self.try_resume()
+        if resumed and self.report.complete:
+            return self.report
+        stream = self.universe.stream(start=self.stream_position)
+        executor = make_executor(
+            self.circuit,
+            self.test_class,
+            options.width,
+            options.unique_backward,
+            options.backtrack_limit,
+            options.workers,
+        )
+        rounds_since_checkpoint = 0
+        try:
+            while True:
+                self.pull(stream)
+                progressed = False
+                if options.use_fptpg:
+                    progressed = self.fptpg_round(executor)
+                if not progressed and options.use_aptpg:
+                    progressed = self.aptpg_round(executor)
+                if progressed:
+                    rounds_since_checkpoint += 1
+                    if rounds_since_checkpoint >= options.checkpoint_every:
+                        self.report.stats.seconds_simulate = (
+                            self.bus.seconds_simulate
+                        )
+                        self.save_checkpoint()
+                        rounds_since_checkpoint = 0
+                    continue
+                if not self.exhausted:
+                    if (
+                        options.window is not None
+                        and len(self.pending) >= options.window
+                    ):
+                        # Window saturated with faults nothing can run
+                        # (deferred residue with APTPG disabled): settle
+                        # them so the stream can advance.
+                        for index in list(self.pending):
+                            self.settle(
+                                index,
+                                self.pending[index],
+                                FaultStatus.DEFERRED,
+                                None,
+                                "fptpg",
+                            )
+                    continue
+                break
+        finally:
+            executor.close()
+        # residue: deferred faults that APTPG never ran (ablations)
+        for index in list(self.pending):
+            self.settle(
+                index, self.pending[index], FaultStatus.DEFERRED, None, "fptpg"
+            )
+        self.report.patterns = self.bus.patterns
+        stats = self.report.stats
+        stats.seconds_simulate = self.bus.seconds_simulate
+        stats.compactions = self.bus.compactions
+        stats.patterns_compacted_away = self.bus.patterns_compacted_away
+        stats.seconds_wall += time.perf_counter() - t_start
+        self.report.complete = True
+        self.save_checkpoint()
+        return self.report
+
+
+def run_campaign(
+    circuit: Circuit,
+    faults: Optional[Sequence[PathDelayFault]] = None,
+    test_class: TestClass = TestClass.NONROBUST,
+    options: Optional[CampaignOptions] = None,
+    universe: Optional[FaultUniverse] = None,
+) -> CampaignReport:
+    """Run a staged ATPG campaign over *circuit*.
+
+    Provide either *faults* (a materialized list, engine-style) or a
+    *universe* (the streaming path); with neither, the full structural
+    fault universe of the circuit is streamed.
+    """
+    options = options or CampaignOptions()
+    if universe is None:
+        if faults is not None:
+            universe = FaultUniverse.from_faults(faults)
+        else:
+            universe = FaultUniverse.from_circuit(circuit)
+    elif faults is not None:
+        raise ValueError("pass either faults or universe, not both")
+    circuit.compiled()  # lower once; workers rebuild from the same form
+    return _Campaign(circuit, universe, test_class, options).run()

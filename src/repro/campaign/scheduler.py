@@ -1,0 +1,226 @@
+"""Shard execution: lane-width batches across a process pool.
+
+The campaign schedule (see :mod:`repro.campaign.runner`) is a sequence
+of *rounds*; each round is ``shards`` independent units of generation
+work — FPTPG batches of up to ``width`` faults, or single-fault APTPG
+searches.  This module executes one round's shards, either in-process
+(:class:`SerialExecutor`) or on a :mod:`multiprocessing` pool
+(:class:`PoolExecutor`).
+
+Each pool worker receives the circuit once, at initialization, and
+rebuilds the shared :class:`repro.kernel.CompiledCircuit` plus the
+controllability tables exactly once; per-shard messages carry only the
+fault structures in and plain :class:`ShardResult` rows out (never a
+``TpgState``), so IPC stays proportional to the work, not the
+circuit.  ``Pool.map`` preserves submission order, which keeps the
+campaign's outcome independent of worker count and timing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..circuit import Circuit
+from ..core.aptpg import run_aptpg
+from ..core.controllability import Controllability, compute_controllability
+from ..core.fptpg import run_fptpg
+from ..core.patterns import TestPattern
+from ..core.results import FaultStatus
+from ..paths import PathDelayFault, TestClass
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one generation shard, cheap to pickle.
+
+    For an FPTPG shard the lists are parallel to the batch's faults;
+    for an APTPG shard they have length one.
+    """
+
+    statuses: List[FaultStatus]
+    patterns: List[Optional[TestPattern]]
+    decisions: int = 0
+    backtracks: int = 0
+    implication_passes: int = 0
+    seconds_sensitize: float = 0.0
+
+
+@dataclass
+class _WorkerContext:
+    """Per-process generation state, built once per worker."""
+
+    circuit: Circuit
+    test_class: TestClass
+    width: int
+    use_backward: bool
+    backtrack_limit: int
+    controllability: Controllability = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.circuit.compiled()  # lower the netlist once per process
+        self.controllability = compute_controllability(self.circuit)
+
+    # ------------------------------------------------------------ shards
+    def fptpg_shard(self, faults: Sequence[PathDelayFault]) -> ShardResult:
+        outcome = run_fptpg(
+            self.circuit,
+            list(faults),
+            self.test_class,
+            self.width,
+            self.controllability,
+            use_backward=self.use_backward,
+        )
+        return ShardResult(
+            statuses=list(outcome.statuses),
+            patterns=list(outcome.patterns),
+            decisions=outcome.decisions,
+            implication_passes=outcome.state.implication_passes,
+            seconds_sensitize=outcome.seconds_sensitize,
+        )
+
+    def aptpg_shard(self, fault: PathDelayFault) -> ShardResult:
+        outcome = run_aptpg(
+            self.circuit,
+            fault,
+            self.test_class,
+            self.width,
+            self.controllability,
+            backtrack_limit=self.backtrack_limit,
+            use_backward=self.use_backward,
+        )
+        return ShardResult(
+            statuses=[outcome.status],
+            patterns=[outcome.pattern],
+            decisions=outcome.decisions,
+            backtracks=outcome.backtracks,
+            implication_passes=outcome.state.implication_passes,
+            seconds_sensitize=outcome.seconds_sensitize,
+        )
+
+
+# ---------------------------------------------------------------------------
+# pool worker plumbing (module-level for picklability)
+# ---------------------------------------------------------------------------
+
+_WORKER: Optional[_WorkerContext] = None
+
+
+def _init_worker(
+    circuit: Circuit,
+    test_class: TestClass,
+    width: int,
+    use_backward: bool,
+    backtrack_limit: int,
+) -> None:
+    global _WORKER
+    _WORKER = _WorkerContext(
+        circuit, test_class, width, use_backward, backtrack_limit
+    )
+
+
+def _pool_fptpg(faults: Sequence[PathDelayFault]) -> ShardResult:
+    assert _WORKER is not None, "worker pool not initialized"
+    return _WORKER.fptpg_shard(faults)
+
+
+def _pool_aptpg(fault: PathDelayFault) -> ShardResult:
+    assert _WORKER is not None, "worker pool not initialized"
+    return _WORKER.aptpg_shard(fault)
+
+
+# ---------------------------------------------------------------------------
+# executors
+# ---------------------------------------------------------------------------
+
+
+class SerialExecutor:
+    """Run every shard in the calling process (workers = 1)."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        test_class: TestClass,
+        width: int,
+        use_backward: bool,
+        backtrack_limit: int,
+    ):
+        self._context = _WorkerContext(
+            circuit, test_class, width, use_backward, backtrack_limit
+        )
+
+    def run_fptpg(
+        self, batches: Sequence[Sequence[PathDelayFault]]
+    ) -> List[ShardResult]:
+        return [self._context.fptpg_shard(batch) for batch in batches]
+
+    def run_aptpg(
+        self, faults: Sequence[PathDelayFault]
+    ) -> List[ShardResult]:
+        return [self._context.aptpg_shard(fault) for fault in faults]
+
+    def close(self) -> None:
+        pass
+
+
+class PoolExecutor:
+    """Run shards on a multiprocessing pool (workers >= 2).
+
+    Prefers the ``fork`` start method (workers inherit the already
+    compiled circuit copy-on-write); falls back to the platform
+    default, where the initializer rebuilds it from the pickled
+    circuit.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        test_class: TestClass,
+        width: int,
+        use_backward: bool,
+        backtrack_limit: int,
+        workers: int,
+    ):
+        circuit.compiled()  # compile before fork so children inherit it
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        self._pool = context.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(circuit, test_class, width, use_backward, backtrack_limit),
+        )
+
+    def run_fptpg(
+        self, batches: Sequence[Sequence[PathDelayFault]]
+    ) -> List[ShardResult]:
+        return self._pool.map(_pool_fptpg, [list(b) for b in batches])
+
+    def run_aptpg(
+        self, faults: Sequence[PathDelayFault]
+    ) -> List[ShardResult]:
+        return self._pool.map(_pool_aptpg, list(faults))
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+
+def make_executor(
+    circuit: Circuit,
+    test_class: TestClass,
+    width: int,
+    use_backward: bool,
+    backtrack_limit: int,
+    workers: int,
+):
+    """The executor for *workers* processes (1 = in-process)."""
+    if workers <= 1:
+        return SerialExecutor(
+            circuit, test_class, width, use_backward, backtrack_limit
+        )
+    return PoolExecutor(
+        circuit, test_class, width, use_backward, backtrack_limit, workers
+    )

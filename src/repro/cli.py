@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Four entry points, invoked as ``PYTHONPATH=src python -c "from
+Five entry points, invoked as ``PYTHONPATH=src python -c "from
 repro.cli import main_<name>; main_<name>([...])"`` (no console
 scripts are registered — the setup shim carries no entry-point
 metadata):
 
 * ``tip-atpg`` — generate robust/nonrobust path delay tests for a
   circuit (a ``.bench`` file, an embedded circuit, or a suite name).
+* ``tip-campaign`` — staged ATPG campaign: stream the fault universe,
+  shard generation across worker processes, drop collaterally
+  detected faults globally, checkpoint and resume.
 * ``tip-paths`` — count/enumerate structural paths and faults.
 * ``tip-experiments`` — regenerate the paper's tables and figures.
 * ``tip-bench-sim`` — PPSFP throughput (patterns x faults / second)
@@ -27,6 +30,7 @@ from .analysis import (
     run_ablation_implications,
     run_ablation_modes,
     run_ablation_word_length,
+    run_campaign_scaling,
     run_figure1,
     run_figure2,
     run_table3,
@@ -126,6 +130,177 @@ def main_atpg(argv: Optional[List[str]] = None) -> int:
         for record in report.records:
             if record.pattern is not None:
                 print(record.pattern.describe(circuit))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# tip-campaign
+# ---------------------------------------------------------------------------
+
+
+def main_campaign(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tip-campaign",
+        description=(
+            "Staged ATPG campaign: stream the structural fault universe "
+            "lazily, shard lane-width generation batches across worker "
+            "processes, and drop collaterally detected faults on a global "
+            "simulation bus after every round."
+        ),
+        epilog=(
+            "Checkpoint/resume: with --checkpoint PATH, progress (settled "
+            "statuses, retained patterns, pending window, stream position) "
+            "is written atomically every --checkpoint-every rounds and once "
+            "at completion.  Re-running the same command with --resume "
+            "restarts exactly where the interrupted campaign stopped — the "
+            "fault stream is deterministic and re-enters by position, so no "
+            "generation or simulation work is repeated."
+        ),
+    )
+    parser.add_argument("circuit", help=".bench file, embedded or suite circuit name")
+    parser.add_argument(
+        "--class",
+        dest="test_class",
+        choices=["robust", "nonrobust"],
+        default="nonrobust",
+        help="test class (default: nonrobust)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=DEFAULT_WORD_LENGTH, help="word length L"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process; statuses are identical "
+        "for every worker count)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="generation batches per drop round (default: 2, independent of "
+        "--workers so worker count never changes results; raise it "
+        "explicitly to give every worker a batch per round — that widens "
+        "the schedule deterministically and changes per-fault statuses "
+        "the same way for every worker count)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=4096,
+        help="peak pending faults held in memory (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--max-paths",
+        type=int,
+        default=None,
+        help="budget cap on streamed structural paths (two faults each)",
+    )
+    parser.add_argument(
+        "--max-faults", type=int, default=None, help="budget cap on streamed faults"
+    )
+    parser.add_argument(
+        "--min-length", type=int, default=None, help="keep paths of >= this length"
+    )
+    parser.add_argument(
+        "--max-length", type=int, default=None, help="keep paths of <= this length"
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, help="JSON checkpoint file for resume"
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        help="rounds between checkpoint writes (default: 16)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from --checkpoint if it exists",
+    )
+    parser.add_argument(
+        "--compact-every",
+        type=int,
+        default=None,
+        help="incremental reverse-order compaction of the retained pattern "
+        "set every N fresh patterns (default: off)",
+    )
+    parser.add_argument(
+        "--no-drop", action="store_true", help="disable fault dropping"
+    )
+    parser.add_argument(
+        "--no-records",
+        action="store_true",
+        help="keep statuses only (lower memory for huge campaigns)",
+    )
+    parser.add_argument("--scale", type=int, default=1, help="suite circuit scale")
+    parser.add_argument(
+        "--json", dest="json_path", default=None, help="write the summary as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from .campaign import (
+        DEFAULT_SHARDS,
+        CampaignOptions,
+        FaultUniverse,
+        run_campaign,
+    )
+
+    circuit = resolve_circuit(args.circuit, args.scale)
+    test_class = (
+        TestClass.ROBUST if args.test_class == "robust" else TestClass.NONROBUST
+    )
+    max_faults = args.max_faults
+    if args.max_paths is not None:
+        cap = 2 * args.max_paths
+        max_faults = cap if max_faults is None else min(max_faults, cap)
+    universe = FaultUniverse.from_circuit(
+        circuit,
+        max_faults=max_faults,
+        min_length=args.min_length,
+        max_length=args.max_length,
+    )
+    options = CampaignOptions(
+        width=args.width,
+        shards=args.shards if args.shards is not None else DEFAULT_SHARDS,
+        workers=args.workers,
+        window=args.window if args.window > 0 else None,
+        drop_faults=not args.no_drop,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        compact_every=args.compact_every,
+        keep_records=not args.no_records,
+    )
+    report = run_campaign(
+        circuit, universe=universe, test_class=test_class, options=options
+    )
+    print(
+        render_table(
+            [report.summary()], title=f"{circuit.name}: campaign summary"
+        )
+    )
+    stats = report.stats
+    print(
+        f"rounds: {stats.rounds} (fptpg {stats.fptpg_rounds}, "
+        f"aptpg {stats.aptpg_rounds}), peak pending: {stats.peak_pending}, "
+        f"admission-dropped: {stats.admitted_dropped}, "
+        f"compactions: {stats.compactions}"
+    )
+    if args.checkpoint:
+        print(f"checkpoint: {args.checkpoint}")
+    if args.json_path:
+        payload = {
+            "summary": report.summary(),
+            "stats": stats.as_dict(),
+            "universe": universe.describe(),
+        }
+        with open(args.json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_path}")
     return 0
 
 
@@ -330,6 +505,7 @@ _EXPERIMENTS = {
     "ablation-L": run_ablation_word_length,
     "ablation-modes": run_ablation_modes,
     "ablation-implications": run_ablation_implications,
+    "campaign-scaling": run_campaign_scaling,
 }
 
 

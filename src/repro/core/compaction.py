@@ -11,16 +11,27 @@ compaction never loses coverage:
   ones),
 * **greedy set cover**: repeatedly keep the pattern covering the most
   uncovered faults (slower, usually smaller sets).
+
+Both accept the simulator ``backend`` option (mirroring the engine's
+``sim_backend`` plumbing): bulk compaction of >64-pattern sets runs on
+the numpy multi-word backend, in correspondingly larger simulation
+batches.  The campaign drop bus reuses reverse-order dropping for its
+incremental compaction passes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..circuit import Circuit
 from ..paths import PathDelayFault, TestClass
 from ..sim.delay_sim import DelayFaultSimulator
 from .patterns import TestPattern
+
+#: PPSFP batch sizes per word backend: one machine word for the
+#: Python-int path, multi-word bulk batches for numpy.
+_INT_BATCH = 64
+_BULK_BATCH = 1024
 
 
 def _coverage_table(
@@ -28,16 +39,24 @@ def _coverage_table(
     patterns: Sequence[TestPattern],
     faults: Sequence[PathDelayFault],
     test_class: TestClass,
-    batch: int = 64,
+    batch: Optional[int] = None,
+    backend: str = "auto",
 ) -> List[Set[int]]:
-    """For each pattern, the set of fault indices it detects."""
-    simulator = DelayFaultSimulator(circuit, test_class)
+    """For each pattern, the set of fault indices it detects.
+
+    ``batch`` defaults per backend: 64 patterns (one machine word) on
+    the int path, 1024 on numpy — ``auto`` picks numpy whenever the
+    set is larger than a machine word, so bulk compaction amortizes
+    the per-gate cost over many lane words.
+    """
+    simulator = DelayFaultSimulator(circuit, test_class, backend=backend)
+    if batch is None:
+        batch = _INT_BATCH if backend == "int" else _BULK_BATCH
     covers: List[Set[int]] = [set() for _ in patterns]
     for start in range(0, len(patterns), batch):
         chunk = patterns[start : start + batch]
-        hits = simulator.detected_faults(chunk, faults)
-        for fault_index, fault in enumerate(faults):
-            lanes = hits[fault]
+        masks = simulator.detection_masks(chunk, faults)
+        for fault_index, lanes in enumerate(masks):
             while lanes:
                 lane = (lanes & -lanes).bit_length() - 1
                 lanes &= lanes - 1
@@ -50,12 +69,13 @@ def reverse_order_compaction(
     patterns: Sequence[TestPattern],
     faults: Sequence[PathDelayFault],
     test_class: TestClass = TestClass.NONROBUST,
+    backend: str = "auto",
 ) -> List[TestPattern]:
     """Keep a pattern only if it detects a fault no later pattern does.
 
     Preserves the full detected-fault set (checked by the tests).
     """
-    covers = _coverage_table(circuit, patterns, faults, test_class)
+    covers = _coverage_table(circuit, patterns, faults, test_class, backend=backend)
     kept: List[Tuple[int, TestPattern]] = []
     covered: Set[int] = set()
     for index in range(len(patterns) - 1, -1, -1):
@@ -72,9 +92,10 @@ def greedy_compaction(
     patterns: Sequence[TestPattern],
     faults: Sequence[PathDelayFault],
     test_class: TestClass = TestClass.NONROBUST,
+    backend: str = "auto",
 ) -> List[TestPattern]:
     """Greedy set cover over the pattern/fault detection table."""
-    covers = _coverage_table(circuit, patterns, faults, test_class)
+    covers = _coverage_table(circuit, patterns, faults, test_class, backend=backend)
     target: Set[int] = set()
     for cover in covers:
         target |= cover
@@ -98,11 +119,14 @@ def compaction_report(
     patterns: Sequence[TestPattern],
     faults: Sequence[PathDelayFault],
     test_class: TestClass = TestClass.NONROBUST,
+    backend: str = "auto",
 ) -> Dict[str, object]:
     """Before/after sizes and coverage for both strategies."""
-    simulator = DelayFaultSimulator(circuit, test_class)
-    reverse = reverse_order_compaction(circuit, patterns, faults, test_class)
-    greedy = greedy_compaction(circuit, patterns, faults, test_class)
+    simulator = DelayFaultSimulator(circuit, test_class, backend=backend)
+    reverse = reverse_order_compaction(
+        circuit, patterns, faults, test_class, backend=backend
+    )
+    greedy = greedy_compaction(circuit, patterns, faults, test_class, backend=backend)
     return {
         "patterns": len(patterns),
         "reverse_order": len(reverse),

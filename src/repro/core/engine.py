@@ -7,10 +7,29 @@ utilisation; faults that would need backtracking are deferred and
 afterwards examined one at a time with APTPG, whose lanes explore
 ``2^log2(L)`` pattern alternatives in parallel.
 
-As in the paper, bit-parallel fault simulation runs "after every L
-generated test patterns": collaterally detected pending faults are
+As in the paper, bit-parallel fault simulation runs after every round
+of generated test patterns: collaterally detected pending faults are
 dropped (status ``SIMULATED``), which is where a large part of the
 practical speed-up comes from.
+
+Since the campaign refactor this module is a thin façade: the engine
+*is* a 1-worker :func:`repro.campaign.run_campaign` over a
+pre-materialized fault universe with an unbounded window.  The
+campaign's round schedule (``DEFAULT_SHARDS`` lane-width batches per
+drop round) is shared verbatim, so a multi-worker campaign produces
+bit-identical per-fault statuses to this serial engine — that
+equivalence is asserted by ``tests/test_campaign.py``.
+
+Note the drop *cadence* this implies: PPSFP dropping runs after every
+round of ``DEFAULT_SHARDS`` batches (and after every round of
+``DEFAULT_SHARDS`` APTPG faults), not after every single batch as the
+seed engine did.  Batches inside a round are composed before any of
+the round's drops apply — that independence is precisely what lets
+rounds shard across processes without changing results.  Per-fault
+TESTED/SIMULATED splits (and therefore pattern counts) can differ
+from the pre-campaign engine on drop-heavy workloads; the detected
+fault set, redundancy verdicts, and the Tables 5/6 methodology are
+unaffected, and compaction recovers the extra patterns.
 
 The same engine with ``width=1`` *is* the single-bit reference
 generator of the paper's Tables 5/6 (see
@@ -19,18 +38,13 @@ generator of the paper's Tables 5/6 (see
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from ..circuit import Circuit
 from ..logic.words import DEFAULT_WORD_LENGTH
 from ..paths import PathDelayFault, TestClass
-from ..sim.delay_sim import DelayFaultSimulator
-from .aptpg import run_aptpg
-from .controllability import compute_controllability
-from .fptpg import run_fptpg
-from .results import FaultRecord, FaultStatus, TpgReport
+from .results import TpgReport
 
 
 @dataclass
@@ -40,7 +54,7 @@ class TpgOptions:
     Attributes:
         width: machine word length ``L`` (lanes).
         backtrack_limit: APTPG backtracks before aborting a fault.
-        drop_faults: run PPSFP after every ``L`` patterns and drop
+        drop_faults: run PPSFP after every generation round and drop
             collaterally detected faults (paper Section 5).
         use_fptpg / use_aptpg: ablation switches; disabling FPTPG
             sends every fault straight to APTPG and vice versa.
@@ -72,119 +86,31 @@ def generate_tests(
     the :class:`FaultStatus` states; ``DEFERRED`` only survives when
     APTPG is disabled by the options.
     """
+    # Imported lazily: campaign workers import the core generation
+    # modules, so a top-level import here would be circular.
+    from ..campaign.report import CampaignOptions
+    from ..campaign.runner import run_campaign
+
     options = options or TpgOptions()
-    report = TpgReport(
-        circuit_name=circuit.name,
-        test_class=test_class,
-        width=options.width,
-    )
     if not faults:
-        return report
-
-    # Lower the netlist once; every stage below — sensitization,
-    # implication, PPSFP dropping — executes on the shared compiled
-    # kernel rather than the circuit object graph.
-    circuit.compiled()
-    controllability = compute_controllability(circuit)
-    simulator = DelayFaultSimulator(circuit, test_class, backend=options.sim_backend)
-    records: Dict[int, FaultRecord] = {}
-    pending: List[int] = list(range(len(faults)))
-    aptpg_queue: List[int] = []
-    fresh_patterns: List = []
-
-    def drop_with_simulation() -> None:
-        """PPSFP over the last <= L patterns; drop detected pending faults."""
-        if not options.drop_faults or not fresh_patterns:
-            return
-        t0 = time.perf_counter()
-        candidates = [i for i in pending if i not in records]
-        hit = simulator.detected_faults(
-            fresh_patterns, [faults[i] for i in candidates]
+        return TpgReport(
+            circuit_name=circuit.name,
+            test_class=test_class,
+            width=options.width,
         )
-        for i in candidates:
-            if hit[faults[i]]:
-                records[i] = FaultRecord(
-                    faults[i], FaultStatus.SIMULATED, mode="simulation"
-                )
-        report.seconds_simulate += time.perf_counter() - t0
-        fresh_patterns.clear()
-
-    # ------------------------------------------------------------ FPTPG
-    t_start = time.perf_counter()
-    if options.use_fptpg:
-        cursor = 0
-        while cursor < len(pending):
-            batch: List[int] = []
-            while cursor < len(pending) and len(batch) < options.width:
-                index = pending[cursor]
-                cursor += 1
-                if index not in records:
-                    batch.append(index)
-            if not batch:
-                continue
-            outcome = run_fptpg(
-                circuit,
-                [faults[i] for i in batch],
-                test_class,
-                options.width,
-                controllability,
-                use_backward=options.unique_backward,
-            )
-            report.seconds_sensitize += outcome.seconds_sensitize
-            report.decisions += outcome.decisions
-            report.implication_passes += outcome.state.implication_passes
-            for index, status, pattern in zip(
-                batch, outcome.statuses, outcome.patterns
-            ):
-                if status is FaultStatus.TESTED:
-                    records[index] = FaultRecord(
-                        faults[index], status, pattern, mode="fptpg"
-                    )
-                    fresh_patterns.append(pattern)
-                elif status is FaultStatus.REDUNDANT:
-                    records[index] = FaultRecord(faults[index], status, mode="fptpg")
-                else:
-                    aptpg_queue.append(index)
-            drop_with_simulation()
-    else:
-        aptpg_queue = list(pending)
-
-    # ------------------------------------------------------------ APTPG
-    if options.use_aptpg:
-        for index in aptpg_queue:
-            if index in records:
-                continue  # dropped by simulation in the meantime
-            outcome = run_aptpg(
-                circuit,
-                faults[index],
-                test_class,
-                options.width,
-                controllability,
-                backtrack_limit=options.backtrack_limit,
-                use_backward=options.unique_backward,
-            )
-            report.seconds_sensitize += outcome.seconds_sensitize
-            report.decisions += outcome.decisions
-            report.backtracks += outcome.backtracks
-            report.implication_passes += outcome.state.implication_passes
-            records[index] = FaultRecord(
-                faults[index], outcome.status, outcome.pattern, mode="aptpg"
-            )
-            if outcome.pattern is not None:
-                fresh_patterns.append(outcome.pattern)
-                if len(fresh_patterns) >= options.width:
-                    drop_with_simulation()
-        drop_with_simulation()
-    else:
-        for index in aptpg_queue:
-            if index not in records:
-                records[index] = FaultRecord(
-                    faults[index], FaultStatus.DEFERRED, mode="fptpg"
-                )
-
-    total = time.perf_counter() - t_start
-    report.seconds_generate = max(
-        0.0, total - report.seconds_sensitize - report.seconds_simulate
+    campaign_options = CampaignOptions(
+        width=options.width,
+        workers=1,
+        window=None,  # the caller materialized the list; admit it all
+        backtrack_limit=options.backtrack_limit,
+        drop_faults=options.drop_faults,
+        use_fptpg=options.use_fptpg,
+        use_aptpg=options.use_aptpg,
+        unique_backward=options.unique_backward,
+        sim_backend=options.sim_backend,
     )
-    report.records = [records[i] for i in range(len(faults))]
-    return report
+    report = run_campaign(
+        circuit, faults=list(faults), test_class=test_class,
+        options=campaign_options,
+    )
+    return report.as_tpg_report()

@@ -209,24 +209,25 @@ class DelayFaultSimulator:
         self.backend = backend
 
     # ------------------------------------------------------------------
-    def detected_faults(
+    def detection_masks(
         self,
         patterns: Sequence[PatternLike],
-        faults: Iterable[PathDelayFault],
-    ) -> Dict[PathDelayFault, int]:
-        """Map each fault to the lane mask of detecting patterns (0 = none).
+        faults: Sequence[PathDelayFault],
+    ) -> List[int]:
+        """Lane masks aligned with *faults* (``masks[k]`` for ``faults[k]``).
 
-        All pending faults are checked against all patterns in one
-        batched pass: one forward plane simulation of the whole batch,
-        then per-fault pure bitwise detection checks — vectorized over
+        All faults are checked against all patterns in one batched
+        pass: one forward plane simulation of the whole batch, then
+        per-fault pure bitwise detection checks — vectorized over
         multi-word numpy planes when the batch exceeds one machine
         word.  Lane ``k`` of a returned mask corresponds to
-        ``patterns[k]`` regardless of backend.
+        ``patterns[k]`` regardless of backend.  Index-aligned output
+        avoids hashing long path tuples on hot drop loops (the
+        campaign drop bus calls this after every round).
         """
-        faults = list(faults)
         width = len(patterns)
         if width == 0:
-            return {fault: 0 for fault in faults}
+            return [0] * len(faults)
         robust = self.test_class is TestClass.ROBUST
         compiled = self.compiled
         backend = backend_for(width, self.backend)
@@ -234,21 +235,33 @@ class DelayFaultSimulator:
             packed = PackedPatterns.from_patterns(patterns)
             values = backend.simulate_planes7(compiled, packed.planes7())
             valid = backend.lane_valid
-            return {
-                fault: words_to_int(
+            return [
+                words_to_int(
                     np.asarray(
                         _detection_mask_compiled(compiled, fault, values, valid, robust),
                         dtype=np.uint64,
                     )
                 )
                 for fault in faults
-            }
+            ]
         input_planes, _ = pack_patterns(self.circuit, patterns)
         values = backend.simulate_planes7(compiled, input_planes)
-        return {
-            fault: _detection_mask_compiled(compiled, fault, values, backend.mask, robust)
+        return [
+            _detection_mask_compiled(compiled, fault, values, backend.mask, robust)
             for fault in faults
-        }
+        ]
+
+    def detected_faults(
+        self,
+        patterns: Sequence[PatternLike],
+        faults: Iterable[PathDelayFault],
+    ) -> Dict[PathDelayFault, int]:
+        """Map each fault to the lane mask of detecting patterns (0 = none).
+
+        Dict-keyed convenience wrapper over :meth:`detection_masks`.
+        """
+        faults = list(faults)
+        return dict(zip(faults, self.detection_masks(patterns, faults)))
 
     def detects(self, pattern: PatternLike, fault: PathDelayFault) -> bool:
         """True if a single pattern detects a single fault."""

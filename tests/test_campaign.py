@@ -1,0 +1,430 @@
+"""Tests for the staged ATPG campaign pipeline.
+
+The load-bearing invariant: the campaign schedule is a pure function
+of its options, never of worker count or timing — so a multi-process
+campaign produces *bit-identical* per-fault statuses to the serial
+engine (which is a 1-worker campaign by construction).  The tests
+assert that equivalence on the c880-scale suite and on random
+circuits (property-based), plus the streaming window bound,
+checkpoint/resume, incremental compaction, and the fault universe's
+filtering/dedup/budget semantics.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    CampaignOptions,
+    CampaignReport,
+    FaultUniverse,
+    run_campaign,
+)
+from repro.campaign.runner import _Campaign
+from repro.circuit import CircuitBuilder
+from repro.circuit.generators import random_dag, ripple_carry_adder
+from repro.circuit.suites import suite_circuit
+from repro.core import FaultStatus, TpgOptions, generate_tests
+from repro.paths import TestClass, all_faults, fault_list
+from repro.sim import DelayFaultSimulator
+
+
+def campaign_statuses(report: CampaignReport):
+    return [report.statuses[i] for i in range(report.n_faults)]
+
+
+def engine_statuses(report):
+    return [record.status for record in report.records]
+
+
+def detected_set(report):
+    return {
+        i
+        for i, record in enumerate(report.records)
+        if record.is_detected
+    }
+
+
+class TestSerialEquivalence:
+    """campaign(workers=k) == serial engine, for every k."""
+
+    @pytest.mark.parametrize("test_class", [TestClass.NONROBUST, TestClass.ROBUST])
+    def test_c880_scale_workers2_identical(self, test_class):
+        circuit = suite_circuit("c880", 1)
+        faults = fault_list(circuit, cap=160, strategy="all")
+        serial = generate_tests(circuit, faults, test_class, TpgOptions(width=16))
+        campaign = run_campaign(
+            circuit,
+            faults=faults,
+            test_class=test_class,
+            options=CampaignOptions(width=16, workers=2),
+        )
+        assert campaign_statuses(campaign) == engine_statuses(serial)
+        assert set(campaign.detected_indices()) == detected_set(serial)
+        # post-simulation coverage of the generated sets is identical
+        sim = DelayFaultSimulator(circuit, test_class)
+        assert sim.coverage(campaign.patterns, faults) == pytest.approx(
+            sim.coverage(serial.patterns, faults)
+        )
+
+    def test_workers_do_not_change_statuses_with_drops(self):
+        # this workload exercises SIMULATED, REDUNDANT and TESTED at once
+        circuit = random_dag(10, 40, seed=7)
+        faults = all_faults(circuit, cap=200)
+        reports = [
+            run_campaign(
+                circuit,
+                faults=faults,
+                options=CampaignOptions(width=4, workers=workers),
+            )
+            for workers in (1, 2)
+        ]
+        assert campaign_statuses(reports[0]) == campaign_statuses(reports[1])
+        statuses = set(campaign_statuses(reports[0]))
+        assert FaultStatus.SIMULATED in statuses  # drops really happened
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        width=st.sampled_from([2, 4, 8]),
+        robust=st.booleans(),
+    )
+    def test_property_random_circuits(self, seed, width, robust):
+        circuit = random_dag(8, 30, seed=seed)
+        faults = all_faults(circuit, cap=80)
+        test_class = TestClass.ROBUST if robust else TestClass.NONROBUST
+        serial = generate_tests(
+            circuit, faults, test_class, TpgOptions(width=width)
+        )
+        campaign = run_campaign(
+            circuit,
+            faults=faults,
+            test_class=test_class,
+            options=CampaignOptions(width=width, workers=2),
+        )
+        assert campaign_statuses(campaign) == engine_statuses(serial)
+        assert set(campaign.detected_indices()) == detected_set(serial)
+
+
+class TestStreaming:
+    def test_window_bounds_pending_set(self):
+        circuit = suite_circuit("c880", 1)
+        universe = FaultUniverse.from_circuit(circuit, max_faults=300)
+        report = run_campaign(
+            circuit,
+            universe=universe,
+            options=CampaignOptions(width=16, window=48),
+        )
+        assert report.n_faults == 300
+        assert report.stats.peak_pending <= 48
+        assert report.complete
+
+    def test_windowed_detection_matches_serial(self):
+        circuit = random_dag(10, 40, seed=7)
+        faults = all_faults(circuit, cap=200)
+        serial = generate_tests(
+            circuit, faults, TestClass.NONROBUST, TpgOptions(width=4)
+        )
+        windowed = run_campaign(
+            circuit,
+            universe=FaultUniverse.from_faults(faults),
+            options=CampaignOptions(width=4, window=16),
+        )
+        # the drop schedule differs under a bounded window, so statuses
+        # may trade TESTED for SIMULATED — but detection must agree
+        assert set(windowed.detected_indices()) == detected_set(serial)
+        assert windowed.stats.peak_pending <= 16
+
+    def test_admission_dropping(self):
+        # two outputs behind one buffer: once the o1 paths are tested,
+        # the o2 faults are covered before they are ever scheduled
+        b = CircuitBuilder("fanout")
+        b.inputs("a")
+        b.buf("x", "a")
+        b.buf("o1", "x")
+        b.buf("o2", "x")
+        b.outputs("o1", "o2")
+        circuit = b.build()
+        faults = all_faults(circuit)
+        report = run_campaign(
+            circuit,
+            universe=FaultUniverse.from_faults(faults),
+            options=CampaignOptions(width=1, shards=2, window=2),
+        )
+        assert report.count(FaultStatus.SIMULATED) > 0
+        assert report.stats.admitted_dropped > 0
+
+
+class TestFaultUniverse:
+    def test_budget_and_filters(self):
+        circuit = ripple_carry_adder(4)
+        universe = FaultUniverse.from_circuit(
+            circuit, max_faults=10, min_length=2, max_length=5
+        )
+        faults = universe.head(100)
+        assert len(faults) == 10
+        assert all(2 <= f.length <= 5 for f in faults)
+
+    def test_predicate_filter(self):
+        circuit = ripple_carry_adder(3)
+        output = circuit.outputs[0]
+        universe = FaultUniverse.from_circuit(
+            circuit, predicate=lambda f: f.output_signal == output
+        )
+        faults = universe.head(50)
+        assert faults and all(f.output_signal == output for f in faults)
+
+    def test_stream_resumes_by_position(self):
+        circuit = ripple_carry_adder(3)
+        universe = FaultUniverse.from_circuit(circuit, max_faults=40)
+        full = list(universe.stream())
+        tail = list(universe.stream(start=25))
+        assert tail == full[25:]
+        assert [i for i, _f in full] == list(range(len(full)))
+
+    def test_dedup(self):
+        circuit = ripple_carry_adder(2)
+        faults = all_faults(circuit, cap=10)
+        universe = FaultUniverse.from_faults(faults + faults, dedup=True)
+        assert len(universe.head(100)) == len(faults)
+
+
+class TestCheckpointResume:
+    def test_interrupted_campaign_resumes_identically(self, tmp_path):
+        circuit = random_dag(10, 40, seed=7)
+        faults = all_faults(circuit, cap=120)
+        options = CampaignOptions(width=4, window=32)
+        baseline = run_campaign(
+            circuit, universe=FaultUniverse.from_faults(faults), options=options
+        )
+
+        # run a few rounds by hand, checkpoint, and abandon the run
+        path = str(tmp_path / "campaign.json")
+        partial_options = CampaignOptions(
+            width=4, window=32, checkpoint=path, resume=True
+        )
+        partial = _Campaign(
+            circuit,
+            FaultUniverse.from_faults(faults),
+            TestClass.NONROBUST,
+            partial_options,
+        )
+        from repro.campaign.scheduler import make_executor
+
+        executor = make_executor(circuit, TestClass.NONROBUST, 4, True, 64, 1)
+        stream = partial.universe.stream()
+        for _round in range(3):
+            partial.pull(stream)
+            partial.fptpg_round(executor)
+        executor.close()
+        partial.save_checkpoint()
+        settled_at_interrupt = len(partial.report.statuses)
+        assert 0 < settled_at_interrupt < len(faults)
+
+        resumed = run_campaign(
+            circuit,
+            universe=FaultUniverse.from_faults(faults),
+            options=partial_options,
+        )
+        assert resumed.complete
+        assert campaign_statuses(resumed) == campaign_statuses(baseline)
+        assert len(resumed.patterns) == len(baseline.patterns)
+
+    def test_completed_checkpoint_short_circuits(self, tmp_path):
+        circuit = ripple_carry_adder(3)
+        path = str(tmp_path / "done.json")
+        options = CampaignOptions(
+            width=8, checkpoint=path, checkpoint_every=1, resume=True
+        )
+        first = run_campaign(
+            circuit,
+            universe=FaultUniverse.from_circuit(circuit, max_faults=60),
+            options=options,
+        )
+        again = run_campaign(
+            circuit,
+            universe=FaultUniverse.from_circuit(circuit, max_faults=60),
+            options=options,
+        )
+        assert campaign_statuses(again) == campaign_statuses(first)
+        assert again.complete
+
+    def test_mismatched_checkpoint_rejected(self, tmp_path):
+        circuit = ripple_carry_adder(3)
+        path = str(tmp_path / "ckpt.json")
+        run_campaign(
+            circuit,
+            universe=FaultUniverse.from_circuit(circuit, max_faults=20),
+            options=CampaignOptions(width=8, checkpoint=path),
+        )
+        with pytest.raises(ValueError, match="width"):
+            run_campaign(
+                circuit,
+                universe=FaultUniverse.from_circuit(circuit, max_faults=20),
+                options=CampaignOptions(width=16, checkpoint=path, resume=True),
+            )
+
+    def test_mismatched_universe_rejected(self, tmp_path):
+        """Different stream filters renumber the faults — resuming
+        under them must be refused, not silently merged."""
+        circuit = ripple_carry_adder(3)
+        path = str(tmp_path / "ckpt.json")
+        options = CampaignOptions(width=8, checkpoint=path, resume=True)
+        run_campaign(
+            circuit,
+            universe=FaultUniverse.from_circuit(circuit, max_faults=20),
+            options=options,
+        )
+        with pytest.raises(ValueError, match="universe"):
+            run_campaign(
+                circuit,
+                universe=FaultUniverse.from_circuit(
+                    circuit, max_faults=20, min_length=3
+                ),
+                options=options,
+            )
+
+    def test_checkpoint_is_json(self, tmp_path):
+        circuit = ripple_carry_adder(3)
+        path = str(tmp_path / "ckpt.json")
+        run_campaign(
+            circuit,
+            universe=FaultUniverse.from_circuit(circuit, max_faults=30),
+            options=CampaignOptions(width=4, checkpoint=path),
+        )
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["complete"] is True
+        assert payload["circuit"] == circuit.name
+        assert len(payload["settled"]) == 30
+
+
+class TestIncrementalCompaction:
+    def test_compaction_bounds_patterns_and_keeps_target_coverage(self):
+        circuit = ripple_carry_adder(5)
+        faults = all_faults(circuit, cap=240)
+        plain = run_campaign(
+            circuit,
+            faults=faults,
+            options=CampaignOptions(width=8),
+        )
+        compacted = run_campaign(
+            circuit,
+            faults=faults,
+            options=CampaignOptions(width=8, compact_every=32),
+        )
+        assert compacted.stats.compactions > 0
+        assert len(compacted.patterns) <= len(plain.patterns)
+        # every detected fault is still covered by the compacted set
+        sim = DelayFaultSimulator(circuit, TestClass.NONROBUST)
+        detected = [faults[i] for i in compacted.detected_indices()]
+        assert sim.coverage(compacted.patterns, detected) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", [0, 3, 7, 11])
+    def test_compaction_preserves_collateral_coverage(self, seed):
+        """Drop-heavy workloads: SIMULATED faults have no pattern of
+        their own, but the compacted set must still detect them."""
+        circuit = random_dag(10, 40, seed=seed)
+        faults = all_faults(circuit, cap=150)
+        report = run_campaign(
+            circuit,
+            faults=faults,
+            options=CampaignOptions(width=4, compact_every=4),
+        )
+        sim = DelayFaultSimulator(circuit, TestClass.NONROBUST)
+        detected = [faults[i] for i in report.detected_indices()]
+        assert sim.coverage(report.patterns, detected) == pytest.approx(1.0)
+
+    def test_compaction_after_resume_preserves_coverage(self, tmp_path):
+        """Pre-resume patterns and obligations survive the checkpoint,
+        so post-resume compaction cannot discard claimed coverage."""
+        circuit = random_dag(10, 40, seed=7)
+        faults = all_faults(circuit, cap=150)
+        path = str(tmp_path / "compact.json")
+        options = CampaignOptions(
+            width=4, compact_every=8, checkpoint=path, resume=True
+        )
+        partial = _Campaign(
+            circuit,
+            FaultUniverse.from_faults(faults),
+            TestClass.NONROBUST,
+            options,
+        )
+        from repro.campaign.scheduler import make_executor
+
+        executor = make_executor(circuit, TestClass.NONROBUST, 4, True, 64, 1)
+        stream = partial.universe.stream()
+        for _round in range(6):
+            partial.pull(stream)
+            partial.fptpg_round(executor)
+        executor.close()
+        partial.save_checkpoint()
+        assert 0 < len(partial.report.statuses) < len(faults)
+
+        resumed = run_campaign(
+            circuit, universe=FaultUniverse.from_faults(faults), options=options
+        )
+        assert resumed.stats.compactions > 0
+        sim = DelayFaultSimulator(circuit, TestClass.NONROBUST)
+        detected = [faults[i] for i in resumed.detected_indices()]
+        assert sim.coverage(resumed.patterns, detected) == pytest.approx(1.0)
+
+
+class TestReportAdapters:
+    def test_as_tpg_report_round_trip(self):
+        circuit = ripple_carry_adder(3)
+        faults = all_faults(circuit, cap=60)
+        campaign = run_campaign(circuit, faults=faults)
+        tpg = campaign.as_tpg_report()
+        assert tpg.n_faults == len(faults)
+        assert engine_statuses(tpg) == campaign_statuses(campaign)
+        assert tpg.summary()["efficiency_%"] == pytest.approx(
+            campaign.efficiency, abs=1e-4
+        )
+
+    def test_summary_shape(self):
+        circuit = ripple_carry_adder(3)
+        report = run_campaign(
+            circuit, universe=FaultUniverse.from_circuit(circuit, max_faults=40)
+        )
+        summary = report.summary()
+        assert summary["faults"] == 40
+        assert (
+            summary["tested"]
+            + summary["simulated"]
+            + summary["redundant"]
+            + summary["aborted"]
+            == 40
+        )
+
+    def test_keep_records_false(self):
+        circuit = ripple_carry_adder(3)
+        report = run_campaign(
+            circuit,
+            universe=FaultUniverse.from_circuit(circuit, max_faults=40),
+            options=CampaignOptions(keep_records=False),
+        )
+        assert report.records is None
+        assert report.n_faults == 40
+        with pytest.raises(ValueError, match="keep_records"):
+            report.as_tpg_report()
+
+
+class TestDetectionMasks:
+    def test_masks_align_with_detected_faults(self):
+        from repro.core.patterns import random_patterns
+
+        circuit = ripple_carry_adder(4)
+        faults = all_faults(circuit, cap=50)
+        patterns = random_patterns(circuit, 96, seed=3)
+        sim = DelayFaultSimulator(circuit, TestClass.NONROBUST)
+        masks = sim.detection_masks(patterns, faults)
+        by_fault = sim.detected_faults(patterns, faults)
+        assert masks == [by_fault[f] for f in faults]

@@ -6,6 +6,7 @@ from repro.circuit.library import C17_BENCH
 from repro.cli import (
     main_atpg,
     main_bench_sim,
+    main_campaign,
     main_experiments,
     main_paths,
     resolve_circuit,
@@ -59,6 +60,58 @@ class TestPathsCommand:
         out = capsys.readouterr().out
         assert "path length histogram" in out
         assert out.count("-") > 5  # some paths got listed
+
+
+class TestCampaignCommand:
+    def test_basic_run_with_workers(self, capsys):
+        assert (
+            main_campaign(
+                [
+                    "c880",
+                    "--width", "16",
+                    "--workers", "2",
+                    "--max-faults", "120",
+                    "--window", "64",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "campaign summary" in out
+        assert "peak pending" in out
+
+    def test_checkpoint_resume_and_json(self, capsys, tmp_path):
+        ckpt = tmp_path / "campaign.ckpt.json"
+        summary = tmp_path / "summary.json"
+        argv = [
+            "s838",
+            "--width", "8",
+            "--max-paths", "40",
+            "--checkpoint", str(ckpt),
+            "--checkpoint-every", "1",
+            "--json", str(summary),
+        ]
+        assert main_campaign(argv) == 0
+        first = capsys.readouterr().out
+        assert ckpt.exists()
+        import json
+
+        payload = json.loads(summary.read_text())
+        assert payload["summary"]["faults"] == 80  # 40 paths x 2 transitions
+        # resuming a completed campaign reports the same summary
+        assert main_campaign(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[2] == second.splitlines()[2]
+
+    def test_min_length_filter(self, capsys):
+        assert (
+            main_campaign(
+                ["c17", "--min-length", "3", "--no-records", "--no-drop"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "campaign summary" in out
 
 
 class TestBenchSimCommand:

@@ -81,3 +81,33 @@ class TestReport:
         circuit = c17()
         assert reverse_order_compaction(circuit, [], []) == []
         assert greedy_compaction(circuit, [], []) == []
+
+
+class TestBackendThreading:
+    """Both word backends must compact to the identical pattern set."""
+
+    def test_backends_agree_beyond_one_word(self):
+        # > 64 patterns so the numpy path really runs multi-word
+        circuit = ripple_carry_adder(5)
+        faults = all_faults(circuit, cap=200)
+        patterns = generate_tests(circuit, faults, TestClass.NONROBUST).patterns
+        assert len(patterns) > 64
+        for strategy in (reverse_order_compaction, greedy_compaction):
+            via_int = strategy(
+                circuit, patterns, faults, TestClass.NONROBUST, backend="int"
+            )
+            via_numpy = strategy(
+                circuit, patterns, faults, TestClass.NONROBUST, backend="numpy"
+            )
+            assert via_int == via_numpy
+
+    def test_report_accepts_backend(self):
+        circuit = ripple_carry_adder(3)
+        faults = all_faults(circuit, cap=40)
+        patterns = generate_tests(circuit, faults, TestClass.NONROBUST).patterns
+        report = compaction_report(
+            circuit, patterns, faults, TestClass.NONROBUST, backend="numpy"
+        )
+        assert report["coverage_reverse"] == pytest.approx(
+            report["coverage_full"]
+        )
