@@ -27,10 +27,10 @@ import platform
 import sys
 import time
 
-from repro.campaign import CampaignOptions, run_campaign
+from repro.api import AtpgSession, Options
+from repro.api.schemas import stamp
 from repro.circuit.generators import random_dag
 from repro.circuit.suites import suite_circuit
-from repro.core import TpgOptions, generate_tests
 from repro.paths import TestClass, fault_list
 
 
@@ -54,11 +54,11 @@ def _best_of(repeat, fn):
 
 def bench_circuit(name, circuit, faults, test_class, width, workers, repeat):
     rows = []
-    circuit.compiled()  # lower once, outside the timed region
+    session = AtpgSession(circuit)  # lowers once, outside the timed region
 
     seconds, serial = _best_of(
         repeat,
-        lambda: generate_tests(circuit, faults, test_class, TpgOptions(width=width)),
+        lambda: session.generate(faults, test_class=test_class, width=width),
     )
     serial_seconds = seconds
     rows.append(
@@ -79,11 +79,11 @@ def bench_circuit(name, circuit, faults, test_class, width, workers, repeat):
     if workers > 1:
         configs.append((f"campaign_{workers}workers", workers, workers))
     for runner, n_workers, shards in configs:
-        options = CampaignOptions(width=width, workers=n_workers, shards=shards)
+        options = Options(width=width, workers=n_workers, shards=shards)
         seconds, report = _best_of(
             repeat,
-            lambda options=options: run_campaign(
-                circuit, faults=faults, test_class=test_class, options=options
+            lambda options=options: session.campaign(
+                faults=faults, test_class=test_class, options=options
             ),
         )
         if shards == 2 and report.n_detected != serial.n_tested:
@@ -148,7 +148,7 @@ def main(argv=None) -> int:
             )
         )
 
-    payload = {
+    payload = stamp("repro/bench-tpg", {
         "benchmark": "tpg_end_to_end_throughput",
         "units": "faults/second (wall clock, best of repeat)",
         "python": platform.python_version(),
@@ -159,7 +159,7 @@ def main(argv=None) -> int:
             "multi-core runner; on a single core the pool only adds overhead"
         ),
         "rows": rows,
-    }
+    })
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Validate checked-in JSON artifacts against the schema registry.
+
+Thin wrapper over ``tip validate`` (:mod:`repro.api.schemas`): every
+artifact must carry a ``schema``/``schema_version`` envelope that is
+registered in :data:`repro.api.schemas.SCHEMAS` and match the declared
+structural spec — shape drift without a version bump fails.  CI runs
+this on every push.  Usage::
+
+    PYTHONPATH=src python scripts/validate_artifacts.py [FILES...]
+
+With no arguments, validates the checked-in ``BENCH_*.json``.
+"""
+
+import sys
+
+from repro.cli import main_validate
+
+if __name__ == "__main__":
+    sys.exit(main_validate(sys.argv[1:]))

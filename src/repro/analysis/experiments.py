@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence
 
+from ..api import AtpgSession, Options
 from ..baselines import generate_tests_bdd, generate_tests_structural
 from ..circuit import Circuit
 from ..circuit.library import paper_example
@@ -26,7 +27,7 @@ from ..circuit.suites import (
     TABLE78_CIRCUITS,
     suite_circuit,
 )
-from ..core import TpgOptions, generate_tests, generate_tests_single_bit
+from ..core import generate_tests_single_bit
 from ..core.aptpg import run_aptpg
 from ..core.fptpg import run_fptpg
 from ..core.results import FaultStatus
@@ -61,9 +62,10 @@ def run_atpg_table(
     """
     rows: List[Row] = []
     for name in circuits or TABLE34_CIRCUITS:
-        circuit = suite_circuit(name, scale)
+        session = AtpgSession(suite_circuit(name, scale))
+        circuit = session.circuit
         faults = _suite_faults(circuit, fault_cap)
-        report = generate_tests(circuit, faults, test_class, TpgOptions(width=width))
+        report = session.generate(faults, test_class=test_class, width=width)
         rows.append(
             {
                 "circuit": f"{name}-like",
@@ -107,11 +109,10 @@ def run_speedup_table(
     """
     rows: List[Row] = []
     for name in circuits or TABLE56_CIRCUITS:
-        circuit = suite_circuit(name, scale)
+        session = AtpgSession(suite_circuit(name, scale))
+        circuit = session.circuit
         faults = _suite_faults(circuit, fault_cap)
-        parallel = generate_tests(
-            circuit, faults, test_class, TpgOptions(width=width)
-        )
+        parallel = session.generate(faults, test_class=test_class, width=width)
         single = generate_tests_single_bit(circuit, faults, test_class)
         row = speedup_row(f"{name}-like", single, parallel)
         rows.append(
@@ -154,11 +155,12 @@ def run_comparison_table(
     """The Table 7 (nonrobust) / Table 8 (robust) experiment."""
     rows: List[Row] = []
     for name in circuits or TABLE78_CIRCUITS:
-        circuit = suite_circuit(name, scale)
+        session = AtpgSession(suite_circuit(name, scale))
+        circuit = session.circuit
         faults = _suite_faults(circuit, fault_cap)
 
         t0 = time.perf_counter()
-        tip = generate_tests(circuit, faults, test_class, TpgOptions(width=width))
+        tip = session.generate(faults, test_class=test_class, width=width)
         tip_time = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -261,11 +263,11 @@ def run_ablation_word_length(
     The 1995 hardware fixed L at 32/64; Python integers let the
     reproduction sweep it, including beyond the native word.
     """
-    circuit = suite_circuit(circuit_name, scale)
-    faults = _suite_faults(circuit, fault_cap)
+    session = AtpgSession(suite_circuit(circuit_name, scale))
+    faults = _suite_faults(session.circuit, fault_cap)
     rows: List[Row] = []
     for width in widths:
-        report = generate_tests(circuit, faults, test_class, TpgOptions(width=width))
+        report = session.generate(faults, test_class=test_class, width=width)
         rows.append(
             {
                 "L": width,
@@ -286,16 +288,16 @@ def run_ablation_modes(
     width: int = DEFAULT_WORD_LENGTH,
 ) -> List[Row]:
     """FPTPG-only vs APTPG-only vs the paper's combination."""
-    circuit = suite_circuit(circuit_name, scale)
-    faults = _suite_faults(circuit, fault_cap)
+    session = AtpgSession(suite_circuit(circuit_name, scale))
+    faults = _suite_faults(session.circuit, fault_cap)
     configurations = [
-        ("fptpg_only", TpgOptions(width=width, use_aptpg=False)),
-        ("aptpg_only", TpgOptions(width=width, use_fptpg=False)),
-        ("combined", TpgOptions(width=width)),
+        ("fptpg_only", Options(width=width, use_aptpg=False)),
+        ("aptpg_only", Options(width=width, use_fptpg=False)),
+        ("combined", Options(width=width)),
     ]
     rows: List[Row] = []
     for label, options in configurations:
-        report = generate_tests(circuit, faults, test_class, options)
+        report = session.generate(faults, test_class=test_class, options=options)
         rows.append(
             {
                 "mode": label,
@@ -316,12 +318,12 @@ def run_ablation_implications(
     width: int = DEFAULT_WORD_LENGTH,
 ) -> List[Row]:
     """Unique backward implications on vs off (implication strength)."""
-    circuit = suite_circuit(circuit_name, scale)
-    faults = _suite_faults(circuit, fault_cap)
+    session = AtpgSession(suite_circuit(circuit_name, scale))
+    faults = _suite_faults(session.circuit, fault_cap)
     rows: List[Row] = []
     for label, flag in (("forward_only", False), ("with_backward", True)):
-        options = TpgOptions(width=width, unique_backward=flag)
-        report = generate_tests(circuit, faults, test_class, options)
+        options = Options(width=width, unique_backward=flag)
+        report = session.generate(faults, test_class=test_class, options=options)
         rows.append(
             {
                 "implications": label,
@@ -357,14 +359,13 @@ def run_campaign_scaling(
     detected-fault count exactly — the schedule is worker-invariant —
     so any speed-up is pure parallelism, never a semantics change.
     """
-    from ..campaign import CampaignOptions, run_campaign
-
-    circuit = suite_circuit(circuit_name, scale)
+    session = AtpgSession(suite_circuit(circuit_name, scale))
+    circuit = session.circuit
     faults = _suite_faults(circuit, fault_cap)
     rows: List[Row] = []
 
     t0 = time.perf_counter()
-    serial = generate_tests(circuit, faults, test_class, TpgOptions(width=width))
+    serial = session.generate(faults, test_class=test_class, width=width)
     serial_wall = time.perf_counter() - t0
     rows.append(
         {
@@ -379,10 +380,10 @@ def run_campaign_scaling(
         }
     )
     for workers in workers_list:
-        options = CampaignOptions(width=width, workers=workers, window=window)
+        options = Options(width=width, workers=workers, window=window)
         t0 = time.perf_counter()
-        report = run_campaign(
-            circuit, faults=faults, test_class=test_class, options=options
+        report = session.campaign(
+            faults=faults, test_class=test_class, options=options
         )
         wall = time.perf_counter() - t0
         # Worker count never changes outcomes; a finite window does

@@ -1,0 +1,241 @@
+"""The unified, layered options model — one dataclass hierarchy.
+
+Historically the project grew two divergent option types: the
+engine-style :class:`TpgOptions` (generation tunables only) and the
+campaign-style :class:`CampaignOptions` (generation tunables plus
+schedule, execution, and persistence knobs), with ad-hoc field copying
+between them.  This module replaces both with a single hierarchy in
+which each layer adds one concern:
+
+``GenerationOptions``
+    the paper's engine tunables — word length ``L``, backtrack limit,
+    fault dropping, mode ablations, implication strength, simulator
+    backend.  This is the layer that determines *per-fault outcomes*
+    together with the schedule.
+``ScheduleOptions``
+    adds the campaign round schedule: ``shards`` batches per drop
+    round and the pending-``window`` bound.  Results depend on these
+    (they are part of the schedule semantics) but never on anything
+    below.
+``ExecutionOptions``
+    adds ``workers`` — how many OS processes execute a round's
+    shards.  Never changes outcomes, only wall-clock.
+``PersistenceOptions``
+    adds checkpoint/resume, incremental compaction cadence, and
+    record retention.
+``Options``
+    the full model; what :class:`repro.api.AtpgSession` and the
+    service accept everywhere.
+
+Engine mode is not a separate type anymore: ``Options.engine_mode()``
+is a 1-worker, unbounded-window view of the same object — exactly the
+campaign the legacy serial engine always was.
+
+The legacy names survive as deprecated aliases: ``TpgOptions`` (in
+:mod:`repro.core.engine`) subclasses :class:`GenerationOptions` and
+``CampaignOptions`` (in :mod:`repro.campaign.report`) subclasses
+:class:`Options`; both warn on construction and otherwise behave
+identically, so every old call site keeps working.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+from ..logic.words import DEFAULT_WORD_LENGTH
+
+#: Schedule constant shared by the engine-mode view and the default
+#: campaign: generation batches per drop round.  Rounds are barriers —
+#: batches inside one round are generated independently (possibly on
+#: different workers), then the drop bus runs once over the merged
+#: fresh patterns.  Because the schedule depends only on options, the
+#: per-fault outcome is identical for every worker count.
+DEFAULT_SHARDS = 2
+
+
+@dataclass
+class GenerationOptions:
+    """Layer 1 — the combined FPTPG/APTPG engine tunables.
+
+    Attributes:
+        width: machine word length ``L`` (lanes).
+        backtrack_limit: APTPG backtracks before aborting a fault.
+        drop_faults: run PPSFP after every generation round and drop
+            collaterally detected faults (paper Section 5).
+        use_fptpg / use_aptpg: ablation switches; disabling FPTPG
+            sends every fault straight to APTPG and vice versa.
+        unique_backward: apply unique backward implications (see
+            :class:`repro.core.state.TpgState`).
+        sim_backend: word backend of the PPSFP drop simulator
+            (``"auto"``, ``"int"`` or ``"numpy"``; see
+            :class:`repro.sim.delay_sim.DelayFaultSimulator`).
+    """
+
+    width: int = DEFAULT_WORD_LENGTH
+    backtrack_limit: int = 64
+    drop_faults: bool = True
+    use_fptpg: bool = True
+    use_aptpg: bool = True
+    unique_backward: bool = True
+    sim_backend: str = "auto"
+
+    def validate(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+        if self.backtrack_limit < 0:
+            raise ValueError("backtrack_limit must be >= 0")
+        if self.sim_backend not in ("auto", "int", "numpy"):
+            raise ValueError(f"unknown sim_backend {self.sim_backend!r}")
+
+
+@dataclass
+class ScheduleOptions(GenerationOptions):
+    """Layer 2 — the campaign round schedule (outcome-relevant).
+
+    Attributes:
+        shards: batches per FPTPG round / faults per APTPG round.
+            Part of the schedule semantics (like ``width``): results
+            depend on it, but never on ``workers``.
+        window: peak number of *unsettled* faults held in memory, or
+            ``None`` for unbounded (the engine-compatible mode: the
+            whole universe is admitted up front).
+    """
+
+    shards: int = DEFAULT_SHARDS
+    window: Optional[int] = None
+
+    def validate(self) -> None:
+        super().validate()
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.window is not None and self.window < self.width:
+            raise ValueError(
+                f"window ({self.window}) must be >= width ({self.width})"
+            )
+
+
+@dataclass
+class ExecutionOptions(ScheduleOptions):
+    """Layer 3 — execution strategy (never outcome-relevant).
+
+    Attributes:
+        workers: OS processes executing a round's shards.  ``1`` runs
+            in-process; ``>= 2`` spawns a multiprocessing pool whose
+            workers each rebuild the compiled circuit once.
+    """
+
+    workers: int = 1
+
+    def validate(self) -> None:
+        super().validate()
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+@dataclass
+class PersistenceOptions(ExecutionOptions):
+    """Layer 4 — durability and memory management.
+
+    Attributes:
+        checkpoint: path of the JSON checkpoint file (``None``
+            disables checkpointing).
+        checkpoint_every: write the checkpoint every this many rounds.
+        resume: load *checkpoint* if it exists and continue from it.
+        compact_every: run incremental reverse-order compaction on the
+            retained pattern set whenever it has grown by this many
+            patterns since the last pass (``None`` disables it).
+        keep_records: retain full :class:`repro.core.results.
+            FaultRecord` objects.  Disable for huge campaigns where
+            only statuses and the pattern set are needed.
+    """
+
+    checkpoint: Optional[str] = None
+    checkpoint_every: int = 16
+    resume: bool = False
+    compact_every: Optional[int] = None
+    keep_records: bool = True
+
+    def validate(self) -> None:
+        super().validate()
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+
+
+@dataclass
+class Options(PersistenceOptions):
+    """The full unified options model — every workload reads this.
+
+    ``Options()`` with no arguments is the production default: the
+    bit-parallel engine at the native word length, fault dropping on,
+    one worker, unbounded window, no persistence.
+    """
+
+    # ------------------------------------------------------------ views
+    def engine_mode(self) -> "Options":
+        """The serial-engine view: a 1-worker, unbounded-window campaign.
+
+        This is what ``AtpgSession.generate`` (and the legacy
+        ``generate_tests`` shim) runs: same generation layer, default
+        schedule, no parallelism — exactly the historical engine.
+        """
+        return dataclasses.replace(
+            self, workers=1, window=None, checkpoint=None, resume=False
+        )
+
+    def merged(self, **overrides) -> "Options":
+        """A copy with keyword *overrides* applied (unknown keys raise)."""
+        return dataclasses.replace(self, **overrides)
+
+    # ------------------------------------------------------------ adoption
+    @classmethod
+    def adopt(cls, other: object, **overrides) -> "Options":
+        """Lift any options-like object into a full :class:`Options`.
+
+        Accepts an :class:`Options` (or subclass, e.g. the deprecated
+        ``CampaignOptions``), a bare :class:`GenerationOptions` layer
+        (e.g. the deprecated ``TpgOptions``), or ``None``.  Fields the
+        source does not define fall back to defaults; *overrides* win
+        over everything.
+        """
+        values: Dict[str, object] = {}
+        if other is not None:
+            for f in fields(cls):
+                if hasattr(other, f.name):
+                    values[f.name] = getattr(other, f.name)
+        values.update(overrides)
+        return cls(**values)
+
+    # ------------------------------------------------------------ layers
+    def layers(self) -> Dict[str, Dict[str, object]]:
+        """The model split by layer (the wire format of ``api.serde``)."""
+        names = {
+            "generation": fields(GenerationOptions),
+            "schedule": _own_fields(ScheduleOptions, GenerationOptions),
+            "execution": _own_fields(ExecutionOptions, ScheduleOptions),
+            "persistence": _own_fields(PersistenceOptions, ExecutionOptions),
+        }
+        return {
+            layer: {f.name: getattr(self, f.name) for f in layer_fields}
+            for layer, layer_fields in names.items()
+        }
+
+    @classmethod
+    def from_layers(cls, layers: Dict[str, Dict[str, object]]) -> "Options":
+        """Inverse of :meth:`layers`; unknown layers or fields raise."""
+        known = {f.name for f in fields(cls)}
+        values: Dict[str, object] = {}
+        for layer, entries in layers.items():
+            if layer not in ("generation", "schedule", "execution", "persistence"):
+                raise ValueError(f"unknown options layer {layer!r}")
+            for name, value in entries.items():
+                if name not in known:
+                    raise ValueError(f"unknown option {name!r} in {layer!r}")
+                values[name] = value
+        return cls(**values)
+
+
+def _own_fields(cls, base):
+    inherited = {f.name for f in fields(base)}
+    return [f for f in fields(cls) if f.name not in inherited]

@@ -1,0 +1,502 @@
+"""Versioned JSON schemas — the one wire format for every artifact.
+
+Every JSON artifact the project reads or writes — serialized faults,
+patterns, circuits, reports, campaign checkpoints, benchmark files,
+service requests and responses — carries the same envelope::
+
+    {"schema": "repro/<kind>", "schema_version": <int>, ...payload}
+
+This module is the registry of those kinds: a declarative structural
+spec per ``(kind, version)`` plus a small validator (no third-party
+dependency).  :func:`validate` rejects unknown kinds, unknown
+versions, and shape drift; CI runs it over every checked-in artifact,
+so changing a payload without bumping its version fails the build.
+
+Spec mini-language (a nested dict per value):
+
+* ``{"type": "object", "required": {...}, "optional": {...}, "open": bool}``
+  — mapping with per-key specs; extra keys are rejected unless
+  ``open`` is true.
+* ``{"type": "array", "items": spec}`` — homogeneous list.
+* ``{"type": "string"|"int"|"number"|"bool"|"null"|"any"}`` — scalars
+  (``number`` accepts ints, ``any`` accepts everything).
+* ``{"enum": [...]}`` / ``{"const": value}`` — literal constraints.
+* ``{"anyOf": [spec, ...]}`` — union.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Optional, Tuple
+
+
+class SchemaError(ValueError):
+    """Raised for unknown kinds/versions and payload shape mismatches."""
+
+
+# ---------------------------------------------------------------------------
+# spec shorthands
+# ---------------------------------------------------------------------------
+
+STR = {"type": "string"}
+INT = {"type": "int"}
+NUM = {"type": "number"}
+BOOL = {"type": "bool"}
+NULL = {"type": "null"}
+ANY = {"type": "any"}
+
+
+def arr(items) -> Dict:
+    return {"type": "array", "items": items}
+
+
+def obj(required=None, optional=None, open_=False) -> Dict:
+    return {
+        "type": "object",
+        "required": required or {},
+        "optional": optional or {},
+        "open": open_,
+    }
+
+
+def opt(spec) -> Dict:
+    return {"anyOf": [spec, NULL]}
+
+
+TEST_CLASS = {"enum": ["robust", "nonrobust"]}
+STATUS = {"enum": ["tested", "redundant", "deferred", "aborted", "simulated"]}
+
+#: Compact fault body: ``[[signal ids...], "R"|"F"]`` — shared with
+#: campaign checkpoints, where one row per fault matters at scale.
+FAULT_BODY = arr(ANY)
+FAULT = obj({"signals": arr(INT), "transition": {"enum": ["R", "F"]}})
+PATTERN = obj(
+    {"v1": arr(INT), "v2": arr(INT)},
+    optional={"fault": opt(FAULT)},
+)
+# Layers and fields are all optional on the wire: a client may send
+# just the knobs it overrides ({"generation": {"width": 32}}) and the
+# decoder fills the rest with defaults.
+OPTIONS = obj(
+    optional={
+        "generation": obj(
+            optional={
+                "width": INT,
+                "backtrack_limit": INT,
+                "drop_faults": BOOL,
+                "use_fptpg": BOOL,
+                "use_aptpg": BOOL,
+                "unique_backward": BOOL,
+                "sim_backend": {"enum": ["auto", "int", "numpy"]},
+            }
+        ),
+        "schedule": obj(optional={"shards": INT, "window": opt(INT)}),
+        "execution": obj(optional={"workers": INT}),
+        "persistence": obj(
+            optional={
+                "checkpoint": opt(STR),
+                "checkpoint_every": INT,
+                "resume": BOOL,
+                "compact_every": opt(INT),
+                "keep_records": BOOL,
+            }
+        ),
+    }
+)
+FAULT_RECORD = obj(
+    {
+        "status": STATUS,
+        "mode": STR,
+        "fault": opt(FAULT),
+        "pattern": opt(PATTERN),
+    }
+)
+CAMPAIGN_STATS = obj(
+    {
+        "rounds": INT,
+        "fptpg_rounds": INT,
+        "aptpg_rounds": INT,
+        "peak_pending": INT,
+        "streamed": INT,
+        "admitted_dropped": INT,
+        "compactions": INT,
+        "patterns_compacted_away": INT,
+        "decisions": INT,
+        "backtracks": INT,
+        "implication_passes": INT,
+        "seconds_sensitize": NUM,
+        "seconds_simulate": NUM,
+        "seconds_wall": NUM,
+    }
+)
+
+_CIRCUIT_GATE = obj({"name": STR, "type": STR, "fanin": arr(STR)})
+
+_BENCH_KERNEL_ROW = obj(
+    {
+        "circuit": STR,
+        "test_class": TEST_CLASS,
+        "signals": INT,
+        "faults": INT,
+        "patterns": INT,
+        "seed_seconds": NUM,
+        "kernel_seconds": NUM,
+        "seed_throughput": NUM,
+        "kernel_throughput": NUM,
+        "speedup": NUM,
+    }
+)
+_BENCH_TPG_ROW = obj(
+    {
+        "circuit": STR,
+        "runner": STR,
+        "workers": INT,
+        "shards": INT,
+        "faults": INT,
+        "detected": INT,
+        "seconds": NUM,
+        "faults_per_s": NUM,
+        "speedup_vs_serial": NUM,
+    }
+)
+
+_REQUEST_CIRCUIT = {
+    "circuit": opt(STR),
+    "bench": opt(STR),
+    "scale": INT,
+    "test_class": TEST_CLASS,
+}
+
+
+# ---------------------------------------------------------------------------
+# the registry: kind -> version -> body spec
+# ---------------------------------------------------------------------------
+
+SCHEMAS: Dict[str, Dict[int, Dict]] = {
+    "repro/fault": {1: FAULT},
+    "repro/pattern": {1: PATTERN},
+    "repro/options": {1: OPTIONS},
+    "repro/circuit": {
+        1: obj(
+            {
+                "name": STR,
+                "inputs": arr(STR),
+                "gates": arr(_CIRCUIT_GATE),
+                "outputs": arr(STR),
+            }
+        )
+    },
+    "repro/tpg-report": {
+        1: obj(
+            {
+                "circuit": STR,
+                "test_class": TEST_CLASS,
+                "width": INT,
+                "records": arr(FAULT_RECORD),
+                "seconds_sensitize": NUM,
+                "seconds_generate": NUM,
+                "seconds_simulate": NUM,
+                "decisions": INT,
+                "backtracks": INT,
+                "implication_passes": INT,
+            }
+        )
+    },
+    "repro/campaign-report": {
+        1: obj(
+            {
+                "circuit": STR,
+                "test_class": TEST_CLASS,
+                "options": OPTIONS,
+                "statuses": arr(arr(ANY)),  # [index, status] pairs
+                "modes": arr(arr(ANY)),  # [index, mode] pairs
+                "records": opt(arr(arr(ANY))),  # [index, record] pairs
+                "patterns": arr(PATTERN),
+                "stats": CAMPAIGN_STATS,
+                "complete": BOOL,
+            }
+        )
+    },
+    "repro/simulate-report": {
+        1: obj(
+            {
+                "circuit": STR,
+                "test_class": TEST_CLASS,
+                "patterns": INT,
+                "faults": INT,
+                "masks": arr(STR),  # hex lane masks, index-aligned
+            }
+        )
+    },
+    "repro/grade-report": {
+        1: obj(
+            {
+                "circuit": STR,
+                "test_class": TEST_CLASS,
+                "patterns": INT,
+                "faults": INT,
+                "detected": INT,
+                "coverage": NUM,
+                "detected_flags": arr(BOOL),
+            }
+        )
+    },
+    "repro/paths-report": {
+        1: obj(
+            {
+                "circuit": STR,
+                "stats": obj(open_=True),
+                "paths": INT,
+                "faults": INT,
+            },
+            optional={
+                "histogram": arr(arr(INT)),
+                "listed": arr(STR),
+            },
+        )
+    },
+    "repro/campaign-checkpoint": {
+        2: obj(
+            {
+                "version": {"const": 2},
+                "circuit": STR,
+                "test_class": TEST_CLASS,
+                "width": INT,
+                "shards": INT,
+                "schedule": obj(open_=True),
+                "stream_position": INT,
+                "exhausted": BOOL,
+                "complete": BOOL,
+                "settled": arr(arr(ANY)),
+                "pending": arr(arr(ANY)),
+                "queue": arr(INT),
+                "patterns": arr(arr(ANY)),
+                "obligations": arr(FAULT_BODY),
+                "stats": CAMPAIGN_STATS,
+            }
+        )
+    },
+    "repro/bench-kernel": {
+        1: obj(
+            {
+                "benchmark": {"const": "ppsfp_throughput"},
+                "units": STR,
+                "python": STR,
+                "rows": arr(_BENCH_KERNEL_ROW),
+            }
+        )
+    },
+    "repro/bench-tpg": {
+        1: obj(
+            {
+                "benchmark": {"const": "tpg_end_to_end_throughput"},
+                "units": STR,
+                "python": STR,
+                "cpu_count": INT,
+                "workers": INT,
+                "note": STR,
+                "rows": arr(_BENCH_TPG_ROW),
+            }
+        )
+    },
+    "repro/request.generate": {
+        1: obj(
+            optional={
+                **_REQUEST_CIRCUIT,
+                "options": OPTIONS,
+                "max_faults": opt(INT),
+                "strategy": {"enum": ["all", "longest", "sample"]},
+                "include_patterns": BOOL,
+            }
+        )
+    },
+    "repro/request.campaign": {
+        1: obj(
+            optional={
+                **_REQUEST_CIRCUIT,
+                "options": OPTIONS,
+                "max_faults": opt(INT),
+                "min_length": opt(INT),
+                "max_length": opt(INT),
+            }
+        )
+    },
+    "repro/request.simulate": {
+        1: obj(
+            {"patterns": arr(PATTERN), "faults": arr(FAULT)},
+            optional=_REQUEST_CIRCUIT,
+        )
+    },
+    "repro/request.grade": {
+        1: obj(
+            {"patterns": arr(PATTERN), "faults": arr(FAULT)},
+            optional=_REQUEST_CIRCUIT,
+        )
+    },
+    "repro/request.paths": {
+        1: obj(
+            optional={
+                **_REQUEST_CIRCUIT,
+                "histogram": BOOL,
+                "limit": INT,
+            }
+        )
+    },
+    "repro/response": {
+        1: obj(
+            {"ok": BOOL},
+            optional={
+                "result": obj(open_=True),
+                "error": obj({"error": STR}, optional={"detail": STR}),
+            },
+        )
+    },
+}
+
+#: Artifact basename -> expected kind, for file-level validation of
+#: the checked-in benchmark JSONs (whose envelope must also agree).
+ARTIFACT_KINDS = {
+    "BENCH_kernel.json": "repro/bench-kernel",
+    "BENCH_tpg.json": "repro/bench-tpg",
+}
+
+
+def latest_version(kind: str) -> int:
+    try:
+        return max(SCHEMAS[kind])
+    except KeyError:
+        raise SchemaError(f"unknown schema kind {kind!r}") from None
+
+
+def stamp(kind: str, payload: Dict, version: Optional[int] = None) -> Dict:
+    """Return *payload* with the envelope keys prepended."""
+    version = latest_version(kind) if version is None else version
+    return {"schema": kind, "schema_version": version, **payload}
+
+
+# ---------------------------------------------------------------------------
+# structural validation
+# ---------------------------------------------------------------------------
+
+
+def _check(spec: Dict, value, path: str) -> None:
+    if "anyOf" in spec:
+        errors = []
+        for alternative in spec["anyOf"]:
+            try:
+                _check(alternative, value, path)
+                return
+            except SchemaError as exc:
+                errors.append(str(exc))
+        raise SchemaError(f"{path}: no alternative matched ({'; '.join(errors)})")
+    if "const" in spec:
+        if value != spec["const"]:
+            raise SchemaError(f"{path}: expected {spec['const']!r}, got {value!r}")
+        return
+    if "enum" in spec:
+        if value not in spec["enum"]:
+            raise SchemaError(f"{path}: {value!r} not in {spec['enum']!r}")
+        return
+    kind = spec["type"]
+    if kind == "any":
+        return
+    if kind == "null":
+        if value is not None:
+            raise SchemaError(f"{path}: expected null, got {type(value).__name__}")
+        return
+    if kind == "string":
+        if not isinstance(value, str):
+            raise SchemaError(f"{path}: expected string, got {type(value).__name__}")
+        return
+    if kind == "bool":
+        if not isinstance(value, bool):
+            raise SchemaError(f"{path}: expected bool, got {type(value).__name__}")
+        return
+    if kind == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SchemaError(f"{path}: expected int, got {type(value).__name__}")
+        return
+    if kind == "number":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SchemaError(f"{path}: expected number, got {type(value).__name__}")
+        return
+    if kind == "array":
+        if not isinstance(value, list):
+            raise SchemaError(f"{path}: expected array, got {type(value).__name__}")
+        for index, item in enumerate(value):
+            _check(spec["items"], item, f"{path}[{index}]")
+        return
+    if kind == "object":
+        if not isinstance(value, dict):
+            raise SchemaError(f"{path}: expected object, got {type(value).__name__}")
+        for name, sub in spec["required"].items():
+            if name not in value:
+                raise SchemaError(f"{path}: missing required key {name!r}")
+            _check(sub, value[name], f"{path}.{name}")
+        for name, sub in spec["optional"].items():
+            if name in value:
+                _check(sub, value[name], f"{path}.{name}")
+        if not spec["open"]:
+            known = set(spec["required"]) | set(spec["optional"])
+            extra = sorted(set(value) - known - {"schema", "schema_version"})
+            if extra:
+                raise SchemaError(
+                    f"{path}: unexpected keys {extra} (schema drift? bump the "
+                    f"schema version and register the new shape)"
+                )
+        return
+    raise SchemaError(f"{path}: unknown spec type {kind!r}")  # pragma: no cover
+
+
+def validate(payload: Dict, kind: Optional[str] = None) -> Tuple[str, int]:
+    """Validate one enveloped payload; returns ``(kind, version)``.
+
+    Raises :class:`SchemaError` when the envelope is missing, the kind
+    is unknown, *kind* (if given) does not match, the version is not
+    registered for that kind, or the body fails the structural spec.
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError(f"artifact must be a JSON object, got {type(payload).__name__}")
+    declared = payload.get("schema")
+    version = payload.get("schema_version")
+    if declared is None or version is None:
+        raise SchemaError("missing schema/schema_version envelope")
+    if kind is not None and declared != kind:
+        raise SchemaError(f"expected schema {kind!r}, got {declared!r}")
+    versions = SCHEMAS.get(declared)
+    if versions is None:
+        raise SchemaError(f"unknown schema kind {declared!r}")
+    spec = versions.get(version)
+    if spec is None:
+        raise SchemaError(
+            f"unknown schema_version {version!r} for {declared!r} "
+            f"(known: {sorted(versions)})"
+        )
+    _check(spec, payload, "$")
+    return declared, version
+
+
+def validate_file(path: str) -> Tuple[str, int]:
+    """Validate one JSON artifact file; returns ``(kind, version)``.
+
+    When the basename is a known checked-in artifact, its declared
+    kind must also match :data:`ARTIFACT_KINDS`.
+    """
+    import os
+
+    with open(path) as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{path}: not valid JSON ({exc})") from None
+    expected = ARTIFACT_KINDS.get(os.path.basename(path))
+    try:
+        return validate(payload, kind=expected)
+    except SchemaError as exc:
+        raise SchemaError(f"{path}: {exc}") from None
+
+
+def iter_schema_summary() -> Iterable[Dict[str, object]]:
+    """One row per registered kind (the ``GET /v1/schemas`` payload)."""
+    for kind in sorted(SCHEMAS):
+        yield {"kind": kind, "versions": sorted(SCHEMAS[kind])}

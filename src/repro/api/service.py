@@ -1,0 +1,509 @@
+"""The service endpoint: typed requests in, versioned payloads out.
+
+Two layers:
+
+* :class:`AtpgService` — a long-lived, transport-free dispatcher.
+  Typed request dataclasses (:class:`GenerateRequest`,
+  :class:`CampaignRequest`, :class:`SimulateRequest`,
+  :class:`GradeRequest`, :class:`PathsRequest`) map 1:1 onto
+  :class:`repro.api.AtpgSession` methods; results come back as
+  :class:`Response` objects carrying schema-stamped JSON payloads.
+  Sessions are cached in an LRU keyed by the circuit's structural
+  hash, so repeated requests against the same netlist — whatever
+  transport or spec spelling they arrive through — skip re-lowering
+  the compiled kernel.
+* :func:`make_server` / :func:`run_server` — a stdlib
+  ``http.server`` JSON transport over the dispatcher: ``POST
+  /v1/<verb>`` with an enveloped request body, ``GET /v1/health`` and
+  ``GET /v1/schemas`` for introspection.  The CLI front end is
+  ``tip serve``.
+
+Every request and response body is validated against
+:mod:`repro.api.schemas`; a request with an unknown
+``schema_version`` is rejected with HTTP 400 before any work runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..circuit import Circuit
+from ..core.patterns import TestPattern
+from ..paths import PathDelayFault, TestClass
+from . import serde
+from .options import Options
+from .resolve import ResolutionError, resolve_circuit_request, resolve_test_class
+from .schemas import SchemaError, iter_schema_summary, stamp, validate
+from .session import AtpgSession
+
+__version_tag__ = "v1"
+
+#: Default TCP port of ``tip serve`` (spells "TIP" on a phone keypad).
+DEFAULT_PORT = 8470
+
+
+# ---------------------------------------------------------------------------
+# typed requests / response
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _CircuitRequest:
+    """Shared transport fields: how a request names its circuit."""
+
+    circuit: Optional[str] = None  # a spec: file / embedded / suite name
+    bench: Optional[str] = None  # inline netlist text
+    scale: int = 1
+    test_class: Union[str, TestClass] = TestClass.NONROBUST
+
+
+@dataclass
+class GenerateRequest(_CircuitRequest):
+    """Engine-mode generation (``AtpgSession.generate``)."""
+
+    options: Optional[Options] = None
+    max_faults: Optional[int] = None
+    strategy: str = "all"
+    include_patterns: bool = False
+
+    verb = "generate"
+
+
+@dataclass
+class CampaignRequest(_CircuitRequest):
+    """Staged campaign over the streamed universe (``.campaign``)."""
+
+    options: Optional[Options] = None
+    max_faults: Optional[int] = None
+    min_length: Optional[int] = None
+    max_length: Optional[int] = None
+
+    verb = "campaign"
+
+
+@dataclass
+class SimulateRequest(_CircuitRequest):
+    """Batched PPSFP detection masks (``.simulate``)."""
+
+    patterns: List[TestPattern] = field(default_factory=list)
+    faults: List[PathDelayFault] = field(default_factory=list)
+
+    verb = "simulate"
+
+
+@dataclass
+class GradeRequest(_CircuitRequest):
+    """Pattern-set coverage grading (``.grade``)."""
+
+    patterns: List[TestPattern] = field(default_factory=list)
+    faults: List[PathDelayFault] = field(default_factory=list)
+
+    verb = "grade"
+
+
+@dataclass
+class PathsRequest(_CircuitRequest):
+    """Structural path statistics (``.paths``)."""
+
+    histogram: bool = False
+    limit: Optional[int] = None
+
+    verb = "paths"
+
+
+Request = Union[
+    GenerateRequest, CampaignRequest, SimulateRequest, GradeRequest, PathsRequest
+]
+
+
+@dataclass
+class Response:
+    """Dispatcher outcome: a schema-stamped payload or an error.
+
+    ``payload`` is the enveloped result body (``repro/<kind>``) on
+    success, or an error body on failure; ``envelope()`` wraps either
+    into the ``repro/response`` wire shape the HTTP layer sends.
+    """
+
+    ok: bool
+    payload: Dict
+    status: int = 200
+
+    def envelope(self) -> Dict:
+        body = {"ok": self.ok}
+        if self.ok:
+            body["result"] = self.payload
+        else:
+            body["error"] = self.payload
+        return stamp("repro/response", body)
+
+
+# ---------------------------------------------------------------------------
+# request decoding (wire -> typed dataclass)
+# ---------------------------------------------------------------------------
+
+_REQUEST_TYPES: Dict[str, type] = {
+    cls.verb: cls
+    for cls in (
+        GenerateRequest,
+        CampaignRequest,
+        SimulateRequest,
+        GradeRequest,
+        PathsRequest,
+    )
+}
+
+
+def request_from_payload(verb: str, payload: Dict) -> Request:
+    """Decode one enveloped JSON request body into its typed form."""
+    import dataclasses
+
+    cls = _REQUEST_TYPES.get(verb)
+    if cls is None:
+        raise SchemaError(
+            f"unknown verb {verb!r} (known: {sorted(_REQUEST_TYPES)})"
+        )
+    validate(payload, kind=f"repro/request.{verb}")
+    names = {f.name for f in dataclasses.fields(cls)}
+    values = {
+        key: payload[key]
+        for key in ("circuit", "bench", "scale", "test_class")
+        if key in payload
+    }
+    if "options" in payload and "options" in names:
+        values["options"] = serde.options_from_payload(
+            payload["options"], envelope=False
+        )
+    for key in (
+        "max_faults",
+        "strategy",
+        "include_patterns",
+        "min_length",
+        "max_length",
+        "histogram",
+        "limit",
+    ):
+        if key in payload and key in names:
+            values[key] = payload[key]
+    if "patterns" in payload and "patterns" in names:
+        values["patterns"] = [
+            serde.pattern_from_payload(p, envelope=False)
+            for p in payload["patterns"]
+        ]
+    if "faults" in payload and "faults" in names:
+        values["faults"] = [
+            serde.fault_from_payload(f, envelope=False) for f in payload["faults"]
+        ]
+    return cls(**values)
+
+
+# ---------------------------------------------------------------------------
+# the dispatcher
+# ---------------------------------------------------------------------------
+
+
+class AtpgService:
+    """Transport-free request dispatcher with a bounded session cache.
+
+    Args:
+        max_sessions: circuits kept lowered at once; the least
+            recently used session is evicted beyond that.
+    """
+
+    def __init__(self, max_sessions: int = 8):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.max_sessions = max_sessions
+        self._sessions: "OrderedDict[str, AtpgSession]" = OrderedDict()
+        # transport key (spec+scale / bench-text hash) -> structural
+        # fingerprint, so repeat requests skip circuit re-construction,
+        # not just re-lowering
+        self._by_transport: "OrderedDict[Tuple, str]" = OrderedDict()
+        # ThreadingHTTPServer handles requests on worker threads; every
+        # cache/counter access goes through this lock
+        self._lock = threading.Lock()
+        self.requests_served = 0
+        self.sessions_opened = 0
+
+    # ------------------------------------------------------------ sessions
+    def session_for(self, circuit: Circuit) -> AtpgSession:
+        """The cached session for this structure (lowering at most once)."""
+        from .resolve import circuit_fingerprint
+
+        key = circuit_fingerprint(circuit)
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self._sessions.move_to_end(key)
+                return session
+        # lower outside the lock (it can take a while on big circuits);
+        # a concurrent first request for the same circuit may lower
+        # twice, but the cache stays consistent and one copy wins
+        session = AtpgSession(circuit)
+        with self._lock:
+            if key not in self._sessions:
+                self._sessions[key] = session
+                self.sessions_opened += 1
+                while len(self._sessions) > self.max_sessions:
+                    self._sessions.popitem(last=False)
+            self._sessions.move_to_end(key)
+            return self._sessions[key]
+
+    def _transport_key(self, request: _CircuitRequest):
+        if request.bench is not None:
+            return ("bench", hashlib.sha256(request.bench.encode()).hexdigest())
+        if request.circuit is not None and request.circuit.endswith(".bench"):
+            return None  # a file on disk can change; always re-read it
+        return ("spec", request.circuit, request.scale)
+
+    def _resolve_session(self, request: _CircuitRequest) -> AtpgSession:
+        key = self._transport_key(request)
+        if key is not None:
+            with self._lock:
+                fingerprint = self._by_transport.get(key)
+                session = (
+                    self._sessions.get(fingerprint)
+                    if fingerprint is not None
+                    else None
+                )
+                if session is not None:
+                    self._sessions.move_to_end(fingerprint)
+                    return session
+        circuit = resolve_circuit_request(
+            spec=request.circuit, bench=request.bench, scale=request.scale
+        )
+        session = self.session_for(circuit)
+        if key is not None:
+            with self._lock:
+                self._by_transport[key] = session.circuit_hash
+                while len(self._by_transport) > 4 * self.max_sessions:
+                    self._by_transport.popitem(last=False)
+        return session
+
+    # ------------------------------------------------------------ dispatch
+    def handle(self, request: Request) -> Response:
+        """Dispatch one typed request; never raises for request errors.
+
+        Client-caused failures (schema/resolution/validation) map to
+        400; anything else is a server fault and maps to 500 with the
+        exception type only (no internal detail leaks to the wire).
+        """
+        try:
+            session = self._resolve_session(request)
+            payload = self._dispatch(session, request)
+            with self._lock:
+                self.requests_served += 1
+            return Response(ok=True, payload=payload)
+        except (SchemaError, ResolutionError, ValueError) as exc:
+            return Response(
+                ok=False,
+                payload={"error": type(exc).__name__, "detail": str(exc)},
+                status=400,
+            )
+        except Exception as exc:  # noqa: BLE001 - the transport boundary
+            return Response(
+                ok=False,
+                payload={
+                    "error": "InternalError",
+                    "detail": type(exc).__name__,
+                },
+                status=500,
+            )
+
+    def _dispatch(self, session: AtpgSession, request: Request) -> Dict:
+        test_class = resolve_test_class(request.test_class)
+        if isinstance(request, GenerateRequest):
+            report = session.generate(
+                test_class=test_class,
+                options=_scrub_options(request.options),
+                max_faults=request.max_faults,
+                strategy=request.strategy,
+            )
+            if not request.include_patterns:
+                report = _strip_patterns(report)
+            return serde.tpg_report_to_payload(report)
+        if isinstance(request, CampaignRequest):
+            from ..campaign.universe import FaultUniverse  # lazy: cycle
+
+            universe = FaultUniverse.from_circuit(
+                session.circuit,
+                max_faults=request.max_faults,
+                min_length=request.min_length,
+                max_length=request.max_length,
+            )
+            report = session.campaign(
+                universe=universe,
+                test_class=test_class,
+                options=_scrub_options(request.options),
+            )
+            return serde.campaign_report_to_payload(report)
+        if isinstance(request, SimulateRequest):
+            masks = session.simulate(
+                request.patterns, request.faults, test_class=test_class
+            )
+            return stamp(
+                "repro/simulate-report",
+                {
+                    "circuit": session.circuit.name,
+                    "test_class": test_class.value,
+                    "patterns": len(request.patterns),
+                    "faults": len(request.faults),
+                    "masks": [hex(mask) for mask in masks],
+                },
+            )
+        if isinstance(request, GradeRequest):
+            return stamp(
+                "repro/grade-report",
+                session.grade(
+                    request.patterns, request.faults, test_class=test_class
+                ),
+            )
+        if isinstance(request, PathsRequest):
+            return stamp(
+                "repro/paths-report",
+                session.paths(histogram=request.histogram, limit=request.limit),
+            )
+        raise TypeError(f"unhandled request type {type(request).__name__}")
+
+    # ------------------------------------------------------------ wire API
+    def handle_json(self, verb: str, payload: Dict) -> Response:
+        """Decode, dispatch, and envelope one wire-format request."""
+        try:
+            request = request_from_payload(verb, payload)
+        except (SchemaError, ResolutionError) as exc:
+            return Response(
+                ok=False,
+                payload={"error": type(exc).__name__, "detail": str(exc)},
+                status=400,
+            )
+        return self.handle(request)
+
+    def health(self) -> Dict:
+        from .. import __version__
+
+        with self._lock:
+            sessions = [
+                {"circuit": s.circuit.name, "hash": key[:12]}
+                for key, s in self._sessions.items()
+            ]
+            served = self.requests_served
+        return {
+            "status": "ok",
+            "version": __version__,
+            "requests_served": served,
+            "sessions": sessions,
+        }
+
+
+def _scrub_options(options: Optional[Options]) -> Optional[Options]:
+    """Drop server-side persistence from wire-supplied options.
+
+    A request must never steer the server's filesystem: checkpoint
+    paths (arbitrary file writes) and resume (arbitrary file reads)
+    are host decisions, not request parameters.
+    """
+    if options is None:
+        return None
+    return Options.adopt(options, checkpoint=None, resume=False)
+
+
+def _strip_patterns(report):
+    """Drop per-record patterns from a TpgReport (smaller responses)."""
+    from dataclasses import replace
+
+    report.records = [
+        replace(record, pattern=None) if record.pattern is not None else record
+        for record in report.records
+    ]
+    return report
+
+
+# ---------------------------------------------------------------------------
+# the HTTP transport
+# ---------------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: AtpgService  # injected by make_server
+    quiet: bool = True
+
+    # ------------------------------------------------------------ plumbing
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.quiet:  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _route(self) -> Tuple[str, str]:
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) != 2 or parts[0] != __version_tag__:
+            return "", ""
+        return parts[0], parts[1]
+
+    # ------------------------------------------------------------ verbs
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        _version, endpoint = self._route()
+        if endpoint == "health":
+            self._send(200, self.service.health())
+        elif endpoint == "schemas":
+            self._send(200, {"schemas": list(iter_schema_summary())})
+        else:
+            self._send(404, {"error": "NotFound", "detail": self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        _version, verb = self._route()
+        if not verb:
+            self._send(404, {"error": "NotFound", "detail": self.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": "BadRequest", "detail": str(exc)})
+            return
+        response = self.service.handle_json(verb, payload)
+        self._send(response.status, response.envelope())
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    service: Optional[AtpgService] = None,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server; ``port=0`` auto-picks."""
+    service = service or AtpgService()
+    handler = type("BoundHandler", (_Handler,), {"service": service, "quiet": quiet})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    service: Optional[AtpgService] = None,
+    quiet: bool = False,
+) -> None:  # pragma: no cover - blocking loop; exercised via make_server
+    """Serve forever (the ``tip serve`` entry point)."""
+    server = make_server(host, port, service, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"tip serve: listening on http://{bound_host}:{bound_port}/v1/")
+    print("endpoints: GET /v1/health, GET /v1/schemas, POST /v1/"
+          + "|".join(sorted(_REQUEST_TYPES)))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()

@@ -20,12 +20,13 @@ from .report import (
     CampaignReport,
     CampaignStats,
 )
-from .runner import run_campaign
+from .runner import execute_campaign, run_campaign
 from .scheduler import PoolExecutor, SerialExecutor, ShardResult
 from .universe import FaultUniverse
 
 __all__ = [
     "CampaignOptions",
+    "execute_campaign",
     "CampaignReport",
     "CampaignStats",
     "DEFAULT_SHARDS",

@@ -15,88 +15,49 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..logic.words import DEFAULT_WORD_LENGTH
+from ..api.options import DEFAULT_SHARDS, Options
 from ..paths import PathDelayFault, TestClass, Transition
 from ..core.patterns import TestPattern
 from ..core.results import FaultRecord, FaultStatus, TpgReport
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
-#: Schedule constant shared by the serial engine wrapper and the
-#: default campaign: batches per round.  Rounds are barriers — batches
-#: inside one round are generated independently (and can execute on
-#: different workers), then the drop bus runs once over the merged
-#: fresh patterns.  Because the schedule depends only on options, the
-#: per-fault outcome is identical for every worker count.
-DEFAULT_SHARDS = 2
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "DEFAULT_SHARDS",
+    "CampaignOptions",
+    "CampaignReport",
+    "CampaignStats",
+    "checkpoint_payload",
+    "load_checkpoint",
+    "restore_from_payload",
+    "schedule_fingerprint",
+    "write_checkpoint",
+]
 
 
 @dataclass
-class CampaignOptions:
-    """Tunables of a staged ATPG campaign.
+class CampaignOptions(Options):
+    """Deprecated alias for the unified :class:`repro.api.Options`.
 
-    Attributes:
-        width: machine word length ``L`` (lanes per FPTPG batch).
-        shards: batches per FPTPG round / faults per APTPG round.
-            Part of the schedule semantics (like ``width``): results
-            depend on it, but never on ``workers``.
-        workers: OS processes executing a round's shards.  ``1`` runs
-            in-process; ``>= 2`` spawns a multiprocessing pool whose
-            workers each rebuild the compiled circuit once.
-        window: peak number of *unsettled* faults held in memory, or
-            ``None`` for unbounded (the serial-engine-compatible
-            mode: the whole universe is admitted up front).
-        backtrack_limit: APTPG backtracks before aborting a fault.
-        drop_faults: run the global drop bus (batched PPSFP) after
-            every round and on admission, dropping collaterally
-            detected faults.
-        use_fptpg / use_aptpg: ablation switches, as in the engine.
-        unique_backward: unique backward implications in the TPG state.
-        sim_backend: word backend of the drop-bus simulator.
-        checkpoint: path of the JSON checkpoint file (``None``
-            disables checkpointing).
-        checkpoint_every: write the checkpoint every this many rounds.
-        resume: load *checkpoint* if it exists and continue from it.
-        compact_every: run incremental reverse-order compaction on the
-            retained pattern set whenever it has grown by this many
-            patterns since the last pass (``None`` disables it).
-            Compaction trims the set used for admission drop-checks,
-            trading a few extra generated patterns for bounded memory.
-        keep_records: retain full :class:`FaultRecord` objects (fault
-            + pattern per index).  Disable for huge campaigns where
-            only statuses and the pattern set are needed.
+    The staged-campaign tunables are all still here — they *are* the
+    unified model (``width``/``shards``/``window``/``workers``/
+    checkpointing/compaction, see :mod:`repro.api.options` for the
+    layer-by-layer documentation).  Construction warns; use
+    ``repro.api.Options`` in new code.
     """
 
-    width: int = DEFAULT_WORD_LENGTH
-    shards: int = DEFAULT_SHARDS
-    workers: int = 1
-    window: Optional[int] = None
-    backtrack_limit: int = 64
-    drop_faults: bool = True
-    use_fptpg: bool = True
-    use_aptpg: bool = True
-    unique_backward: bool = True
-    sim_backend: str = "auto"
-    checkpoint: Optional[str] = None
-    checkpoint_every: int = 16
-    resume: bool = False
-    compact_every: Optional[int] = None
-    keep_records: bool = True
-
-    def validate(self) -> None:
-        if self.width < 1:
-            raise ValueError("width must be >= 1")
-        if self.shards < 1:
-            raise ValueError("shards must be >= 1")
-        if self.workers < 1:
-            raise ValueError("workers must be >= 1")
-        if self.window is not None and self.window < self.width:
-            raise ValueError(
-                f"window ({self.window}) must be >= width ({self.width})"
-            )
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "CampaignOptions is deprecated; use repro.api.Options "
+            "(the unified layered options model)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
 
 @dataclass
@@ -158,7 +119,7 @@ class CampaignReport:
 
     circuit_name: str
     test_class: TestClass
-    options: CampaignOptions
+    options: Options
     statuses: Dict[int, FaultStatus] = field(default_factory=dict)
     modes: Dict[int, str] = field(default_factory=dict)
     records: Optional[Dict[int, FaultRecord]] = None
@@ -274,7 +235,7 @@ def _pattern_from_payload(payload: List[object]) -> TestPattern:
 
 
 def schedule_fingerprint(
-    options: CampaignOptions, universe_config: Dict[str, object]
+    options: Options, universe_config: Dict[str, object]
 ) -> Dict[str, object]:
     """The option subset that determines per-fault outcomes.
 
@@ -316,8 +277,16 @@ def checkpoint_payload(
     (statuses never change once settled), which keeps checkpoints of
     million-fault campaigns proportional to the pattern set plus one
     small row per fault.
+
+    The payload is stamped with the shared wire-format envelope
+    (``schema``/``schema_version``, see :mod:`repro.api.schemas`), so
+    checkpoints validate against the same registry as every other
+    artifact; ``version`` is kept as the campaign-level alias of the
+    schema version.
     """
     return {
+        "schema": "repro/campaign-checkpoint",
+        "schema_version": CHECKPOINT_VERSION,
         "version": CHECKPOINT_VERSION,
         "circuit": report.circuit_name,
         "test_class": report.test_class.value,

@@ -31,16 +31,17 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..api.options import Options
 from ..circuit import Circuit
 from ..core.patterns import TestPattern
 from ..core.results import FaultRecord, FaultStatus
 from ..paths import PathDelayFault, TestClass
 from .bus import DropBus
 from .report import (
-    CampaignOptions,
     CampaignReport,
     checkpoint_payload,
     load_checkpoint,
@@ -64,7 +65,7 @@ class _Campaign:
         circuit: Circuit,
         universe: FaultUniverse,
         test_class: TestClass,
-        options: CampaignOptions,
+        options: Options,
     ):
         options.validate()
         self.circuit = circuit
@@ -389,20 +390,22 @@ class _Campaign:
         return self.report
 
 
-def run_campaign(
+def execute_campaign(
     circuit: Circuit,
     faults: Optional[Sequence[PathDelayFault]] = None,
     test_class: TestClass = TestClass.NONROBUST,
-    options: Optional[CampaignOptions] = None,
+    options: Optional[Options] = None,
     universe: Optional[FaultUniverse] = None,
 ) -> CampaignReport:
-    """Run a staged ATPG campaign over *circuit*.
+    """Run a staged ATPG campaign over *circuit* (the implementation).
 
     Provide either *faults* (a materialized list, engine-style) or a
     *universe* (the streaming path); with neither, the full structural
-    fault universe of the circuit is streamed.
+    fault universe of the circuit is streamed.  This is what
+    :meth:`repro.api.AtpgSession.campaign` (and the deprecated
+    :func:`run_campaign` shim) executes.
     """
-    options = options or CampaignOptions()
+    options = options or Options()
     if universe is None:
         if faults is not None:
             universe = FaultUniverse.from_faults(faults)
@@ -412,3 +415,30 @@ def run_campaign(
         raise ValueError("pass either faults or universe, not both")
     circuit.compiled()  # lower once; workers rebuild from the same form
     return _Campaign(circuit, universe, test_class, options).run()
+
+
+def run_campaign(
+    circuit: Circuit,
+    faults: Optional[Sequence[PathDelayFault]] = None,
+    test_class: TestClass = TestClass.NONROBUST,
+    options: Optional[Options] = None,
+    universe: Optional[FaultUniverse] = None,
+) -> CampaignReport:
+    """Run a staged ATPG campaign over *circuit*.
+
+    .. deprecated:: 1.2.0
+        Use :meth:`repro.api.AtpgSession.campaign`, which runs the
+        identical pipeline behind one session-owned compiled circuit.
+    """
+    warnings.warn(
+        "run_campaign is deprecated; use repro.api.AtpgSession.campaign",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_campaign(
+        circuit,
+        faults=faults,
+        test_class=test_class,
+        options=options,
+        universe=universe,
+    )

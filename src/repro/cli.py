@@ -1,19 +1,33 @@
-"""Command-line interface.
+"""Command-line interface: the ``tip`` multi-command front end.
 
-Five entry points, invoked as ``PYTHONPATH=src python -c "from
-repro.cli import main_<name>; main_<name>([...])"`` (no console
-scripts are registered — the setup shim carries no entry-point
-metadata):
+One entry point, ``main`` (the ``tip`` console script), dispatches to
+subcommands that are all thin adapters over the same
+:mod:`repro.api` objects the service endpoint uses —
+:class:`repro.api.AtpgSession`, the unified
+:class:`repro.api.Options` model, and the versioned schema registry:
 
-* ``tip-atpg`` — generate robust/nonrobust path delay tests for a
+* ``tip atpg`` — generate robust/nonrobust path delay tests for a
   circuit (a ``.bench`` file, an embedded circuit, or a suite name).
-* ``tip-campaign`` — staged ATPG campaign: stream the fault universe,
+* ``tip campaign`` — staged ATPG campaign: stream the fault universe,
   shard generation across worker processes, drop collaterally
   detected faults globally, checkpoint and resume.
-* ``tip-paths`` — count/enumerate structural paths and faults.
-* ``tip-experiments`` — regenerate the paper's tables and figures.
-* ``tip-bench-sim`` — PPSFP throughput (patterns x faults / second)
+* ``tip paths`` — count/enumerate structural paths and faults.
+* ``tip experiments`` — regenerate the paper's tables and figures.
+* ``tip bench-sim`` — PPSFP throughput (patterns x faults / second)
   of the compiled-kernel backends against the seed object-graph path.
+* ``tip serve`` — the long-lived JSON service endpoint
+  (:mod:`repro.api.service`).
+* ``tip validate`` — validate JSON artifacts against the declared
+  schemas (CI runs this over every checked-in artifact).
+
+The historical per-command names survive as aliases: ``main_atpg``
+etc. are the same functions the dispatcher calls (``tip-atpg`` ==
+``tip atpg``), invoked as ``PYTHONPATH=src python -c "from repro.cli
+import main_<name>; main_<name>([...])"`` or through the registered
+console scripts.
+
+Circuit and test-class resolution is shared with the API layer
+(:mod:`repro.api.resolve`) — no subcommand re-implements it.
 """
 
 from __future__ import annotations
@@ -40,56 +54,63 @@ from .analysis import (
     run_table7,
     run_table8,
 )
-from .circuit import Circuit, load_bench
-from .circuit.library import EMBEDDED, load_embedded
-from .circuit.suites import suite_circuit
-from .core import TpgOptions, generate_tests
+from .api import AtpgSession, Options, ResolutionError, SchemaError
+from .api import resolve_circuit as _resolve_circuit
+from .api.options import DEFAULT_SHARDS
+from .api.resolve import resolve_test_class
+from .api.schemas import stamp, validate_file
+from .circuit import Circuit
 from .logic.words import DEFAULT_WORD_LENGTH
 from .paths import (
     TestClass,
-    count_faults,
-    count_paths,
     fault_list,
-    iter_paths,
-    path_length_histogram,
 )
 
 
 def resolve_circuit(spec: str, scale: int = 1) -> Circuit:
-    """Interpret a circuit spec: file path, embedded name, suite name."""
-    if spec.endswith(".bench"):
-        return load_bench(spec)
-    if spec in EMBEDDED:
-        return load_embedded(spec)
+    """Interpret a circuit spec; exits cleanly on unknown specs.
+
+    Thin CLI wrapper over :func:`repro.api.resolve.resolve_circuit`
+    (the shared implementation): resolution errors become
+    ``SystemExit`` instead of a traceback.
+    """
     try:
-        return suite_circuit(spec, scale)
-    except ValueError:
-        pass
-    known = ", ".join(sorted(EMBEDDED))
-    raise SystemExit(
-        f"unknown circuit {spec!r}: expected a .bench file, an embedded "
-        f"circuit ({known}) or an ISCAS suite name (c432, s1423, ...)"
-    )
+        return _resolve_circuit(spec, scale)
+    except ResolutionError as exc:
+        raise SystemExit(str(exc)) from None
 
 
-# ---------------------------------------------------------------------------
-# tip-atpg
-# ---------------------------------------------------------------------------
-
-
-def main_atpg(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="tip-atpg",
-        description="Bit-parallel path delay fault test generation (TIP).",
-    )
+def _add_circuit_arguments(parser: argparse.ArgumentParser) -> None:
+    """The spec/scale pair every circuit-consuming subcommand takes."""
     parser.add_argument("circuit", help=".bench file, embedded or suite circuit name")
+    parser.add_argument("--scale", type=int, default=1, help="suite circuit scale")
+
+
+def _add_test_class_argument(
+    parser: argparse.ArgumentParser, default: str = "nonrobust"
+) -> None:
     parser.add_argument(
         "--class",
         dest="test_class",
         choices=["robust", "nonrobust"],
-        default="nonrobust",
-        help="test class (default: nonrobust)",
+        default=default,
+        help=f"test class (default: {default})",
     )
+
+
+# ---------------------------------------------------------------------------
+# tip atpg
+# ---------------------------------------------------------------------------
+
+
+def main_atpg(argv: Optional[List[str]] = None) -> int:
+    """Generate path delay tests for one circuit."""
+    parser = argparse.ArgumentParser(
+        prog="tip-atpg",
+        description="Bit-parallel path delay fault test generation (TIP).",
+    )
+    _add_circuit_arguments(parser)
+    _add_test_class_argument(parser)
     parser.add_argument(
         "--width", type=int, default=DEFAULT_WORD_LENGTH, help="word length L"
     )
@@ -102,7 +123,6 @@ def main_atpg(argv: Optional[List[str]] = None) -> int:
         default="all",
         help="fault selection strategy",
     )
-    parser.add_argument("--scale", type=int, default=1, help="suite circuit scale")
     parser.add_argument(
         "--single-bit",
         action="store_true",
@@ -116,29 +136,38 @@ def main_atpg(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    circuit = resolve_circuit(args.circuit, args.scale)
-    faults = fault_list(circuit, cap=args.max_faults, strategy=args.strategy)
-    test_class = TestClass.ROBUST if args.test_class == "robust" else TestClass.NONROBUST
-    options = TpgOptions(
-        width=1 if args.single_bit else args.width,
-        drop_faults=not args.no_drop,
+    session = AtpgSession(
+        resolve_circuit(args.circuit, args.scale),
+        options=Options(
+            width=1 if args.single_bit else args.width,
+            drop_faults=not args.no_drop,
+        ),
     )
-    report = generate_tests(circuit, faults, test_class, options)
-    print(render_table([report.summary()], title=f"{circuit.name}: ATPG summary"))
+    report = session.generate(
+        test_class=resolve_test_class(args.test_class),
+        max_faults=args.max_faults,
+        strategy=args.strategy,
+    )
+    print(
+        render_table(
+            [report.summary()], title=f"{session.circuit.name}: ATPG summary"
+        )
+    )
     if args.patterns:
         print()
         for record in report.records:
             if record.pattern is not None:
-                print(record.pattern.describe(circuit))
+                print(record.pattern.describe(session.circuit))
     return 0
 
 
 # ---------------------------------------------------------------------------
-# tip-campaign
+# tip campaign
 # ---------------------------------------------------------------------------
 
 
 def main_campaign(argv: Optional[List[str]] = None) -> int:
+    """Staged ATPG campaign: stream, shard, drop, checkpoint."""
     parser = argparse.ArgumentParser(
         prog="tip-campaign",
         description=(
@@ -157,14 +186,8 @@ def main_campaign(argv: Optional[List[str]] = None) -> int:
             "generation or simulation work is repeated."
         ),
     )
-    parser.add_argument("circuit", help=".bench file, embedded or suite circuit name")
-    parser.add_argument(
-        "--class",
-        dest="test_class",
-        choices=["robust", "nonrobust"],
-        default="nonrobust",
-        help="test class (default: nonrobust)",
-    )
+    _add_circuit_arguments(parser)
+    _add_test_class_argument(parser)
     parser.add_argument(
         "--width", type=int, default=DEFAULT_WORD_LENGTH, help="word length L"
     )
@@ -235,51 +258,43 @@ def main_campaign(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="keep statuses only (lower memory for huge campaigns)",
     )
-    parser.add_argument("--scale", type=int, default=1, help="suite circuit scale")
     parser.add_argument(
         "--json", dest="json_path", default=None, help="write the summary as JSON"
     )
     args = parser.parse_args(argv)
 
-    from .campaign import (
-        DEFAULT_SHARDS,
-        CampaignOptions,
-        FaultUniverse,
-        run_campaign,
-    )
+    from .campaign.universe import FaultUniverse
 
-    circuit = resolve_circuit(args.circuit, args.scale)
-    test_class = (
-        TestClass.ROBUST if args.test_class == "robust" else TestClass.NONROBUST
-    )
+    session = AtpgSession(resolve_circuit(args.circuit, args.scale))
     max_faults = args.max_faults
     if args.max_paths is not None:
         cap = 2 * args.max_paths
         max_faults = cap if max_faults is None else min(max_faults, cap)
     universe = FaultUniverse.from_circuit(
-        circuit,
+        session.circuit,
         max_faults=max_faults,
         min_length=args.min_length,
         max_length=args.max_length,
     )
-    options = CampaignOptions(
-        width=args.width,
-        shards=args.shards if args.shards is not None else DEFAULT_SHARDS,
-        workers=args.workers,
-        window=args.window if args.window > 0 else None,
-        drop_faults=not args.no_drop,
-        checkpoint=args.checkpoint,
-        checkpoint_every=args.checkpoint_every,
-        resume=args.resume,
-        compact_every=args.compact_every,
-        keep_records=not args.no_records,
-    )
-    report = run_campaign(
-        circuit, universe=universe, test_class=test_class, options=options
+    report = session.campaign(
+        universe=universe,
+        test_class=resolve_test_class(args.test_class),
+        options=Options(
+            width=args.width,
+            shards=args.shards if args.shards is not None else DEFAULT_SHARDS,
+            workers=args.workers,
+            window=args.window if args.window > 0 else None,
+            drop_faults=not args.no_drop,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            compact_every=args.compact_every,
+            keep_records=not args.no_records,
+        ),
     )
     print(
         render_table(
-            [report.summary()], title=f"{circuit.name}: campaign summary"
+            [report.summary()], title=f"{session.circuit.name}: campaign summary"
         )
     )
     stats = report.stats
@@ -305,17 +320,17 @@ def main_campaign(argv: Optional[List[str]] = None) -> int:
 
 
 # ---------------------------------------------------------------------------
-# tip-paths
+# tip paths
 # ---------------------------------------------------------------------------
 
 
 def main_paths(argv: Optional[List[str]] = None) -> int:
+    """Count and enumerate structural paths and faults."""
     parser = argparse.ArgumentParser(
         prog="tip-paths",
         description="Structural path counting and enumeration.",
     )
-    parser.add_argument("circuit", help=".bench file, embedded or suite circuit name")
-    parser.add_argument("--scale", type=int, default=1, help="suite circuit scale")
+    _add_circuit_arguments(parser)
     parser.add_argument(
         "--list", type=int, default=0, metavar="N", help="print the first N paths"
     )
@@ -324,31 +339,32 @@ def main_paths(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    circuit = resolve_circuit(args.circuit, args.scale)
-    stats = circuit.stats()
-    print(f"circuit   : {circuit.name}")
+    session = AtpgSession(resolve_circuit(args.circuit, args.scale))
+    result = session.paths(histogram=args.histogram, limit=args.list)
+    stats = result["stats"]
+    print(f"circuit   : {result['circuit']}")
     print(f"inputs    : {stats['inputs']}")
     print(f"gates     : {stats['gates']}")
     print(f"outputs   : {stats['outputs']}")
     print(f"depth     : {stats['depth']}")
-    print(f"paths     : {count_paths(circuit)}")
-    print(f"faults    : {count_faults(circuit)}")
+    print(f"paths     : {result['paths']}")
+    print(f"faults    : {result['faults']}")
     if args.histogram:
         rows = [
             {"length": length, "paths": count}
-            for length, count in sorted(path_length_histogram(circuit).items())
+            for length, count in result["histogram"]
         ]
         print()
         print(render_table(rows, title="path length histogram"))
     if args.list:
         print()
-        for path in iter_paths(circuit, max_paths=args.list):
-            print("-".join(circuit.signal_name(s) for s in path))
+        for line in result["listed"]:
+            print(line)
     return 0
 
 
 # ---------------------------------------------------------------------------
-# tip-bench-sim
+# tip bench-sim
 # ---------------------------------------------------------------------------
 
 
@@ -426,6 +442,7 @@ def bench_ppsfp(
 
 
 def main_bench_sim(argv: Optional[List[str]] = None) -> int:
+    """PPSFP throughput: seed object graph vs compiled kernel."""
     parser = argparse.ArgumentParser(
         prog="tip-bench-sim",
         description=(
@@ -439,13 +456,7 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
         default=["c880"],
         help="circuit specs (default: the c880-scale generator suite row)",
     )
-    parser.add_argument(
-        "--class",
-        dest="test_class",
-        choices=["robust", "nonrobust"],
-        default="robust",
-        help="detection conditions to simulate (default: robust)",
-    )
+    _add_test_class_argument(parser, default="robust")
     parser.add_argument("--patterns", type=int, default=4096, help="batch size")
     parser.add_argument(
         "--fault-cap", type=int, default=128, help="cap on the fault list"
@@ -457,9 +468,7 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    test_class = (
-        TestClass.ROBUST if args.test_class == "robust" else TestClass.NONROBUST
-    )
+    test_class = resolve_test_class(args.test_class)
     rows = []
     for spec in args.circuits:
         circuit = resolve_circuit(spec, args.scale)
@@ -478,12 +487,15 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
         )
     )
     if args.json_path:
-        payload = {
-            "benchmark": "ppsfp_throughput",
-            "units": "patterns*faults/second",
-            "python": platform.python_version(),
-            "rows": rows,
-        }
+        payload = stamp(
+            "repro/bench-kernel",
+            {
+                "benchmark": "ppsfp_throughput",
+                "units": "patterns*faults/second",
+                "python": platform.python_version(),
+                "rows": rows,
+            },
+        )
         with open(args.json_path, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
@@ -492,7 +504,7 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
 
 
 # ---------------------------------------------------------------------------
-# tip-experiments
+# tip experiments
 # ---------------------------------------------------------------------------
 
 _EXPERIMENTS = {
@@ -510,6 +522,7 @@ _EXPERIMENTS = {
 
 
 def main_experiments(argv: Optional[List[str]] = None) -> int:
+    """Regenerate the paper's tables and figures."""
     parser = argparse.ArgumentParser(
         prog="tip-experiments",
         description="Regenerate the paper's experiment tables and figures.",
@@ -552,13 +565,137 @@ def main_experiments(argv: Optional[List[str]] = None) -> int:
             print()
         return 0
     runner = _EXPERIMENTS[args.experiment]
-    if args.experiment.startswith("ablation"):
-        rows = runner(scale=args.scale, **kwargs)
-    else:
-        rows = runner(scale=args.scale, **kwargs)
+    rows = runner(scale=args.scale, **kwargs)
     print(render_table(rows, title=f"{args.experiment} (reproduction)"))
     return 0
 
 
+# ---------------------------------------------------------------------------
+# tip serve
+# ---------------------------------------------------------------------------
+
+
+def main_serve(argv: Optional[List[str]] = None) -> int:
+    """Run the JSON service endpoint (repro.api.service)."""
+    from .api.service import DEFAULT_PORT, AtpgService, run_server
+
+    parser = argparse.ArgumentParser(
+        prog="tip-serve",
+        description=(
+            "Long-lived JSON service endpoint over the AtpgSession façade: "
+            "POST /v1/generate|campaign|simulate|grade|paths with an "
+            "enveloped request body; GET /v1/health and /v1/schemas.  "
+            "Sessions are cached by circuit hash, so repeated requests "
+            "against the same netlist skip re-lowering the kernel."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="TCP port (0 = auto)"
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=8,
+        help="circuits kept lowered in the LRU session cache",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
+    args = parser.parse_args(argv)
+    run_server(
+        host=args.host,
+        port=args.port,
+        service=AtpgService(max_sessions=args.max_sessions),
+        quiet=args.quiet,
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# tip validate
+# ---------------------------------------------------------------------------
+
+
+def main_validate(argv: Optional[List[str]] = None) -> int:
+    """Validate JSON artifacts against the schema registry."""
+    parser = argparse.ArgumentParser(
+        prog="tip-validate",
+        description=(
+            "Validate JSON artifacts (benchmark files, checkpoints, "
+            "serialized reports) against the versioned schema registry.  "
+            "Fails on unknown kinds/versions and on shape drift without a "
+            "schema version bump."
+        ),
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        default=None,
+        help="artifact paths (default: the checked-in BENCH_*.json)",
+    )
+    args = parser.parse_args(argv)
+    files = args.files
+    if not files:
+        import glob
+
+        files = sorted(glob.glob("BENCH_*.json"))
+        if not files:
+            print("no artifacts found (pass paths explicitly)")
+            return 1
+    failures = 0
+    for path in files:
+        try:
+            kind, version = validate_file(path)
+        except SchemaError as exc:
+            print(f"FAIL {exc}")
+            failures += 1
+        except OSError as exc:
+            print(f"FAIL {path}: {exc}")
+            failures += 1
+        else:
+            print(f"ok   {path}: {kind} v{version}")
+    if failures:
+        print(f"{failures} of {len(files)} artifact(s) failed validation")
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# the tip dispatcher
+# ---------------------------------------------------------------------------
+
+COMMANDS = {
+    "atpg": main_atpg,
+    "campaign": main_campaign,
+    "paths": main_paths,
+    "bench-sim": main_bench_sim,
+    "experiments": main_experiments,
+    "serve": main_serve,
+    "validate": main_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """The ``tip`` multi-command entry point."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: tip <command> [options]")
+        print()
+        print("commands:")
+        for name, fn in sorted(COMMANDS.items()):
+            summary = (fn.__doc__ or "").strip().splitlines()
+            doc = summary[0] if summary else ""
+            print(f"  {name:12} {doc}")
+        print()
+        print("run 'tip <command> --help' for command options")
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command not in COMMANDS:
+        known = ", ".join(sorted(COMMANDS))
+        raise SystemExit(f"tip: unknown command {command!r} (choose from {known})")
+    return COMMANDS[command](rest)
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main_atpg())
+    sys.exit(main())

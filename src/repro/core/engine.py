@@ -31,6 +31,13 @@ from the pre-campaign engine on drop-heavy workloads; the detected
 fault set, redundancy verdicts, and the Tables 5/6 methodology are
 unaffected, and compaction recovers the extra patterns.
 
+Since the ``repro.api`` front door, both public names here are
+**deprecated compatibility shims**: :class:`TpgOptions` is the
+generation layer of the unified :class:`repro.api.Options` model and
+:func:`generate_tests` delegates to the same engine-mode campaign
+that :meth:`repro.api.AtpgSession.generate` runs.  They keep working
+(per-fault statuses are bit-identical) but emit ``DeprecationWarning``.
+
 The same engine with ``width=1`` *is* the single-bit reference
 generator of the paper's Tables 5/6 (see
 :mod:`repro.core.single_bit`).
@@ -38,40 +45,62 @@ generator of the paper's Tables 5/6 (see
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..api.options import GenerationOptions, Options
 from ..circuit import Circuit
-from ..logic.words import DEFAULT_WORD_LENGTH
 from ..paths import PathDelayFault, TestClass
 from .results import TpgReport
 
 
 @dataclass
-class TpgOptions:
-    """Tunables of the combined engine.
+class TpgOptions(GenerationOptions):
+    """Deprecated alias for the generation layer of ``repro.api.Options``.
 
-    Attributes:
-        width: machine word length ``L`` (lanes).
-        backtrack_limit: APTPG backtracks before aborting a fault.
-        drop_faults: run PPSFP after every generation round and drop
-            collaterally detected faults (paper Section 5).
-        use_fptpg / use_aptpg: ablation switches; disabling FPTPG
-            sends every fault straight to APTPG and vice versa.
-        unique_backward: apply unique backward implications (see
-            :class:`repro.core.state.TpgState`).
-        sim_backend: word backend of the PPSFP drop simulator
-            (``"auto"``, ``"int"`` or ``"numpy"``; see
-            :class:`repro.sim.delay_sim.DelayFaultSimulator`).
+    Same fields, same defaults, same semantics — construction warns
+    and every consumer lifts it into the unified model with
+    :meth:`repro.api.Options.adopt`.  Use
+    ``repro.api.Options(width=..., ...)`` in new code.
     """
 
-    width: int = DEFAULT_WORD_LENGTH
-    backtrack_limit: int = 64
-    drop_faults: bool = True
-    use_fptpg: bool = True
-    use_aptpg: bool = True
-    unique_backward: bool = True
-    sim_backend: str = "auto"
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "TpgOptions is deprecated; use repro.api.Options "
+            "(the unified layered options model)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+
+
+def _generate(
+    circuit: Circuit,
+    faults: Sequence[PathDelayFault],
+    test_class: TestClass,
+    options: Options,
+) -> TpgReport:
+    """The engine implementation: an engine-mode campaign, no warning.
+
+    Shared by the :func:`generate_tests` shim and
+    :meth:`repro.api.AtpgSession.generate`, so both produce
+    bit-identical per-fault statuses by construction.
+    """
+    # Imported lazily: campaign workers import the core generation
+    # modules, so a top-level import here would be circular.
+    from ..campaign.runner import execute_campaign
+
+    options = options.engine_mode()
+    if not faults:
+        return TpgReport(
+            circuit_name=circuit.name,
+            test_class=test_class,
+            width=options.width,
+        )
+    report = execute_campaign(
+        circuit, faults=list(faults), test_class=test_class, options=options
+    )
+    return report.as_tpg_report()
 
 
 def generate_tests(
@@ -85,32 +114,15 @@ def generate_tests(
     Fault order is preserved in the report.  Each fault ends in one of
     the :class:`FaultStatus` states; ``DEFERRED`` only survives when
     APTPG is disabled by the options.
-    """
-    # Imported lazily: campaign workers import the core generation
-    # modules, so a top-level import here would be circular.
-    from ..campaign.report import CampaignOptions
-    from ..campaign.runner import run_campaign
 
-    options = options or TpgOptions()
-    if not faults:
-        return TpgReport(
-            circuit_name=circuit.name,
-            test_class=test_class,
-            width=options.width,
-        )
-    campaign_options = CampaignOptions(
-        width=options.width,
-        workers=1,
-        window=None,  # the caller materialized the list; admit it all
-        backtrack_limit=options.backtrack_limit,
-        drop_faults=options.drop_faults,
-        use_fptpg=options.use_fptpg,
-        use_aptpg=options.use_aptpg,
-        unique_backward=options.unique_backward,
-        sim_backend=options.sim_backend,
+    .. deprecated:: 1.2.0
+        Use :meth:`repro.api.AtpgSession.generate`, which runs the
+        identical engine-mode campaign behind one session-owned
+        compiled circuit.
+    """
+    warnings.warn(
+        "generate_tests is deprecated; use repro.api.AtpgSession.generate",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    report = run_campaign(
-        circuit, faults=list(faults), test_class=test_class,
-        options=campaign_options,
-    )
-    return report.as_tpg_report()
+    return _generate(circuit, faults, test_class, Options.adopt(options))

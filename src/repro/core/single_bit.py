@@ -17,19 +17,20 @@ alone — same data structures, same heuristics, same code paths.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
+from ..api.options import Options
 from ..circuit import Circuit
 from ..paths import PathDelayFault, TestClass
-from .engine import TpgOptions, generate_tests
+from .engine import _generate
 from .results import TpgReport
 
 
 def single_bit_options(
     backtrack_limit: int = 64, drop_faults: bool = True
-) -> TpgOptions:
+) -> Options:
     """Options of the restricted, one-bit-level generator."""
-    return TpgOptions(
+    return Options(
         width=1,
         backtrack_limit=backtrack_limit,
         drop_faults=drop_faults,
@@ -44,7 +45,7 @@ def generate_tests_single_bit(
     drop_faults: bool = True,
 ) -> TpgReport:
     """Run the generator restricted to one bit level (L = 1)."""
-    return generate_tests(
+    return _generate(
         circuit,
         faults,
         test_class,

@@ -1,0 +1,304 @@
+"""Tests of the repro.api front door: session, unified options, shims.
+
+The load-bearing acceptance property: ``AtpgSession.generate`` is
+bit-identical to the legacy ``generate_tests`` (same engine-mode
+campaign underneath), and the deprecated names keep working while
+warning.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import (
+    AtpgSession,
+    GenerationOptions,
+    Options,
+    ResolutionError,
+    resolve_circuit,
+    resolve_test_class,
+)
+from repro.api.resolve import circuit_fingerprint
+from repro.circuit.generators import random_dag, ripple_carry_adder
+from repro.circuit.suites import suite_circuit
+from repro.paths import TestClass, all_faults, fault_list
+from repro.sim import DelayFaultSimulator
+
+
+def _legacy_generate(circuit, faults, test_class, **options):
+    """Call the deprecated path with its warning silenced."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from repro.core import TpgOptions, generate_tests
+
+        return generate_tests(circuit, faults, test_class, TpgOptions(**options))
+
+
+class TestSessionGenerate:
+    @pytest.mark.parametrize("test_class", [TestClass.NONROBUST, TestClass.ROBUST])
+    def test_c880_bit_identical_to_legacy_generate_tests(self, test_class):
+        circuit = suite_circuit("c880", 1)
+        faults = fault_list(circuit, cap=160, strategy="all")
+        legacy = _legacy_generate(circuit, faults, test_class, width=16)
+
+        session = AtpgSession(suite_circuit("c880", 1))
+        report = session.generate(faults, test_class=test_class, width=16)
+        assert [r.status for r in report.records] == [
+            r.status for r in legacy.records
+        ]
+        assert [r.pattern for r in report.records] == [
+            r.pattern for r in legacy.records
+        ]
+
+    def test_default_fault_list_materialization(self):
+        session = AtpgSession(ripple_carry_adder(2))
+        report = session.generate(test_class="robust")
+        assert report.n_faults == len(all_faults(session.circuit))
+        capped = session.generate(max_faults=4)
+        assert capped.n_faults == 4
+
+    def test_session_options_merged_with_call_overrides(self):
+        session = AtpgSession(
+            ripple_carry_adder(2), options=Options(width=4, drop_faults=False)
+        )
+        report = session.generate()
+        assert report.width == 4
+        assert report.count(repro.FaultStatus.SIMULATED) == 0
+        # per-call override wins without mutating the session default
+        assert session.generate(width=2).width == 2
+        assert session.options.width == 4
+
+    def test_engine_mode_ignores_parallel_fields(self):
+        # generate() must behave as a 1-worker unbounded-window campaign
+        # even when the session defaults say otherwise
+        session = AtpgSession(
+            ripple_carry_adder(2), options=Options(workers=4, window=64)
+        )
+        report = session.generate(width=4)
+        baseline = AtpgSession(ripple_carry_adder(2)).generate(width=4)
+        assert [r.status for r in report.records] == [
+            r.status for r in baseline.records
+        ]
+
+
+class TestSessionCampaign:
+    def test_campaign_equals_run_campaign(self):
+        circuit = random_dag(10, 40, seed=7)
+        faults = all_faults(circuit, cap=120)
+        session = AtpgSession(random_dag(10, 40, seed=7))
+        report = session.campaign(faults=faults, width=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.campaign import run_campaign, CampaignOptions
+
+            legacy = run_campaign(
+                circuit, faults=faults, options=CampaignOptions(width=4)
+            )
+        assert report.statuses == legacy.statuses
+        assert report.patterns == legacy.patterns
+
+
+class TestSessionSimulateGradePaths:
+    def test_simulate_masks_match_simulator(self):
+        circuit = ripple_carry_adder(3)
+        session = AtpgSession(circuit)
+        faults = all_faults(circuit, cap=30)
+        patterns = session.generate(faults, width=8).patterns
+        masks = session.simulate(patterns, faults, test_class="nonrobust")
+        expected = DelayFaultSimulator(
+            session.circuit, TestClass.NONROBUST
+        ).detection_masks(patterns, faults)
+        assert masks == expected
+
+    def test_grade_reports_coverage(self):
+        session = AtpgSession(ripple_carry_adder(3))
+        faults = all_faults(session.circuit, cap=40)
+        report = session.generate(faults, width=8)
+        grade = session.grade(report.patterns, faults)
+        assert grade["faults"] == 40
+        assert grade["patterns"] == len(report.patterns)
+        assert 0.0 < grade["coverage"] <= 1.0
+        assert sum(grade["detected_flags"]) == grade["detected"]
+        # every TESTED fault is detected by the set that tested it
+        for index, record in enumerate(report.records):
+            if record.status is repro.FaultStatus.TESTED:
+                assert grade["detected_flags"][index]
+
+    def test_paths_statistics(self):
+        session = AtpgSession.open("paper_example")
+        result = session.paths(histogram=True, limit=3)
+        assert result["paths"] == 13
+        assert result["faults"] == 26
+        assert sum(count for _length, count in result["histogram"]) == 13
+        assert len(result["listed"]) == 3
+        assert all("-" in p for p in result["listed"])
+
+    def test_simulator_cache_reused(self):
+        session = AtpgSession(ripple_carry_adder(2))
+        faults = all_faults(session.circuit, cap=8)
+        patterns = session.generate(faults).patterns
+        session.simulate(patterns, faults, test_class="robust")
+        first = dict(session._simulators)
+        session.simulate(patterns, faults, test_class="robust")
+        assert dict(session._simulators) == first  # no rebuild
+
+
+class TestUnifiedOptions:
+    def test_adopt_lifts_generation_layer(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.core import TpgOptions
+
+            legacy = TpgOptions(width=8, drop_faults=False)
+        options = Options.adopt(legacy)
+        assert options.width == 8
+        assert options.drop_faults is False
+        assert options.workers == 1  # defaulted, TpgOptions never had it
+
+    def test_adopt_overrides_win(self):
+        assert Options.adopt(Options(width=8), width=2).width == 2
+
+    def test_engine_mode_view(self):
+        options = Options(width=8, workers=4, window=32, checkpoint="x.json")
+        engine = options.engine_mode()
+        assert engine.workers == 1
+        assert engine.window is None
+        assert engine.checkpoint is None
+        assert engine.width == 8
+
+    def test_layers_round_trip(self):
+        options = Options(width=8, shards=3, workers=2, compact_every=16)
+        assert Options.from_layers(options.layers()) == options
+
+    def test_from_layers_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown options layer"):
+            Options.from_layers({"nonsense": {}})
+        with pytest.raises(ValueError, match="unknown option"):
+            Options.from_layers({"generation": {"wat": 1}})
+
+    def test_validate(self):
+        with pytest.raises(ValueError, match="width"):
+            Options(width=0).validate()
+        with pytest.raises(ValueError, match="window"):
+            Options(width=32, window=8).validate()
+        with pytest.raises(ValueError, match="workers"):
+            Options(workers=0).validate()
+
+
+class TestDeprecationShims:
+    def test_tpg_options_warns(self):
+        from repro.core import TpgOptions
+
+        with pytest.warns(DeprecationWarning, match="TpgOptions"):
+            options = TpgOptions(width=8)
+        assert isinstance(options, GenerationOptions)
+
+    def test_campaign_options_warns(self):
+        from repro.campaign import CampaignOptions
+
+        with pytest.warns(DeprecationWarning, match="CampaignOptions"):
+            options = CampaignOptions(width=8)
+        assert isinstance(options, Options)
+
+    def test_generate_tests_warns_and_matches(self):
+        from repro.core import generate_tests
+
+        circuit = ripple_carry_adder(2)
+        faults = all_faults(circuit, cap=10)
+        with pytest.warns(DeprecationWarning, match="AtpgSession.generate"):
+            legacy = generate_tests(circuit, faults)
+        session_report = AtpgSession(circuit).generate(faults)
+        assert [r.status for r in legacy.records] == [
+            r.status for r in session_report.records
+        ]
+
+    def test_run_campaign_warns(self):
+        from repro.campaign import run_campaign
+
+        circuit = ripple_carry_adder(2)
+        with pytest.warns(DeprecationWarning, match="AtpgSession.campaign"):
+            report = run_campaign(circuit)
+        assert report.complete
+
+
+class TestResolution:
+    def test_shared_resolver(self):
+        assert resolve_circuit("c17").name == "c17"
+        assert resolve_circuit("s713").name == "s713_like"
+        with pytest.raises(ResolutionError, match="unknown circuit"):
+            resolve_circuit("nope")
+
+    def test_test_class_resolution(self):
+        assert resolve_test_class("robust") is TestClass.ROBUST
+        assert resolve_test_class("NONROBUST") is TestClass.NONROBUST
+        assert resolve_test_class(TestClass.ROBUST) is TestClass.ROBUST
+        assert resolve_test_class(None) is TestClass.NONROBUST
+        with pytest.raises(ResolutionError, match="test class"):
+            resolve_test_class("maybe")
+
+    def test_fingerprint_is_structural(self):
+        a = circuit_fingerprint(ripple_carry_adder(3))
+        b = circuit_fingerprint(ripple_carry_adder(3))
+        c = circuit_fingerprint(ripple_carry_adder(4))
+        assert a == b != c
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.2.0"
+
+    def test_all_is_authoritative(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+        # the front-door names are exported
+        for name in ("api", "AtpgSession", "AtpgService", "Options"):
+            assert name in repro.__all__
+        # deprecated names stay listed
+        for name in ("TpgOptions", "CampaignOptions", "generate_tests"):
+            assert name in repro.__all__
+
+
+class TestTipDispatcher:
+    def test_subcommand_dispatch(self, capsys):
+        from repro.cli import main
+
+        assert main(["atpg", "c17", "--max-faults", "6"]) == 0
+        assert "ATPG summary" in capsys.readouterr().out
+
+    def test_paths_alias_equivalence(self, capsys):
+        from repro.cli import main, main_paths
+
+        assert main(["paths", "paper_example"]) == 0
+        via_tip = capsys.readouterr().out
+        assert main_paths(["paper_example"]) == 0
+        assert capsys.readouterr().out == via_tip
+
+    def test_unknown_command(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown command"):
+            main(["frobnicate"])
+
+    def test_help(self, capsys):
+        from repro.cli import main
+
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for command in ("atpg", "campaign", "serve", "validate"):
+            assert command in out
+
+    def test_validate_subcommand(self, capsys, tmp_path):
+        from repro.cli import main
+
+        good = tmp_path / "ok.json"
+        good.write_text(
+            '{"schema": "repro/fault", "schema_version": 1, '
+            '"signals": [0, 1], "transition": "R"}\n'
+        )
+        assert main(["validate", str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro/fault", "schema_version": 7}\n')
+        assert main(["validate", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "unknown schema_version" in out

@@ -1,0 +1,256 @@
+"""Tests of the service endpoint (repro.api.service).
+
+The smoke contract from the issue: a POSTed c17/c880 generate request
+must return, through the JSON schema round-trip, exactly the per-fault
+statuses the legacy ``generate_tests`` produces — the server is the
+same engine behind a wire format, never a reimplementation.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+import warnings
+
+import pytest
+
+from repro.api import (
+    AtpgService,
+    GenerateRequest,
+    GradeRequest,
+    PathsRequest,
+    SimulateRequest,
+    make_server,
+    serde,
+)
+from repro.api.schemas import stamp, validate
+from repro.circuit.library import C17_BENCH, c17
+from repro.paths import TestClass, all_faults
+
+
+def legacy_statuses(circuit, faults, test_class):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from repro.core import generate_tests
+
+        report = generate_tests(circuit, faults, test_class)
+    return [record.status.value for record in report.records]
+
+
+# ---------------------------------------------------------------------------
+# the dispatcher, transport-free
+# ---------------------------------------------------------------------------
+
+
+class TestDispatcher:
+    def test_generate_matches_legacy_engine(self):
+        service = AtpgService()
+        response = service.handle(
+            GenerateRequest(circuit="c17", test_class="robust")
+        )
+        assert response.ok
+        validate(response.payload, kind="repro/tpg-report")
+        circuit = c17()
+        expected = legacy_statuses(circuit, all_faults(circuit), TestClass.ROBUST)
+        assert [r["status"] for r in response.payload["records"]] == expected
+
+    def test_inline_bench_and_session_cache(self):
+        service = AtpgService()
+        for _ in range(3):
+            response = service.handle(PathsRequest(bench=C17_BENCH))
+            assert response.ok
+        # one structure -> one lowering, however many requests
+        assert service.sessions_opened == 1
+        assert service.requests_served == 3
+
+    def test_fingerprint_observes_the_name(self):
+        # the same netlist under a different name is a different session
+        # (reports carry circuit_name, so sharing would mislabel them)
+        service = AtpgService()
+        assert service.handle(PathsRequest(circuit="c17")).ok
+        assert service.handle(PathsRequest(bench=C17_BENCH)).ok
+        assert service.sessions_opened == 2
+
+    def test_lru_eviction(self):
+        service = AtpgService(max_sessions=1)
+        assert service.handle(PathsRequest(circuit="c17")).ok
+        assert service.handle(PathsRequest(circuit="paper_example")).ok
+        assert service.handle(PathsRequest(circuit="c17")).ok
+        assert service.sessions_opened == 3  # c17 was evicted, re-opened
+
+    def test_simulate_and_grade(self):
+        circuit = c17()
+        faults = all_faults(circuit)
+        service = AtpgService()
+        generate = service.handle(
+            GenerateRequest(circuit="c17", include_patterns=True)
+        )
+        patterns = [
+            serde.pattern_from_payload(r["pattern"], envelope=False)
+            for r in generate.payload["records"]
+            if r["pattern"] is not None
+        ]
+        simulate = service.handle(
+            SimulateRequest(circuit="c17", patterns=patterns, faults=faults)
+        )
+        assert simulate.ok
+        validate(simulate.payload, kind="repro/simulate-report")
+        masks = [int(m, 16) for m in simulate.payload["masks"]]
+        assert len(masks) == len(faults)
+        grade = service.handle(
+            GradeRequest(circuit="c17", patterns=patterns, faults=faults)
+        )
+        assert grade.ok
+        validate(grade.payload, kind="repro/grade-report")
+        assert grade.payload["detected_flags"] == [bool(m) for m in masks]
+
+    def test_partial_options_on_the_wire(self):
+        # clients may send only the knobs they override
+        service = AtpgService()
+        response = service.handle_json(
+            "generate",
+            stamp(
+                "repro/request.generate",
+                {"circuit": "c17", "options": {"generation": {"width": 8}}},
+            ),
+        )
+        assert response.ok
+        assert response.payload["width"] == 8
+
+    def test_wire_options_cannot_steer_server_files(self, tmp_path):
+        # checkpoint/resume are host decisions, never request parameters
+        from repro.api import Options
+
+        path = tmp_path / "evil.ckpt.json"
+        service = AtpgService()
+        from repro.api import CampaignRequest
+
+        response = service.handle(
+            CampaignRequest(
+                circuit="c17",
+                max_faults=8,
+                options=Options(width=4, checkpoint=str(path), resume=True),
+            )
+        )
+        assert response.ok
+        assert not path.exists()
+
+    def test_bad_circuit_is_a_clean_error(self):
+        response = AtpgService().handle(GenerateRequest(circuit="nope"))
+        assert not response.ok
+        assert response.status == 400
+        assert "unknown circuit" in response.payload["detail"]
+
+    def test_requires_exactly_one_circuit_transport(self):
+        response = AtpgService().handle(GenerateRequest())
+        assert not response.ok
+        assert "exactly one" in response.payload["detail"]
+
+
+# ---------------------------------------------------------------------------
+# the HTTP transport
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = make_server(port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _post(server, verb, payload, timeout=60):
+    port = server.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/v1/{verb}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _get(server, endpoint, timeout=10):
+    port = server.server_address[1]
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/v1/{endpoint}", timeout=timeout
+    ) as response:
+        return json.loads(response.read())
+
+
+class TestHttpEndpoint:
+    def test_generate_smoke_c17(self, server):
+        request = stamp(
+            "repro/request.generate", {"circuit": "c17", "test_class": "robust"}
+        )
+        envelope = _post(server, "generate", request)
+        validate(envelope, kind="repro/response")
+        assert envelope["ok"]
+        result = envelope["result"]
+        validate(result, kind="repro/tpg-report")
+        circuit = c17()
+        assert [r["status"] for r in result["records"]] == legacy_statuses(
+            circuit, all_faults(circuit), TestClass.ROBUST
+        )
+
+    def test_unknown_schema_version_is_400(self, server):
+        request = stamp("repro/request.generate", {"circuit": "c17"})
+        request["schema_version"] = 99
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, "generate", request)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert "unknown schema_version" in body["error"]["detail"]
+
+    def test_unknown_verb_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, "transmogrify", stamp("repro/request.generate", {}))
+        assert excinfo.value.code == 400
+
+    def test_health_and_schemas(self, server):
+        health = _get(server, "health")
+        assert health["status"] == "ok"
+        assert health["version"]
+        schemas = _get(server, "schemas")["schemas"]
+        kinds = {row["kind"] for row in schemas}
+        assert "repro/tpg-report" in kinds
+        assert "repro/request.generate" in kinds
+
+    def test_paths_over_http(self, server):
+        request = stamp(
+            "repro/request.paths",
+            {"circuit": "paper_example", "histogram": True},
+        )
+        envelope = _post(server, "paths", request)
+        assert envelope["ok"]
+        assert envelope["result"]["paths"] == 13
+        assert envelope["result"]["faults"] == 26
+
+
+class TestAcceptanceCriterion:
+    """c880 through the wire == c880 through the legacy engine."""
+
+    def test_c880_statuses_round_trip_through_service(self, server):
+        from repro.circuit.suites import suite_circuit
+        from repro.paths import fault_list
+
+        circuit = suite_circuit("c880", 1)
+        faults = fault_list(circuit, cap=96, strategy="all")
+        expected = legacy_statuses(circuit, faults, TestClass.NONROBUST)
+
+        request = stamp(
+            "repro/request.generate",
+            {
+                "circuit": "c880",
+                "test_class": "nonrobust",
+                "max_faults": 96,
+                "strategy": "all",
+            },
+        )
+        envelope = _post(server, "generate", request, timeout=300)
+        assert envelope["ok"]
+        report = serde.tpg_report_from_payload(envelope["result"])
+        assert [record.status.value for record in report.records] == expected
