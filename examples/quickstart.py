@@ -11,14 +11,20 @@ Usage::
     python examples/quickstart.py
 """
 
-from repro.api import AtpgSession
+from repro.api import AtpgSession, Options
 from repro.analysis import render_table
 from repro.paths import TestClass
 from repro.sim import DelayFaultSimulator
 
 
 def main() -> None:
-    session = AtpgSession.open("c17")
+    # Every hot simulation loop runs on fused execution plans by
+    # default (Options(fusion="auto")): level-vectorized numpy kernels
+    # for bulk passes, straight-line compiled bodies for int-word and
+    # implication-engine work.  Pass Options(fusion="interp") to pin
+    # the per-gate oracle loop, or "vector"/"codegen" to pin one
+    # strategy — results are bit-identical either way.
+    session = AtpgSession.open("c17", options=Options(fusion="auto"))
     c17 = session.circuit
     print(f"Circuit: {c17.name} — {c17.stats()}")
     print(f"Structural paths: {session.paths()['paths']}")

@@ -71,6 +71,13 @@ class GenerationOptions:
         sim_backend: word backend of the PPSFP drop simulator
             (``"auto"``, ``"int"`` or ``"numpy"``; see
             :class:`repro.sim.delay_sim.DelayFaultSimulator`).
+        fusion: plan execution strategy of every hot simulation loop —
+            ``"interp"`` (per-gate interpreter, the oracle),
+            ``"vector"`` (level-vectorized numpy groups), ``"codegen"``
+            (straight-line compiled bodies) or ``"auto"`` (the fastest
+            supported strategy per backend; the default).  Never
+            outcome-relevant: all strategies are bit-identical and the
+            test suite asserts it.
     """
 
     width: int = DEFAULT_WORD_LENGTH
@@ -80,6 +87,7 @@ class GenerationOptions:
     use_aptpg: bool = True
     unique_backward: bool = True
     sim_backend: str = "auto"
+    fusion: str = "auto"
 
     def validate(self) -> None:
         if self.width < 1:
@@ -88,6 +96,10 @@ class GenerationOptions:
             raise ValueError("backtrack_limit must be >= 0")
         if self.sim_backend not in ("auto", "int", "numpy"):
             raise ValueError(f"unknown sim_backend {self.sim_backend!r}")
+        from ..kernel import FUSION_MODES  # lazy: avoid import cycles
+
+        if self.fusion not in FUSION_MODES:
+            raise ValueError(f"unknown fusion strategy {self.fusion!r}")
 
 
 @dataclass

@@ -77,32 +77,44 @@ PATTERN = obj(
 # Layers and fields are all optional on the wire: a client may send
 # just the knobs it overrides ({"generation": {"width": 32}}) and the
 # decoder fills the rest with defaults.
-OPTIONS = obj(
-    optional={
-        "generation": obj(
-            optional={
-                "width": INT,
-                "backtrack_limit": INT,
-                "drop_faults": BOOL,
-                "use_fptpg": BOOL,
-                "use_aptpg": BOOL,
-                "unique_backward": BOOL,
-                "sim_backend": {"enum": ["auto", "int", "numpy"]},
-            }
-        ),
-        "schedule": obj(optional={"shards": INT, "window": opt(INT)}),
-        "execution": obj(optional={"workers": INT}),
-        "persistence": obj(
-            optional={
-                "checkpoint": opt(STR),
-                "checkpoint_every": INT,
-                "resume": BOOL,
-                "compact_every": opt(INT),
-                "keep_records": BOOL,
-            }
-        ),
+
+
+def _options_spec(generation_extra: Optional[Dict] = None) -> Dict:
+    generation = {
+        "width": INT,
+        "backtrack_limit": INT,
+        "drop_faults": BOOL,
+        "use_fptpg": BOOL,
+        "use_aptpg": BOOL,
+        "unique_backward": BOOL,
+        "sim_backend": {"enum": ["auto", "int", "numpy"]},
     }
-)
+    generation.update(generation_extra or {})
+    return obj(
+        optional={
+            "generation": obj(optional=generation),
+            "schedule": obj(optional={"shards": INT, "window": opt(INT)}),
+            "execution": obj(optional={"workers": INT}),
+            "persistence": obj(
+                optional={
+                    "checkpoint": opt(STR),
+                    "checkpoint_every": INT,
+                    "resume": BOOL,
+                    "compact_every": opt(INT),
+                    "keep_records": BOOL,
+                }
+            ),
+        }
+    )
+
+
+FUSION = {"enum": ["auto", "interp", "vector", "codegen"]}
+
+#: v1 options wire shape (pre-fusion), kept for old payloads.
+OPTIONS_V1 = _options_spec()
+#: Current options wire shape: v2 adds the generation-layer ``fusion``
+#: strategy (plan execution: interp/vector/codegen/auto).
+OPTIONS = _options_spec({"fusion": FUSION})
 FAULT_RECORD = obj(
     {
         "status": STATUS,
@@ -146,6 +158,33 @@ _BENCH_KERNEL_ROW = obj(
         "speedup": NUM,
     }
 )
+# v2: fused-vs-interpreted strategy columns.  ``interp_*`` is the
+# per-gate interpreter loop on the numpy backend (the v1
+# ``kernel_*``); ``vector_*``/``codegen_*`` are the fused strategies;
+# the seed object-graph baseline becomes optional (skippable on
+# circuits where it would dominate the bench wall-clock).
+_BENCH_KERNEL_ROW_V2 = obj(
+    {
+        "circuit": STR,
+        "test_class": TEST_CLASS,
+        "signals": INT,
+        "faults": INT,
+        "patterns": INT,
+        "interp_seconds": NUM,
+        "interp_throughput": NUM,
+    },
+    optional={
+        "seed_seconds": NUM,
+        "seed_throughput": NUM,
+        "interp_speedup_vs_seed": NUM,
+        "vector_seconds": NUM,
+        "vector_throughput": NUM,
+        "codegen_seconds": NUM,
+        "codegen_throughput": NUM,
+        "best_fused": {"enum": ["vector", "codegen"]},
+        "fused_speedup": NUM,
+    },
+)
 _BENCH_TPG_ROW = obj(
     {
         "circuit": STR,
@@ -172,10 +211,26 @@ _REQUEST_CIRCUIT = {
 # the registry: kind -> version -> body spec
 # ---------------------------------------------------------------------------
 
+def _campaign_report_spec(options_spec: Dict) -> Dict:
+    return obj(
+        {
+            "circuit": STR,
+            "test_class": TEST_CLASS,
+            "options": options_spec,
+            "statuses": arr(arr(ANY)),  # [index, status] pairs
+            "modes": arr(arr(ANY)),  # [index, mode] pairs
+            "records": opt(arr(arr(ANY))),  # [index, record] pairs
+            "patterns": arr(PATTERN),
+            "stats": CAMPAIGN_STATS,
+            "complete": BOOL,
+        }
+    )
+
+
 SCHEMAS: Dict[str, Dict[int, Dict]] = {
     "repro/fault": {1: FAULT},
     "repro/pattern": {1: PATTERN},
-    "repro/options": {1: OPTIONS},
+    "repro/options": {1: OPTIONS_V1, 2: OPTIONS},
     "repro/circuit": {
         1: obj(
             {
@@ -203,19 +258,8 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
         )
     },
     "repro/campaign-report": {
-        1: obj(
-            {
-                "circuit": STR,
-                "test_class": TEST_CLASS,
-                "options": OPTIONS,
-                "statuses": arr(arr(ANY)),  # [index, status] pairs
-                "modes": arr(arr(ANY)),  # [index, mode] pairs
-                "records": opt(arr(arr(ANY))),  # [index, record] pairs
-                "patterns": arr(PATTERN),
-                "stats": CAMPAIGN_STATS,
-                "complete": BOOL,
-            }
-        )
+        1: _campaign_report_spec(OPTIONS_V1),
+        2: _campaign_report_spec(OPTIONS),
     },
     "repro/simulate-report": {
         1: obj(
@@ -284,7 +328,15 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
                 "python": STR,
                 "rows": arr(_BENCH_KERNEL_ROW),
             }
-        )
+        ),
+        2: obj(
+            {
+                "benchmark": {"const": "ppsfp_throughput"},
+                "units": STR,
+                "python": STR,
+                "rows": arr(_BENCH_KERNEL_ROW_V2),
+            }
+        ),
     },
     "repro/bench-tpg": {
         1: obj(
@@ -303,15 +355,33 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
         1: obj(
             optional={
                 **_REQUEST_CIRCUIT,
+                "options": OPTIONS_V1,
+                "max_faults": opt(INT),
+                "strategy": {"enum": ["all", "longest", "sample"]},
+                "include_patterns": BOOL,
+            }
+        ),
+        2: obj(
+            optional={
+                **_REQUEST_CIRCUIT,
                 "options": OPTIONS,
                 "max_faults": opt(INT),
                 "strategy": {"enum": ["all", "longest", "sample"]},
                 "include_patterns": BOOL,
             }
-        )
+        ),
     },
     "repro/request.campaign": {
         1: obj(
+            optional={
+                **_REQUEST_CIRCUIT,
+                "options": OPTIONS_V1,
+                "max_faults": opt(INT),
+                "min_length": opt(INT),
+                "max_length": opt(INT),
+            }
+        ),
+        2: obj(
             optional={
                 **_REQUEST_CIRCUIT,
                 "options": OPTIONS,
@@ -319,7 +389,7 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
                 "min_length": opt(INT),
                 "max_length": opt(INT),
             }
-        )
+        ),
     },
     "repro/request.simulate": {
         1: obj(

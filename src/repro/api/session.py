@@ -107,13 +107,13 @@ class AtpgSession:
             return list(faults)
         return fault_list(self.circuit, cap=max_faults, strategy=strategy)
 
-    def _simulator(self, test_class: TestClass, backend: str):
+    def _simulator(self, test_class: TestClass, backend: str, fusion: str):
         from ..sim.delay_sim import DelayFaultSimulator  # lazy: import cycle
 
-        key = (test_class, backend)
+        key = (test_class, backend, fusion)
         if key not in self._simulators:
             self._simulators[key] = DelayFaultSimulator(
-                self.circuit, test_class, backend=backend
+                self.circuit, test_class, backend=backend, fusion=fusion
             )
         return self._simulators[key]
 
@@ -180,15 +180,16 @@ class AtpgSession:
         *,
         test_class: Union[str, TestClass] = TestClass.NONROBUST,
         backend: str = "auto",
+        fusion: str = "auto",
     ) -> List[int]:
         """Batched PPSFP: per-fault lane masks, aligned with *faults*.
 
         Bit ``k`` of ``masks[i]`` is set iff ``patterns[k]`` detects
         ``faults[i]`` under the session circuit and *test_class*.  The
-        simulator for each (class, backend) pair is built once per
-        session and reused across calls.
+        simulator for each (class, backend, fusion) triple is built
+        once per session and reused across calls.
         """
-        sim = self._simulator(resolve_test_class(test_class), backend)
+        sim = self._simulator(resolve_test_class(test_class), backend, fusion)
         return sim.detection_masks(patterns, list(faults))
 
     # ------------------------------------------------------------ grade
@@ -199,6 +200,7 @@ class AtpgSession:
         *,
         test_class: Union[str, TestClass] = TestClass.NONROBUST,
         backend: str = "auto",
+        fusion: str = "auto",
     ) -> Dict[str, object]:
         """Grade a pattern set: which faults does it cover?
 
@@ -208,7 +210,8 @@ class AtpgSession:
         """
         faults = list(faults)
         masks = self.simulate(
-            patterns, faults, test_class=test_class, backend=backend
+            patterns, faults, test_class=test_class, backend=backend,
+            fusion=fusion,
         )
         flags = [bool(mask) for mask in masks]
         detected = sum(flags)

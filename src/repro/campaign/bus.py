@@ -51,10 +51,13 @@ class DropBus:
         test_class: TestClass,
         *,
         backend: str = "auto",
+        fusion: str = "auto",
         enabled: bool = True,
         compact_every: Optional[int] = None,
     ):
-        self.simulator = DelayFaultSimulator(circuit, test_class, backend=backend)
+        self.simulator = DelayFaultSimulator(
+            circuit, test_class, backend=backend, fusion=fusion
+        )
         self.circuit = circuit
         self.test_class = test_class
         self.enabled = enabled
@@ -149,6 +152,7 @@ class DropBus:
             targets,
             self.test_class,
             backend=self.simulator.backend,
+            fusion=self.simulator.fusion,
         )
         self.seconds_simulate += time.perf_counter() - t0
         # A removed pattern's target is still covered by the kept set,

@@ -82,6 +82,7 @@ class _Campaign:
             circuit,
             test_class,
             backend=options.sim_backend,
+            fusion=options.fusion,
             enabled=options.drop_faults,
             compact_every=options.compact_every,
         )
@@ -335,6 +336,7 @@ class _Campaign:
             options.unique_backward,
             options.backtrack_limit,
             options.workers,
+            options.fusion,
         )
         rounds_since_checkpoint = 0
         try:

@@ -56,6 +56,7 @@ class _WorkerContext:
     width: int
     use_backward: bool
     backtrack_limit: int
+    fusion: str = "auto"
     controllability: Controllability = field(init=False)
 
     def __post_init__(self) -> None:
@@ -71,6 +72,7 @@ class _WorkerContext:
             self.width,
             self.controllability,
             use_backward=self.use_backward,
+            fusion=self.fusion,
         )
         return ShardResult(
             statuses=list(outcome.statuses),
@@ -89,6 +91,7 @@ class _WorkerContext:
             self.controllability,
             backtrack_limit=self.backtrack_limit,
             use_backward=self.use_backward,
+            fusion=self.fusion,
         )
         return ShardResult(
             statuses=[outcome.status],
@@ -113,10 +116,11 @@ def _init_worker(
     width: int,
     use_backward: bool,
     backtrack_limit: int,
+    fusion: str,
 ) -> None:
     global _WORKER
     _WORKER = _WorkerContext(
-        circuit, test_class, width, use_backward, backtrack_limit
+        circuit, test_class, width, use_backward, backtrack_limit, fusion
     )
 
 
@@ -145,9 +149,10 @@ class SerialExecutor:
         width: int,
         use_backward: bool,
         backtrack_limit: int,
+        fusion: str = "auto",
     ):
         self._context = _WorkerContext(
-            circuit, test_class, width, use_backward, backtrack_limit
+            circuit, test_class, width, use_backward, backtrack_limit, fusion
         )
 
     def run_fptpg(
@@ -181,6 +186,7 @@ class PoolExecutor:
         use_backward: bool,
         backtrack_limit: int,
         workers: int,
+        fusion: str = "auto",
     ):
         circuit.compiled()  # compile before fork so children inherit it
         if "fork" in multiprocessing.get_all_start_methods():
@@ -190,7 +196,9 @@ class PoolExecutor:
         self._pool = context.Pool(
             processes=workers,
             initializer=_init_worker,
-            initargs=(circuit, test_class, width, use_backward, backtrack_limit),
+            initargs=(
+                circuit, test_class, width, use_backward, backtrack_limit, fusion
+            ),
         )
 
     def run_fptpg(
@@ -215,12 +223,14 @@ def make_executor(
     use_backward: bool,
     backtrack_limit: int,
     workers: int,
+    fusion: str = "auto",
 ):
     """The executor for *workers* processes (1 = in-process)."""
     if workers <= 1:
         return SerialExecutor(
-            circuit, test_class, width, use_backward, backtrack_limit
+            circuit, test_class, width, use_backward, backtrack_limit, fusion
         )
     return PoolExecutor(
-        circuit, test_class, width, use_backward, backtrack_limit, workers
+        circuit, test_class, width, use_backward, backtrack_limit, workers,
+        fusion,
     )

@@ -91,6 +91,23 @@ _ISCAS89: Dict[str, _SuiteEntry] = {
                                    locality=48, reconvergence=0.25, name="s38584_like"),
 }
 
+#: Extra generated circuits outside the paper's tables.  ``bulk2k`` is
+#: the fused-kernel benchmark workload: ~2k gates, wide and shallow
+#: (high locality keeps the level population large), where per-gate
+#: interpreter overhead — not lane arithmetic — dominates an
+#: interpreted simulation pass.
+_EXTRA: Dict[str, _SuiteEntry] = {
+    "bulk2k": lambda s: random_dag(
+        96,
+        2048 * max(1, s),
+        seed=2048,
+        profile="balanced",
+        locality=256,
+        reconvergence=0.25,
+        name="bulk2k",
+    ),
+}
+
 #: Circuit rows of paper Tables 3 and 4 (ISCAS85, c6288 footnoted out).
 TABLE34_CIRCUITS: List[str] = [
     "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c7552",
@@ -128,9 +145,11 @@ def iscas89_like(name: str, scale: int = 1) -> Circuit:
 
 
 def suite_circuit(name: str, scale: int = 1) -> Circuit:
-    """Look up *name* in either suite."""
+    """Look up *name* in either suite (or the extra generated set)."""
     if name in _ISCAS85:
         return iscas85_like(name, scale)
     if name in _ISCAS89:
         return iscas89_like(name, scale)
+    if name in _EXTRA:
+        return _EXTRA[name](scale)
     raise ValueError(f"unknown suite circuit {name!r}")

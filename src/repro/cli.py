@@ -37,7 +37,7 @@ import json
 import platform
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .analysis import (
     render_table,
@@ -375,18 +375,29 @@ def bench_ppsfp(
     fault_cap: int = 128,
     repeat: int = 3,
     seed: int = 0,
+    strategies: tuple = ("vector", "codegen"),
+    seed_baseline: bool = True,
 ) -> Dict[str, object]:
-    """Time seed object-graph PPSFP against the compiled numpy kernel.
+    """Time PPSFP per execution strategy on one identical workload.
 
-    Both paths process the identical workload — every fault checked
-    against every pattern.  The seed path (preserved verbatim in
-    :mod:`repro.sim.reference`) simulates in one-machine-word chunks
-    of 64 lanes, exactly as the seed engine's drop loop did; the
-    kernel path streams the whole batch through
-    :class:`repro.kernel.NumpyWordBackend` in one pass.  Detection
-    masks are asserted equal lane-for-lane, so the speed-up is never
-    bought with a semantics change.  Throughput is patterns x faults
-    per second, best of *repeat* runs.
+    Every run checks every fault against every pattern.  Three tiers
+    are compared:
+
+    * **seed** (optional) — the pre-kernel object-graph path
+      (preserved verbatim in :mod:`repro.sim.reference`), simulating
+      in one-machine-word chunks of 64 lanes as the seed engine did,
+    * **interp** — the compiled numpy kernel with the per-gate
+      interpreter loop (the v1 ``kernel_*`` numbers),
+    * **fused** — the requested *strategies* (``"vector"`` and/or
+      ``"codegen"``) on the same kernel.
+
+    Detection masks are asserted equal lane-for-lane across every
+    tier, so speed-ups are never bought with a semantics change.
+    Fused runs are warmed once before timing — plan fusion and
+    codegen are one-time lowering costs cached on the compiled
+    circuit, amortized over a workload's lifetime exactly like the
+    lowering itself.  Throughput is patterns x faults per second,
+    best of *repeat* runs.
     """
     from .core.patterns import random_patterns
     from .sim import DelayFaultSimulator
@@ -407,11 +418,6 @@ def bench_ppsfp(
                 merged[fault] |= lanes << start
         return merged
 
-    kernel_sim = DelayFaultSimulator(circuit, test_class, backend="numpy")
-
-    def run_kernel() -> Dict:
-        return kernel_sim.detected_faults(patterns, faults)
-
     def best_of(fn) -> tuple:
         best = float("inf")
         result = None
@@ -421,33 +427,63 @@ def bench_ppsfp(
             best = min(best, time.perf_counter() - t0)
         return best, result
 
-    seed_seconds, seed_masks = best_of(run_seed)
-    kernel_seconds, kernel_masks = best_of(run_kernel)
-    if seed_masks != kernel_masks:
-        raise AssertionError(
-            f"kernel and seed PPSFP disagree on {circuit.name}"
-        )
-    return {
+    row: Dict[str, object] = {
         "circuit": circuit.name,
         "test_class": test_class.value,
         "signals": circuit.num_signals,
         "faults": len(faults),
         "patterns": n_patterns,
-        "seed_seconds": round(seed_seconds, 6),
-        "kernel_seconds": round(kernel_seconds, 6),
-        "seed_throughput": round(work / seed_seconds, 1),
-        "kernel_throughput": round(work / kernel_seconds, 1),
-        "speedup": round(seed_seconds / kernel_seconds, 2),
     }
+
+    interp_sim = DelayFaultSimulator(
+        circuit, test_class, backend="numpy", fusion="interp"
+    )
+    interp_seconds, interp_masks = best_of(
+        lambda: interp_sim.detected_faults(patterns, faults)
+    )
+    row["interp_seconds"] = round(interp_seconds, 6)
+    row["interp_throughput"] = round(work / interp_seconds, 1)
+
+    if seed_baseline:
+        seed_seconds, seed_masks = best_of(run_seed)
+        if seed_masks != interp_masks:
+            raise AssertionError(
+                f"kernel and seed PPSFP disagree on {circuit.name}"
+            )
+        row["seed_seconds"] = round(seed_seconds, 6)
+        row["seed_throughput"] = round(work / seed_seconds, 1)
+        row["interp_speedup_vs_seed"] = round(seed_seconds / interp_seconds, 2)
+
+    fused_best: Optional[Tuple[float, str]] = None
+    for strategy in strategies:
+        sim = DelayFaultSimulator(
+            circuit, test_class, backend="numpy", fusion=strategy
+        )
+        sim.detected_faults(patterns[:64], faults[:1])  # warm the lowering
+        seconds, masks = best_of(lambda: sim.detected_faults(patterns, faults))
+        if masks != interp_masks:
+            raise AssertionError(
+                f"{strategy} and interp PPSFP disagree on {circuit.name}"
+            )
+        row[f"{strategy}_seconds"] = round(seconds, 6)
+        row[f"{strategy}_throughput"] = round(work / seconds, 1)
+        if fused_best is None or seconds < fused_best[0]:
+            fused_best = (seconds, strategy)
+    if fused_best is not None:
+        row["best_fused"] = fused_best[1]
+        row["fused_speedup"] = round(interp_seconds / fused_best[0], 2)
+    return row
 
 
 def main_bench_sim(argv: Optional[List[str]] = None) -> int:
-    """PPSFP throughput: seed object graph vs compiled kernel."""
+    """PPSFP throughput: seed vs interpreted kernel vs fused strategies."""
     parser = argparse.ArgumentParser(
         prog="tip-bench-sim",
         description=(
-            "PPSFP throughput: seed object-graph path vs compiled kernel "
-            "(patterns x faults per second)."
+            "PPSFP throughput (patterns x faults per second): seed "
+            "object-graph path vs the compiled kernel's interpreted loop "
+            "vs the fused execution strategies (level-vectorized numpy "
+            "groups and straight-line codegen)."
         ),
     )
     parser.add_argument(
@@ -464,11 +500,26 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--repeat", type=int, default=3, help="best-of runs")
     parser.add_argument("--scale", type=int, default=1, help="suite circuit scale")
     parser.add_argument(
+        "--fusion",
+        choices=["both", "vector", "codegen"],
+        default="both",
+        help="which fused strategies to time against the interpreted loop",
+    )
+    parser.add_argument(
+        "--no-seed",
+        action="store_true",
+        help="skip the seed object-graph baseline (it dominates the bench "
+        "wall-clock on large circuits)",
+    )
+    parser.add_argument(
         "--json", dest="json_path", default=None, help="also write rows as JSON"
     )
     args = parser.parse_args(argv)
 
     test_class = resolve_test_class(args.test_class)
+    strategies = (
+        ("vector", "codegen") if args.fusion == "both" else (args.fusion,)
+    )
     rows = []
     for spec in args.circuits:
         circuit = resolve_circuit(spec, args.scale)
@@ -479,11 +530,14 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
                 n_patterns=args.patterns,
                 fault_cap=args.fault_cap,
                 repeat=args.repeat,
+                strategies=strategies,
+                seed_baseline=not args.no_seed,
             )
         )
     print(
         render_table(
-            rows, title="PPSFP throughput: seed object graph vs compiled kernel"
+            rows,
+            title="PPSFP throughput: seed vs interpreted kernel vs fused",
         )
     )
     if args.json_path:

@@ -85,6 +85,7 @@ def run_aptpg(
     controllability: Optional[Controllability] = None,
     backtrack_limit: int = 64,
     use_backward: bool = True,
+    fusion: str = "auto",
     max_xor_polarity_bits: int = 8,
 ) -> AptpgOutcome:
     """Generate (or refute) a test for one fault with lane alternatives.
@@ -119,6 +120,7 @@ def run_aptpg(
             backtrack_limit,
             use_backward,
             xor_sides,
+            fusion,
         )
         total_decisions += outcome.decisions
         total_backtracks += outcome.backtracks
@@ -155,10 +157,13 @@ def _attempt(
     backtrack_limit: int,
     use_backward: bool,
     xor_sides: Dict[int, int],
+    fusion: str = "auto",
 ) -> AptpgOutcome:
     """One complete APTPG search under a fixed XOR polarity choice."""
     sensitize, algebra = sensitizer_for(test_class)
-    state = TpgState(circuit, algebra, width, use_backward=use_backward)
+    state = TpgState(
+        circuit, algebra, width, use_backward=use_backward, fusion=fusion
+    )
 
     t0 = time.perf_counter()
     for signal, planes in sensitize(circuit, fault, state.mask, xor_sides=xor_sides):

@@ -41,6 +41,7 @@ def _coverage_table(
     test_class: TestClass,
     batch: Optional[int] = None,
     backend: str = "auto",
+    fusion: str = "auto",
 ) -> List[Set[int]]:
     """For each pattern, the set of fault indices it detects.
 
@@ -49,7 +50,9 @@ def _coverage_table(
     set is larger than a machine word, so bulk compaction amortizes
     the per-gate cost over many lane words.
     """
-    simulator = DelayFaultSimulator(circuit, test_class, backend=backend)
+    simulator = DelayFaultSimulator(
+        circuit, test_class, backend=backend, fusion=fusion
+    )
     if batch is None:
         batch = _INT_BATCH if backend == "int" else _BULK_BATCH
     covers: List[Set[int]] = [set() for _ in patterns]
@@ -70,12 +73,15 @@ def reverse_order_compaction(
     faults: Sequence[PathDelayFault],
     test_class: TestClass = TestClass.NONROBUST,
     backend: str = "auto",
+    fusion: str = "auto",
 ) -> List[TestPattern]:
     """Keep a pattern only if it detects a fault no later pattern does.
 
     Preserves the full detected-fault set (checked by the tests).
     """
-    covers = _coverage_table(circuit, patterns, faults, test_class, backend=backend)
+    covers = _coverage_table(
+        circuit, patterns, faults, test_class, backend=backend, fusion=fusion
+    )
     kept: List[Tuple[int, TestPattern]] = []
     covered: Set[int] = set()
     for index in range(len(patterns) - 1, -1, -1):

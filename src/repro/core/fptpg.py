@@ -124,6 +124,7 @@ def run_fptpg(
     width: int,
     controllability: Optional[Controllability] = None,
     use_backward: bool = True,
+    fusion: str = "auto",
 ) -> FptpgOutcome:
     """One FPTPG batch: up to *width* faults, one lane each."""
     if not faults:
@@ -132,7 +133,9 @@ def run_fptpg(
         raise ValueError(f"{len(faults)} faults do not fit in {width} lanes")
     sensitize, algebra = sensitizer_for(test_class)
     cc = controllability or compute_controllability(circuit)
-    state = TpgState(circuit, algebra, width, use_backward=use_backward)
+    state = TpgState(
+        circuit, algebra, width, use_backward=use_backward, fusion=fusion
+    )
     used_mask = mask_for(len(faults))
 
     t0 = time.perf_counter()

@@ -90,6 +90,12 @@ class TpgState:
             them reproduces a weaker, purely forward engine — useful
             for the Figure 2 walkthrough and the implication-strength
             ablation benchmark.
+        fusion: ``"interp"`` dispatches forward evaluations through
+            ``Algebra.forward`` (the oracle path); anything else
+            installs the per-signal compiled forward table of
+            :mod:`repro.kernel.codegen` — branch-free bodies
+            specialized per (gate code, arity), bit-identical by
+            construction and asserted so in the test suite.
     """
 
     def __init__(
@@ -98,12 +104,18 @@ class TpgState:
         algebra: Algebra,
         width: int,
         use_backward: bool = True,
+        fusion: str = "auto",
     ):
+        from ..kernel import FUSION_MODES  # lazy: keep core imports light
+
+        if fusion not in FUSION_MODES:
+            raise ValueError(f"unknown fusion strategy {fusion!r}")
         self.circuit = circuit
         self.compiled = circuit.compiled()
         self.algebra = algebra
         self.width = width
         self.use_backward = use_backward
+        self.fusion = fusion
         self.mask = mask_for(width)
         self.planes: List[Planes] = [algebra.x] * circuit.num_signals
         self.conflict_mask = 0
@@ -114,6 +126,18 @@ class TpgState:
         self._marks: List[Tuple[int, int]] = []
         self.implication_passes = 0
         self.assignments = 0
+        self._forward_fns: Optional[List] = None
+        if fusion != "interp":
+            from ..kernel.codegen import forward_table  # lazy: keep core light
+
+            self._forward_fns = forward_table(self.compiled, algebra.name)
+        # justification cache: raw unjustified lane mask per signal
+        # (conflict filtering applied at query time) plus the dirty
+        # set of signals whose planes changed since the last refresh —
+        # scans only re-derive those instead of every gate's fanin
+        # list on every call.
+        self._unjust: List[int] = [0] * circuit.num_signals
+        self._dirty: set = set()
 
     # ------------------------------------------------------------------
     # assignment and checkpoints
@@ -153,12 +177,36 @@ class TpgState:
         """Undo every assignment made since checkpoint *token*."""
         trail_len, conflict_mask = self._marks[token]
         del self._marks[token:]
+        touch = self._touch
         while len(self._trail) > trail_len:
             signal, old = self._trail.pop()
             self.planes[signal] = old
+            touch(signal)
         self.conflict_mask = conflict_mask
-        self._queue.clear()
-        self._queued = [False] * self.circuit.num_signals
+        self._drain_queue()
+
+    def _drain_queue(self) -> None:
+        """Empty the worklist, clearing only the queued flags it set.
+
+        The flag buffer is reused — rebuilding it as a fresh
+        ``[False] * n_signals`` list on every rollback / early-out
+        made those O(n_signals) allocations on the hottest APTPG
+        paths.
+        """
+        queued = self._queued
+        queue = self._queue
+        while queue:
+            queued[queue.popleft()] = False
+
+    def _touch(self, signal: int) -> None:
+        """Mark *signal*'s plane change for the justification cache.
+
+        A plane change invalidates the cached unjustified mask of the
+        signal's own gate and of every gate reading it.
+        """
+        dirty = self._dirty
+        dirty.add(signal)
+        dirty.update(self.compiled.py_fanout[signal])
 
     # ------------------------------------------------------------------
     # implication fixpoint
@@ -180,10 +228,10 @@ class TpgState:
         mask = self.mask
         forward = self.algebra.forward
         backward = self.algebra.backward
+        forward_fns = self._forward_fns
         while self._queue:
             if stop_when_all_conflicted and self.conflict_mask == mask:
-                self._queue.clear()
-                self._queued = [False] * compiled.n_signals
+                self._drain_queue()
                 break
             signal = self._queue.popleft()
             self._queued[signal] = False
@@ -193,7 +241,10 @@ class TpgState:
             gate_type = gate_types[signal]
             fanin = fanins[signal]
             ins = [planes[f] for f in fanin]
-            fwd = forward(gate_type, ins, mask)
+            if forward_fns is None:
+                fwd = forward(gate_type, ins, mask)
+            else:
+                fwd = forward_fns[signal](ins, mask)
             self.assign(signal, fwd)
             if self.use_backward:
                 out = planes[signal]
@@ -204,12 +255,19 @@ class TpgState:
         return self.conflict_mask
 
     def _enqueue_around(self, signal: int) -> None:
-        """Schedule the driver of *signal* and its fanout gates."""
+        """Schedule the driver of *signal* and its fanout gates.
+
+        Also marks the same signals dirty for the justification cache
+        — one walk of the fanout list serves both bookkeeping jobs.
+        """
         queued = self._queued
+        dirty = self._dirty
+        dirty.add(signal)
         if not queued[signal] and not self.compiled.is_input[signal]:
             queued[signal] = True
             self._queue.append(signal)
         for f in self.compiled.py_fanout[signal]:
+            dirty.add(f)
             if not queued[f]:
                 queued[f] = True
                 self._queue.append(f)
@@ -230,6 +288,35 @@ class TpgState:
             & ~self.conflict_mask
         )
 
+    def _refresh_unjustified(self) -> None:
+        """Re-derive cached unjustified masks for dirty signals only.
+
+        Every scan used to rebuild each gate's fanin plane list and
+        call the algebra's forward rule for *all* signals on *every*
+        call; the dirty set (maintained by :meth:`_enqueue_around`,
+        :meth:`rollback` and :meth:`flatten_lane`) reduces that to the
+        signals whose planes actually changed since the last scan.
+        """
+        dirty = self._dirty
+        if not dirty:
+            return
+        compiled = self.compiled
+        is_input = compiled.is_input
+        fanins = compiled.py_fanin
+        gate_types = compiled.gate_types
+        planes = self.planes
+        mask = self.mask
+        unjustified = self.algebra.unjustified
+        cache = self._unjust
+        for signal in dirty:
+            if is_input[signal]:
+                continue
+            ins = [planes[f] for f in fanins[signal]]
+            cache[signal] = unjustified(
+                gate_types[signal], planes[signal], ins, mask
+            )
+        dirty.clear()
+
     def scan_unjustified(self, lanes: Optional[int] = None) -> List[Tuple[int, int]]:
         """All (signal, lane-mask) pairs with unjustified values.
 
@@ -239,10 +326,9 @@ class TpgState:
         result: List[Tuple[int, int]] = []
         if not live:
             return result
-        for index, is_input in enumerate(self.compiled.is_input):
-            if is_input:
-                continue
-            m = self.unjustified_lanes(index) & live
+        self._refresh_unjustified()
+        for index, raw in enumerate(self._unjust):
+            m = raw & live
             if m:
                 result.append((index, m))
         return result
@@ -250,12 +336,14 @@ class TpgState:
     def all_justified_mask(self) -> int:
         """Lanes that are conflict-free and completely justified."""
         live = self.mask & ~self.conflict_mask
-        for index, is_input in enumerate(self.compiled.is_input):
-            if not live:
-                break
-            if is_input:
-                continue
-            live &= ~self.unjustified_lanes(index)
+        if not live:
+            return 0
+        self._refresh_unjustified()
+        for raw in self._unjust:
+            if raw:
+                live &= ~raw
+                if not live:
+                    break
         return live
 
     # ------------------------------------------------------------------
@@ -272,6 +360,8 @@ class TpgState:
         self.conflict_mask = mask if (self.conflict_mask & bit) else 0
         self._trail.clear()
         self._marks.clear()
+        # every plane changed: the whole justification cache is stale
+        self._dirty.update(range(self.circuit.num_signals))
 
     def lane_values(self, lane: int) -> dict:
         """Decode one lane into {signal name: value letter} for display."""

@@ -12,15 +12,23 @@ The layers (see ARCHITECTURE.md):
   :class:`IntWordBackend` (Python-int words, the TPG state machine's
   representation) and :class:`NumpyWordBackend` (multi-word uint64
   bulk simulation).
+* :mod:`repro.kernel.fusion` — the fused level-major group plan and
+  its vectorized numpy executors (the ``"vector"`` strategy).
+* :mod:`repro.kernel.codegen` — straight-line compiled plan bodies
+  and the per-gate forward tables the TPG implication engine uses
+  (the ``"codegen"`` strategy).
 """
 
 from .backends import (
+    FUSION_MODES,
     IntWordBackend,
     NumpyWordBackend,
     WordBackend,
     backend_for,
     eval_gate_word,
 )
+from .codegen import forward_table, logic_fn, planes7_fn
+from .fusion import FusedGroup, FusedPlan, fused_plan
 from .compiled import (
     CODE_AND,
     CODE_BUF,
@@ -48,6 +56,9 @@ __all__ = [
     "CODE_XNOR",
     "CODE_XOR",
     "FULL_WORD",
+    "FUSION_MODES",
+    "FusedGroup",
+    "FusedPlan",
     "GATE_CODES",
     "CompiledCircuit",
     "IntWordBackend",
@@ -57,7 +68,11 @@ __all__ = [
     "backend_for",
     "compile_circuit",
     "eval_gate_word",
+    "forward_table",
+    "fused_plan",
     "int_to_words",
+    "logic_fn",
     "pack_bits",
+    "planes7_fn",
     "words_to_int",
 ]

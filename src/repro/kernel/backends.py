@@ -1,6 +1,6 @@
 """Pluggable word backends executing the compiled evaluation plan.
 
-Two execution strategies share one compiled netlist
+Two word representations share one compiled netlist
 (:class:`repro.kernel.compiled.CompiledCircuit`):
 
 * :class:`IntWordBackend` — Python integers as lane words.  Arbitrary
@@ -11,11 +11,25 @@ Two execution strategies share one compiled netlist
   word per element.  Per-gate cost is amortized over every word, so
   thousand-pattern batches stream through the netlist at a fraction of
   the per-pattern cost; this is the bulk-simulation backend behind
-  batched PPSFP and ``tip-bench-sim``.
+  batched PPSFP and ``tip bench-sim``.
 
-Both backends execute the same plan with the same semantics and are
-cross-checked against each other and against the naive
-:meth:`repro.circuit.Circuit.evaluate` reference in the test suite.
+Each backend additionally selects a **fusion strategy** — how the
+plan is *executed*, orthogonal to the word representation:
+
+* ``"interp"`` — the original per-gate interpreter loop, retained
+  verbatim as the cross-check oracle,
+* ``"vector"`` — level-vectorized group execution
+  (:mod:`repro.kernel.fusion`; numpy backend only — the int backend
+  maps it to ``"codegen"``),
+* ``"codegen"`` — the plan rendered once into straight-line compiled
+  Python (:mod:`repro.kernel.codegen`),
+* ``"auto"`` — the fastest supported strategy: ``vector`` on numpy,
+  ``codegen`` on int words.
+
+All strategy/representation combinations execute the same plan with
+the same semantics and are cross-checked against each other and
+against the naive :meth:`repro.circuit.Circuit.evaluate` reference in
+the test suite (``tests/test_fusion.py``).
 """
 
 from __future__ import annotations
@@ -26,6 +40,7 @@ import numpy as np
 
 from ..logic import seven_valued
 from ..logic.words import mask_for
+from .codegen import logic_fn, planes7_fn
 from .compiled import (
     CODE_AND,
     CODE_BUF,
@@ -37,10 +52,22 @@ from .compiled import (
     CODE_XOR,
     CompiledCircuit,
 )
+from .fusion import run_logic_fused, run_planes7_fused
 from .packed import FULL_WORD, lane_valid_words
 
 #: A 7-valued plane tuple in either representation (ints or arrays).
 PlanesLike = Tuple
+
+#: The fusion strategies accepted by both backends and ``Options``.
+FUSION_MODES = ("auto", "interp", "vector", "codegen")
+
+
+def _check_fusion(fusion: str) -> str:
+    if fusion not in FUSION_MODES:
+        raise ValueError(
+            f"unknown fusion strategy {fusion!r} (choose from {FUSION_MODES})"
+        )
+    return fusion
 
 
 def eval_gate_word(code: int, values, fanin: Tuple[int, ...], mask: int) -> int:
@@ -79,15 +106,24 @@ def eval_gate_word(code: int, values, fanin: Tuple[int, ...], mask: int) -> int:
 
 
 class IntWordBackend:
-    """Execute the plan over Python-int lane words of a fixed width."""
+    """Execute the plan over Python-int lane words of a fixed width.
+
+    ``fusion`` selects the execution strategy: ``"interp"`` runs the
+    per-gate loop, ``"codegen"`` the straight-line compiled body;
+    ``"auto"`` and ``"vector"`` both resolve to ``"codegen"`` (level
+    vectorization needs numpy arrays — for int words codegen is the
+    fused strategy).
+    """
 
     kind = "int"
 
-    def __init__(self, width: int):
+    def __init__(self, width: int, fusion: str = "auto"):
         if width < 1:
             raise ValueError("word length must be >= 1")
         self.width = width
         self.mask = mask_for(width)
+        self.fusion = _check_fusion(fusion)
+        self._fused = fusion != "interp"
 
     # ------------------------------------------------------------------
     def simulate_logic(
@@ -99,6 +135,8 @@ class IntWordBackend:
                 f"expected {compiled.n_inputs} input words, got {len(input_words)}"
             )
         mask = self.mask
+        if self._fused:
+            return logic_fn(compiled)(input_words, mask)
         values = [0] * compiled.n_signals
         for pi, word in zip(compiled.py_inputs, input_words):
             values[pi] = word & mask
@@ -115,6 +153,8 @@ class IntWordBackend:
                 f"expected {compiled.n_inputs} input planes, got {len(input_planes)}"
             )
         mask = self.mask
+        if self._fused:
+            return planes7_fn(compiled)(input_planes, mask)
         x = seven_valued.X
         values: List[PlanesLike] = [x] * compiled.n_signals
         for pi, planes in zip(compiled.py_inputs, input_planes):
@@ -126,15 +166,23 @@ class IntWordBackend:
 
 
 class NumpyWordBackend:
-    """Execute the plan over numpy uint64 multi-word lane arrays."""
+    """Execute the plan over numpy uint64 multi-word lane arrays.
+
+    ``fusion``: ``"interp"`` is the per-gate loop, ``"vector"`` the
+    level-vectorized group execution, ``"codegen"`` the straight-line
+    compiled body; ``"auto"`` picks ``"vector"`` (one gather + one
+    ufunc reduce per gate group — O(groups) interpreter cost per
+    pass instead of O(gates)).
+    """
 
     kind = "numpy"
 
-    def __init__(self, n_lanes: int):
+    def __init__(self, n_lanes: int, fusion: str = "auto"):
         self.lane_valid = lane_valid_words(n_lanes)
         self.n_lanes = n_lanes
         self.n_words = len(self.lane_valid)
         self.full = FULL_WORD
+        self.fusion = _check_fusion(fusion)
 
     # ------------------------------------------------------------------
     def simulate_logic(
@@ -155,8 +203,15 @@ class NumpyWordBackend:
             )
         n_words = input_bits.shape[1]
         full = self.full
+        if self.fusion == "codegen":
+            return np.asarray(
+                logic_fn(compiled)(input_bits, full), dtype=np.uint64
+            )
         values = np.zeros((compiled.n_signals, n_words), dtype=np.uint64)
         values[compiled.input_index] = input_bits
+        if self.fusion != "interp":
+            run_logic_fused(compiled, values, full)
+            return values
         for code, out, fanin, _gt in compiled.plan:
             if code == CODE_AND or code == CODE_NAND:
                 word = values[fanin[0]].copy()
@@ -200,13 +255,27 @@ class NumpyWordBackend:
             raise ValueError(
                 f"expected {compiled.n_inputs} input planes, got {len(input_planes)}"
             )
+        full = self.full
+        if self.fusion == "codegen":
+            return planes7_fn(compiled)(input_planes, full)
+        if self.fusion != "interp":
+            n = compiled.n_signals
+            shape = (n, self.n_words)
+            slabs = [np.zeros(shape, dtype=np.uint64) for _ in range(4)]
+            for pi, planes in zip(compiled.py_inputs, input_planes):
+                for plane_slab, plane in zip(slabs, planes):
+                    plane_slab[pi] = plane
+            run_planes7_fused(compiled, *slabs)
+            zero, one, stable, instable = slabs
+            return [
+                (zero[s], one[s], stable[s], instable[s]) for s in range(n)
+            ]
         zero = np.zeros(self.n_words, dtype=np.uint64)
         x = (zero, zero, zero, zero)
         values: List[PlanesLike] = [x] * compiled.n_signals
         for pi, planes in zip(compiled.py_inputs, input_planes):
             values[pi] = planes
         forward = seven_valued.forward
-        full = self.full
         for _code, out, fanin, gate_type in compiled.plan:
             values[out] = forward(gate_type, [values[f] for f in fanin], full)
         return values
@@ -215,19 +284,23 @@ class NumpyWordBackend:
 WordBackend = Union[IntWordBackend, NumpyWordBackend]
 
 
-def backend_for(n_lanes: int, prefer: str = "auto") -> WordBackend:
+def backend_for(
+    n_lanes: int, prefer: str = "auto", fusion: str = "auto"
+) -> WordBackend:
     """Choose a backend for an *n_lanes*-wide batch.
 
     ``prefer`` is ``"int"``, ``"numpy"`` or ``"auto"`` (numpy once the
     batch exceeds one machine word — the crossover where per-gate
-    numpy overhead is amortized).
+    numpy overhead is amortized).  ``fusion`` selects the execution
+    strategy of the chosen backend (see the module docstring).
     """
+    _check_fusion(fusion)
     if prefer == "int":
-        return IntWordBackend(n_lanes)
+        return IntWordBackend(n_lanes, fusion=fusion)
     if prefer == "numpy":
-        return NumpyWordBackend(n_lanes)
+        return NumpyWordBackend(n_lanes, fusion=fusion)
     if prefer != "auto":
         raise ValueError(f"unknown backend preference {prefer!r}")
     if n_lanes > 64:
-        return NumpyWordBackend(n_lanes)
-    return IntWordBackend(n_lanes)
+        return NumpyWordBackend(n_lanes, fusion=fusion)
+    return IntWordBackend(n_lanes, fusion=fusion)

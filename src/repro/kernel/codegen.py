@@ -1,0 +1,345 @@
+"""Straight-line code generation for the compiled evaluation plan.
+
+The second fused execution strategy: instead of interpreting the plan
+one ``(code, out, fanin)`` tuple at a time, render it **once** into
+straight-line Python source — one expression per gate, no loops, no
+gate-code dispatch — ``compile()`` it, and cache the function on the
+:class:`CompiledCircuit`.  CPython then executes the whole netlist
+pass as consecutive ``LOAD_FAST``/``BINARY_OP`` bytecode: no tuple
+unpacking, no per-gate branch chain, no list-comprehension fanin
+gathers.
+
+Three generators live here:
+
+* :func:`logic_fn` — the two-valued pass.  The same rendered source
+  serves both word representations: Python-int lane words call it
+  with the int lane mask, numpy ``uint64`` arrays with the all-ones
+  word (``~x & mask`` is the polymorphic invert).
+* :func:`planes7_fn` — the full 7-valued forward pass, the plane
+  calculus of :mod:`repro.logic.seven_valued` inlined per gate.
+* :func:`forward_table` — per-signal specialized forward functions
+  for the TPG implication engine: ``imply()`` pops one gate at a time
+  (worklist order, not plan order), so instead of a straight line it
+  gets a table of per-(code, arity) compiled bodies that replace the
+  ``Algebra.forward`` dispatch chain.  Supports both the 3-valued and
+  the 7-valued algebra.
+
+All generated code is asserted bit-identical to the interpreted
+oracle by ``tests/test_fusion.py`` (hypothesis cross-checks).
+
+Input lane words handed to the generated functions must already be
+confined to the lane mask (both engines guarantee this); the
+generated bodies only re-mask where the interpreted rules do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .compiled import (
+    CODE_AND,
+    CODE_BUF,
+    CODE_NAND,
+    CODE_NOR,
+    CODE_NOT,
+    CODE_OR,
+    CODE_XNOR,
+    CODE_XOR,
+    CompiledCircuit,
+)
+
+_AND_FAMILY = (CODE_AND, CODE_NAND)
+_OR_FAMILY = (CODE_OR, CODE_NOR)
+_XOR_FAMILY = (CODE_XOR, CODE_XNOR)
+_INVERTING = (CODE_NAND, CODE_NOR, CODE_XNOR, CODE_NOT)
+
+
+# ---------------------------------------------------------------------------
+# expression emitters (shared by full-pass rendering and per-gate functions)
+# ---------------------------------------------------------------------------
+
+
+def _emit_logic(code: int, ins: Sequence[str], out: str) -> str:
+    """One two-valued gate as a single assignment statement."""
+    if code == CODE_BUF:
+        return f"{out} = {ins[0]}"
+    if code == CODE_NOT:
+        return f"{out} = ~{ins[0]} & mask"
+    if code in _AND_FAMILY:
+        body = " & ".join(ins)
+    elif code in _OR_FAMILY:
+        body = " | ".join(ins)
+    elif code in _XOR_FAMILY:
+        body = " ^ ".join(ins)
+    else:  # pragma: no cover - plan only contains known codes
+        raise ValueError(f"unhandled gate code {code}")
+    if code in _INVERTING:
+        return f"{out} = ~({body}) & mask"
+    return f"{out} = {body}"
+
+
+PlaneNames = Tuple[str, str, str, str]
+
+
+def _emit_planes7(
+    code: int, ins: Sequence[PlaneNames], outs: PlaneNames
+) -> List[str]:
+    """One 7-valued gate as a block of assignments.
+
+    *ins* / *outs* name the (zero, one, stable, instable) plane
+    variables.  Scratch names (``_zs0`` …) are reused across blocks —
+    straight-line code, each block completes before the next starts.
+    The math is the scalar calculus of
+    :mod:`repro.logic.seven_valued`, inlined.
+    """
+    n = len(ins)
+    oz, oo, os_, oi = outs
+    if code == CODE_BUF:
+        z, o, s, i = ins[0]
+        return [f"{oz}, {oo}, {os_}, {oi} = {z}, {o}, {s}, {i}"]
+    if code == CODE_NOT:
+        z, o, s, i = ins[0]
+        return [f"{oz}, {oo}, {os_}, {oi} = {o}, {z}, {s}, {i}"]
+
+    lines: List[str] = []
+    if code in _AND_FAMILY or code in _OR_FAMILY:
+        for k, (z, o, s, i) in enumerate(ins):
+            lines.append(f"_zs{k} = {z} & {s}")
+            lines.append(f"_os{k} = {o} & {s}")
+            lines.append(f"_i0{k} = _zs{k} | ({o} & {i})")
+            lines.append(f"_i1{k} = _os{k} | ({z} & {i})")
+        zs = [f"_zs{k}" for k in range(n)]
+        os2 = [f"_os{k}" for k in range(n)]
+        i0s = [f"_i0{k}" for k in range(n)]
+        i1s = [f"_i1{k}" for k in range(n)]
+        zero_names = [z for z, _, _, _ in ins]
+        one_names = [o for _, o, _, _ in ins]
+        if code in _AND_FAMILY:
+            lines.append(f"_z = {' | '.join(zero_names)}")
+            lines.append(f"_o = {' & '.join(one_names)}")
+            lines.append(f"_s = {' | '.join(zs)} | ({' & '.join(os2)})")
+            lines.append(
+                f"_i = ((_o & ({' | '.join(i0s)})) | "
+                f"(_z & ({' & '.join(i1s)}))) & ~_s"
+            )
+        else:
+            lines.append(f"_z = {' & '.join(zero_names)}")
+            lines.append(f"_o = {' | '.join(one_names)}")
+            lines.append(f"_s = ({' & '.join(zs)}) | {' | '.join(os2)}")
+            lines.append(
+                f"_i = ((_o & ({' & '.join(i0s)})) | "
+                f"(_z & ({' | '.join(i1s)}))) & ~_s"
+            )
+        if code in _INVERTING:
+            lines.append(f"{oz}, {oo}, {os_}, {oi} = _o, _z, _s, _i")
+        else:
+            lines.append(f"{oz}, {oo}, {os_}, {oi} = _z, _o, _s, _i")
+        return lines
+
+    if code in _XOR_FAMILY:
+        az, ao, as_, ai = ins[0]
+        lines.append(f"_az, _ao, _as, _ai = {az}, {ao}, {as_}, {ai}")
+        for z, o, s, i in ins[1:]:
+            lines.append("_x0 = (_az & _as) | (_ao & _ai)")
+            lines.append("_x1 = (_ao & _as) | (_az & _ai)")
+            lines.append(f"_y0 = ({z} & {s}) | ({o} & {i})")
+            lines.append(f"_y1 = ({o} & {s}) | ({z} & {i})")
+            lines.append(f"_tz = (_az & {z}) | (_ao & {o})")
+            lines.append(f"_to = (_az & {o}) | (_ao & {z})")
+            lines.append(f"_ts = _as & {s}")
+            lines.append(
+                "_ti = ((_to & ((_x0 & _y0) | (_x1 & _y1))) | "
+                "(_tz & ((_x0 & _y1) | (_x1 & _y0)))) & ~_ts"
+            )
+            lines.append("_az, _ao, _as, _ai = _tz, _to, _ts, _ti")
+        if code == CODE_XNOR:
+            lines.append(f"{oz}, {oo}, {os_}, {oi} = _ao, _az, _as, _ai")
+        else:
+            lines.append(f"{oz}, {oo}, {os_}, {oi} = _az, _ao, _as, _ai")
+        return lines
+
+    raise ValueError(f"unhandled gate code {code}")  # pragma: no cover
+
+
+def _emit_planes3(
+    code: int, ins: Sequence[Tuple[str, str]], outs: Tuple[str, str]
+) -> List[str]:
+    """One 3-valued gate block (two planes: zero, one)."""
+    oz, oo = outs
+    if code == CODE_BUF:
+        z, o = ins[0]
+        return [f"{oz}, {oo} = {z}, {o}"]
+    if code == CODE_NOT:
+        z, o = ins[0]
+        return [f"{oz}, {oo} = {o}, {z}"]
+    zero_names = [z for z, _ in ins]
+    one_names = [o for _, o in ins]
+    if code in _AND_FAMILY:
+        zeros, ones = " | ".join(zero_names), " & ".join(one_names)
+    elif code in _OR_FAMILY:
+        zeros, ones = " & ".join(zero_names), " | ".join(one_names)
+    elif code in _XOR_FAMILY:
+        lines = [f"_az, _ao = {zero_names[0]}, {one_names[0]}"]
+        for z, o in ins[1:]:
+            lines.append(f"_tz = (_az & {z}) | (_ao & {o})")
+            lines.append(f"_to = (_az & {o}) | (_ao & {z})")
+            lines.append("_az, _ao = _tz, _to")
+        if code == CODE_XNOR:
+            lines.append(f"{oz}, {oo} = _ao, _az")
+        else:
+            lines.append(f"{oz}, {oo} = _az, _ao")
+        return lines
+    else:  # pragma: no cover - plan only contains known codes
+        raise ValueError(f"unhandled gate code {code}")
+    if code in _INVERTING:
+        return [f"{oz} = {ones}", f"{oo} = {zeros}"]
+    return [f"{oz} = {zeros}", f"{oo} = {ones}"]
+
+
+# ---------------------------------------------------------------------------
+# full-pass renderers
+# ---------------------------------------------------------------------------
+
+
+def render_logic_source(compiled: CompiledCircuit) -> str:
+    """The whole two-valued pass as one straight-line function."""
+    lines = ["def _fused_logic(inputs, mask):"]
+    for k, pi in enumerate(compiled.py_inputs):
+        lines.append(f"    v{pi} = inputs[{k}] & mask")
+    for code, out, fanin, _gt in compiled.plan:
+        lines.append(
+            "    " + _emit_logic(code, [f"v{f}" for f in fanin], f"v{out}")
+        )
+    signals = ", ".join(f"v{s}" for s in range(compiled.n_signals))
+    lines.append(f"    return [{signals}]")
+    return "\n".join(lines) + "\n"
+
+
+def render_planes7_source(compiled: CompiledCircuit) -> str:
+    """The whole 7-valued forward pass as one straight-line function."""
+    lines = ["def _fused_planes7(inputs, mask):"]
+    for k, pi in enumerate(compiled.py_inputs):
+        lines.append(f"    z{pi}, o{pi}, s{pi}, i{pi} = inputs[{k}]")
+    for code, out, fanin, _gt in compiled.plan:
+        ins = [(f"z{f}", f"o{f}", f"s{f}", f"i{f}") for f in fanin]
+        outs = (f"z{out}", f"o{out}", f"s{out}", f"i{out}")
+        for line in _emit_planes7(code, ins, outs):
+            lines.append("    " + line)
+    rows = ", ".join(
+        f"(z{s}, o{s}, s{s}, i{s})" for s in range(compiled.n_signals)
+    )
+    lines.append(f"    return [{rows}]")
+    return "\n".join(lines) + "\n"
+
+
+def _compile_fn(source: str, name: str, tag: str) -> Callable:
+    namespace: dict = {}
+    exec(compile(source, f"<repro.fused:{tag}>", "exec"), namespace)
+    return namespace[name]
+
+
+def logic_fn(compiled: CompiledCircuit) -> Callable:
+    """The memoized compiled two-valued pass: ``fn(inputs, mask)``.
+
+    Returns per-signal lane words as a list, index-aligned with
+    signal ids.  Works for Python-int words (pass the int lane mask)
+    and numpy ``uint64`` rows (pass the all-ones word) alike.
+    """
+    fn = compiled._fusion_cache.get("logic_fn")
+    if fn is None:
+        fn = _compile_fn(
+            render_logic_source(compiled),
+            "_fused_logic",
+            f"logic:{compiled.circuit.name}",
+        )
+        compiled._fusion_cache["logic_fn"] = fn
+    return fn
+
+
+def planes7_fn(compiled: CompiledCircuit) -> Callable:
+    """The memoized compiled 7-valued pass: ``fn(inputs, mask)``.
+
+    *inputs* is one (zero, one, stable, instable) tuple per primary
+    input, aligned with ``compiled.py_inputs``; returns one plane
+    tuple per signal.  Representation-polymorphic like
+    :func:`logic_fn`.
+    """
+    fn = compiled._fusion_cache.get("planes7_fn")
+    if fn is None:
+        fn = _compile_fn(
+            render_planes7_source(compiled),
+            "_fused_planes7",
+            f"planes7:{compiled.circuit.name}",
+        )
+        compiled._fusion_cache["planes7_fn"] = fn
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# per-gate forward functions (the TPG implication engine's table)
+# ---------------------------------------------------------------------------
+
+#: (algebra name, code, arity) -> compiled forward function.  Shared
+#: process-wide: the bodies depend only on gate code and arity, never
+#: on the circuit, so every TpgState reuses them.
+_FORWARD_CACHE: dict = {}
+
+
+def gate_forward_fn(
+    algebra_name: str, code: int, arity: int
+) -> Optional[Callable]:
+    """A specialized ``fn(ins, mask) -> planes`` for one gate shape.
+
+    *ins* is the sequence of fanin plane tuples (as handed to
+    ``Algebra.forward``); the body is the fully inlined plane math for
+    exactly this (code, arity) — no gate-type dispatch, no Python
+    folds.  Returns ``None`` for algebras without an emitter (callers
+    fall back to the interpreted ``Algebra.forward``).
+    """
+    key = (algebra_name, code, arity)
+    fn = _FORWARD_CACHE.get(key)
+    if fn is None:
+        if algebra_name == "seven_valued":
+            names = [(f"z{k}", f"o{k}", f"s{k}", f"i{k}") for k in range(arity)]
+            body = _emit_planes7(code, names, ("_rz", "_ro", "_rs", "_ri"))
+            ret = "(_rz, _ro, _rs, _ri)"
+        elif algebra_name == "three_valued":
+            names = [(f"z{k}", f"o{k}") for k in range(arity)]
+            body = _emit_planes3(code, names, ("_rz", "_ro"))
+            ret = "(_rz, _ro)"
+        else:
+            return None
+        lines = ["def _fwd(ins, mask):"]
+        for k, name_tuple in enumerate(names):
+            lines.append(f"    {', '.join(name_tuple)} = ins[{k}]")
+        lines.extend("    " + line for line in body)
+        lines.append(f"    return {ret}")
+        fn = _compile_fn(
+            "\n".join(lines) + "\n",
+            "_fwd",
+            f"forward:{algebra_name}:{code}:{arity}",
+        )
+        _FORWARD_CACHE[key] = fn
+    return fn
+
+
+def forward_table(
+    compiled: CompiledCircuit, algebra_name: str
+) -> Optional[List[Optional[Callable]]]:
+    """Per-signal forward functions for *algebra_name*, or ``None``.
+
+    Index-aligned with signal ids; primary inputs hold ``None`` (the
+    implication engine never evaluates them).  ``None`` overall means
+    the algebra has no emitter and the caller should keep the
+    interpreted dispatch.
+    """
+    if gate_forward_fn(algebra_name, CODE_BUF, 1) is None:
+        return None
+    codes = compiled.py_codes
+    fanins = compiled.py_fanin
+    return [
+        None
+        if is_input
+        else gate_forward_fn(algebra_name, codes[s], len(fanins[s]))
+        for s, is_input in enumerate(compiled.is_input)
+    ]

@@ -119,6 +119,20 @@ class CompiledCircuit:
     inverting: List[bool] = field(default_factory=list)
     plan: Tuple[PlanStep, ...] = ()
 
+    # memo slot for derived execution artifacts (the fused level-major
+    # group plan and compiled straight-line sources); owned by
+    # repro.kernel.fusion / repro.kernel.codegen, keyed by artifact
+    # name.  Lives here so the artifacts share the circuit's lifetime.
+    _fusion_cache: dict = field(default_factory=dict, repr=False)
+
+    def __getstate__(self):
+        # exec-compiled plan bodies don't pickle (and campaign workers
+        # pickle circuits on spawn-only platforms); the cache is a
+        # memo, so ship it empty and let each process rebuild on use
+        state = self.__dict__.copy()
+        state["_fusion_cache"] = {}
+        return state
+
     # ------------------------------------------------------------------
     def fanin_of(self, signal: int) -> Tuple[int, ...]:
         """Fanin signal ids of *signal* (empty for inputs)."""

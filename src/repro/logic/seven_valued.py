@@ -199,6 +199,78 @@ def forward(gate_type: GateType, inputs: Sequence[Planes], mask: int) -> Planes:
     raise ValueError(f"cannot evaluate gate type {gate_type}")
 
 
+# ---------------------------------------------------------------------------
+# slab-form forward evaluation (vectorized over gate groups)
+# ---------------------------------------------------------------------------
+#
+# The fused numpy execution strategy (:mod:`repro.kernel.fusion`)
+# evaluates a whole group of same-type gates at once: each plane
+# arrives as a ``(n_gates, arity, n_words)`` uint64 slab and the gate
+# semantics reduce over the arity axis.  The rules below are the very
+# same plane calculus as the scalar ``forward`` above, expressed with
+# ``np.bitwise_*.reduce`` instead of Python folds — the test suite
+# asserts bit-identity between the two.
+
+def and_forward_slab(z, o, s, i):
+    """AND-group forward over plane slabs; reduce along ``axis=-2``.
+
+    Returns the (zero, one, stable, instable) output planes, one row
+    per gate in the group.  Callers handle inversion (NAND) by
+    swapping the first two returned planes.
+    """
+    import numpy as np
+
+    ones = np.bitwise_and.reduce(o, axis=-2)
+    zeros = np.bitwise_or.reduce(z, axis=-2)
+    zs = z & s
+    os_ = o & s
+    stable = np.bitwise_or.reduce(zs, axis=-2) | np.bitwise_and.reduce(os_, axis=-2)
+    ii0 = np.bitwise_or.reduce(zs | (o & i), axis=-2)
+    ii1 = np.bitwise_and.reduce(os_ | (z & i), axis=-2)
+    instable = ((ones & ii0) | (zeros & ii1)) & ~stable
+    return zeros, ones, stable, instable
+
+
+def or_forward_slab(z, o, s, i):
+    """OR-group forward over plane slabs (dual of the AND rule)."""
+    import numpy as np
+
+    ones = np.bitwise_or.reduce(o, axis=-2)
+    zeros = np.bitwise_and.reduce(z, axis=-2)
+    zs = z & s
+    os_ = o & s
+    stable = np.bitwise_and.reduce(zs, axis=-2) | np.bitwise_or.reduce(os_, axis=-2)
+    ii0 = np.bitwise_and.reduce(zs | (o & i), axis=-2)
+    ii1 = np.bitwise_or.reduce(os_ | (z & i), axis=-2)
+    instable = ((ones & ii0) | (zeros & ii1)) & ~stable
+    return zeros, ones, stable, instable
+
+
+def xor_forward_slab(z, o, s, i):
+    """XOR-group forward over plane slabs: pairwise fold along arity.
+
+    XOR has no reduce form (the instability rule couples initial
+    values pairwise), so the fold mirrors ``_xor_pair`` — still one
+    vectorized pass per fanin position, not per gate.
+    """
+    az, ao, asb, ai = z[..., 0, :], o[..., 0, :], s[..., 0, :], i[..., 0, :]
+    for k in range(1, z.shape[-2]):
+        bz, bo, bs, bi = z[..., k, :], o[..., k, :], s[..., k, :], i[..., k, :]
+        ai0 = (az & asb) | (ao & ai)
+        ai1 = (ao & asb) | (az & ai)
+        bi0 = (bz & bs) | (bo & bi)
+        bi1 = (bo & bs) | (bz & bi)
+        zeros = (az & bz) | (ao & bo)
+        ones = (az & bo) | (ao & bz)
+        stable = asb & bs
+        instable = (
+            (ones & ((ai0 & bi0) | (ai1 & bi1)))
+            | (zeros & ((ai0 & bi1) | (ai1 & bi0)))
+        ) & ~stable
+        az, ao, asb, ai = zeros, ones, stable, instable
+    return az, ao, asb, ai
+
+
 def unjustified_planes(
     gate_type: GateType, output: Planes, inputs: Sequence[Planes], mask: int
 ) -> Planes:

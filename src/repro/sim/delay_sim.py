@@ -43,6 +43,7 @@ import numpy as np
 
 from ..circuit import Circuit
 from ..kernel import (
+    FUSION_MODES,
     CompiledCircuit,
     IntWordBackend,
     NumpyWordBackend,
@@ -96,18 +97,18 @@ def pack_patterns(
 
 
 def simulate_planes(
-    circuit: Circuit, patterns: Sequence[PatternLike]
+    circuit: Circuit, patterns: Sequence[PatternLike], fusion: str = "auto"
 ) -> Tuple[List[Planes], int]:
     """Forward 7-valued simulation of all patterns; returns signal planes.
 
     Executes on the compiled kernel with the int word backend; the
     lane width is the number of patterns (arbitrary, since Python ints
-    are unbounded).
+    are unbounded).  ``fusion`` selects the execution strategy.
     """
     input_planes, width = pack_patterns(circuit, patterns)
     if width == 0:
         return [], 0
-    backend = IntWordBackend(width)
+    backend = IntWordBackend(width, fusion=fusion)
     return backend.simulate_planes7(circuit.compiled(), input_planes), width
 
 
@@ -116,6 +117,31 @@ def _any_lane(word) -> bool:
     if isinstance(word, np.ndarray):
         return bool(word.any())
     return bool(word)
+
+
+class _LazyIntPlanes:
+    """Int-word view over array-valued signal planes, converted lazily.
+
+    The per-fault detection walk touches only the signals on (and
+    feeding) the fault's path, and must return Python-int lane masks
+    anyway.  Converting each touched signal's plane rows to ints once
+    — instead of running the walk's many tiny bitwise steps as
+    per-call numpy ufuncs on short arrays — removes the walk's
+    dominant constant factor; untouched signals are never converted.
+    """
+
+    __slots__ = ("_values", "_cache")
+
+    def __init__(self, values: Sequence):
+        self._values = values
+        self._cache: Dict[int, Tuple[int, int, int, int]] = {}
+
+    def __getitem__(self, signal: int) -> Tuple[int, int, int, int]:
+        cached = self._cache.get(signal)
+        if cached is None:
+            cached = tuple(words_to_int(p) for p in self._values[signal])
+            self._cache[signal] = cached
+        return cached
 
 
 def _detection_mask_compiled(
@@ -198,15 +224,29 @@ class DelayFaultSimulator:
             ``auto`` runs batches larger than one machine word on the
             numpy multi-word backend and everything else on Python-int
             words.
+        fusion: execution strategy of the chosen backend —
+            ``"interp"`` (the per-gate oracle loop), ``"vector"``
+            (level-vectorized fused groups, numpy), ``"codegen"``
+            (straight-line compiled body) or ``"auto"`` (default: the
+            fastest supported strategy per backend).
     """
 
-    def __init__(self, circuit: Circuit, test_class: TestClass, backend: str = "auto"):
+    def __init__(
+        self,
+        circuit: Circuit,
+        test_class: TestClass,
+        backend: str = "auto",
+        fusion: str = "auto",
+    ):
         if backend not in ("auto", "int", "numpy"):
             raise ValueError(f"unknown backend {backend!r}")
+        if fusion not in FUSION_MODES:
+            raise ValueError(f"unknown fusion strategy {fusion!r}")
         self.circuit = circuit
         self.compiled: CompiledCircuit = circuit.compiled()
         self.test_class = test_class
         self.backend = backend
+        self.fusion = fusion
 
     # ------------------------------------------------------------------
     def detection_masks(
@@ -230,18 +270,15 @@ class DelayFaultSimulator:
             return [0] * len(faults)
         robust = self.test_class is TestClass.ROBUST
         compiled = self.compiled
-        backend = backend_for(width, self.backend)
+        backend = backend_for(width, self.backend, fusion=self.fusion)
         if isinstance(backend, NumpyWordBackend):
             packed = PackedPatterns.from_patterns(patterns)
-            values = backend.simulate_planes7(compiled, packed.planes7())
-            valid = backend.lane_valid
+            values = _LazyIntPlanes(
+                backend.simulate_planes7(compiled, packed.planes7())
+            )
+            valid = words_to_int(backend.lane_valid)
             return [
-                words_to_int(
-                    np.asarray(
-                        _detection_mask_compiled(compiled, fault, values, valid, robust),
-                        dtype=np.uint64,
-                    )
-                )
+                _detection_mask_compiled(compiled, fault, values, valid, robust)
                 for fault in faults
             ]
         input_planes, _ = pack_patterns(self.circuit, patterns)

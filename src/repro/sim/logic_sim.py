@@ -45,16 +45,26 @@ def pack_vectors(vectors: Sequence[Sequence[int]]) -> List[int]:
     return words
 
 
-def simulate_words(circuit: Circuit, input_words: Sequence[int], width: int) -> List[int]:
+def simulate_words(
+    circuit: Circuit,
+    input_words: Sequence[int],
+    width: int,
+    fusion: str = "auto",
+) -> List[int]:
     """Evaluate the circuit over *width* lanes of packed input words.
 
-    Returns one word per signal (indexed by signal id).
+    Returns one word per signal (indexed by signal id).  ``fusion``
+    selects the execution strategy (``"auto"`` compiles the netlist
+    into a straight-line body once and reuses it; ``"interp"`` is the
+    per-gate oracle loop).
     """
-    return IntWordBackend(width).simulate_logic(circuit.compiled(), input_words)
+    return IntWordBackend(width, fusion=fusion).simulate_logic(
+        circuit.compiled(), input_words
+    )
 
 
 def simulate_batch(
-    circuit: Circuit, vectors: Sequence[Sequence[int]]
+    circuit: Circuit, vectors: Sequence[Sequence[int]], fusion: str = "auto"
 ) -> List[Tuple[int, ...]]:
     """Simulate many vectors; returns per-vector output tuples.
 
@@ -67,13 +77,13 @@ def simulate_batch(
     # int/numpy crossover policy is owned by kernel.backend_for
     if isinstance(backend_for(len(vectors), "auto"), IntWordBackend):
         words = pack_vectors(vectors)
-        values = simulate_words(circuit, words, len(vectors))
+        values = simulate_words(circuit, words, len(vectors), fusion=fusion)
         return [
             tuple((values[o] >> lane) & 1 for o in outputs)
             for lane in range(len(vectors))
         ]
     packed = PackedPatterns.from_vectors(vectors)
-    values = simulate_array(circuit, packed.v2)
+    values = simulate_array(circuit, packed.v2, fusion=fusion)
     out_rows = np.ascontiguousarray(
         values[np.asarray(outputs, dtype=np.intp)], dtype="<u8"
     )
@@ -83,12 +93,16 @@ def simulate_batch(
     return [tuple(int(b) for b in bits[:, lane]) for lane in range(len(vectors))]
 
 
-def simulate_array(circuit: Circuit, input_bits: np.ndarray) -> np.ndarray:
+def simulate_array(
+    circuit: Circuit, input_bits: np.ndarray, fusion: str = "auto"
+) -> np.ndarray:
     """Vectorized simulation over numpy uint64 lane words.
 
     Args:
         input_bits: array of shape ``(n_inputs, n_words)`` and dtype
             ``uint64``; each element carries 64 pattern lanes.
+        fusion: execution strategy (``"auto"`` = level-vectorized
+            fused groups; ``"interp"`` = the per-gate oracle loop).
 
     Returns:
         array of shape ``(n_signals, n_words)`` with every signal's
@@ -96,4 +110,6 @@ def simulate_array(circuit: Circuit, input_bits: np.ndarray) -> np.ndarray:
     """
     input_bits = np.asarray(input_bits, dtype=np.uint64)
     n_words = input_bits.shape[1] if input_bits.ndim == 2 else 1
-    return NumpyWordBackend(64 * n_words).simulate_logic(circuit.compiled(), input_bits)
+    return NumpyWordBackend(64 * n_words, fusion=fusion).simulate_logic(
+        circuit.compiled(), input_bits
+    )

@@ -138,8 +138,16 @@ class TestBenchSimCommand:
         assert payload["benchmark"] == "ppsfp_throughput"
         row = payload["rows"][0]
         assert row["patterns"] == 96
-        assert row["kernel_throughput"] > 0
+        assert row["interp_throughput"] > 0
         assert row["seed_throughput"] > 0
+        assert row["vector_throughput"] > 0
+        assert row["codegen_throughput"] > 0
+        assert row["best_fused"] in ("vector", "codegen")
+        assert row["fused_speedup"] > 0
+
+        from repro.api.schemas import validate_file
+
+        assert validate_file(str(out_path)) == ("repro/bench-kernel", 2)
 
 
 class TestExperimentsCommand:

@@ -1,0 +1,241 @@
+"""Fused execution strategies are bit-identical to the interpreter.
+
+The contract of the plan-fusion layer: ``interp`` (the per-gate
+oracle loop), ``vector`` (level-vectorized numpy groups) and
+``codegen`` (straight-line compiled bodies) may differ only in speed.
+These tests assert bit-identity on randomized circuits and inputs for
+two-valued and seven-valued simulation, for detection masks across
+both test classes, for the TPG implication engine's forward table,
+and for end-to-end generation on c880.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import AtpgSession, Options
+from repro.circuit.generators import random_dag
+from repro.circuit.suites import suite_circuit
+from repro.core.patterns import random_patterns
+from repro.core.state import SEVEN_VALUED, THREE_VALUED, TpgState
+from repro.kernel import (
+    IntWordBackend,
+    NumpyWordBackend,
+    PackedPatterns,
+    fused_plan,
+    words_to_int,
+)
+from repro.logic import seven_valued, three_valued
+from repro.paths import TestClass, fault_list
+from repro.sim import DelayFaultSimulator
+from repro.sim.delay_sim import pack_patterns
+from repro.sim.logic_sim import pack_vectors
+
+circuit_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=3, max_value=8),  # inputs
+    st.integers(min_value=5, max_value=40),  # gates
+)
+
+
+def _int_rows(array_values, valid_int=None):
+    rows = [words_to_int(np.ascontiguousarray(row)) for row in array_values]
+    if valid_int is not None:
+        rows = [row & valid_int for row in rows]
+    return rows
+
+
+class TestLogicStrategies:
+    @settings(max_examples=40, deadline=None)
+    @given(circuit_params, st.integers(min_value=1, max_value=130))
+    def test_two_valued_bit_identity(self, params, n_vectors):
+        seed, n_inputs, n_gates = params
+        circuit = random_dag(n_inputs, n_gates, seed=seed)
+        compiled = circuit.compiled()
+        rng = random.Random(seed + 1)
+        vectors = [
+            [rng.randint(0, 1) for _ in circuit.inputs]
+            for _ in range(n_vectors)
+        ]
+        words = pack_vectors(vectors)
+        oracle = IntWordBackend(n_vectors, fusion="interp").simulate_logic(
+            compiled, words
+        )
+        assert (
+            IntWordBackend(n_vectors, fusion="codegen").simulate_logic(
+                compiled, words
+            )
+            == oracle
+        )
+        packed = PackedPatterns.from_vectors(vectors)
+        valid = words_to_int(packed.lane_valid())
+        masked_oracle = [word & valid for word in oracle]
+        for fusion in ("interp", "vector", "codegen"):
+            values = NumpyWordBackend(
+                n_vectors, fusion=fusion
+            ).simulate_logic(compiled, packed.v2)
+            assert _int_rows(np.asarray(values), valid) == masked_oracle, fusion
+
+    @settings(max_examples=40, deadline=None)
+    @given(circuit_params, st.integers(min_value=1, max_value=130))
+    def test_seven_valued_bit_identity(self, params, n_patterns):
+        seed, n_inputs, n_gates = params
+        circuit = random_dag(n_inputs, n_gates, seed=seed)
+        compiled = circuit.compiled()
+        patterns = random_patterns(circuit, n_patterns, seed + 2)
+        input_planes, width = pack_patterns(circuit, patterns)
+        oracle = IntWordBackend(width, fusion="interp").simulate_planes7(
+            compiled, input_planes
+        )
+        assert (
+            IntWordBackend(width, fusion="codegen").simulate_planes7(
+                compiled, input_planes
+            )
+            == oracle
+        )
+        packed = PackedPatterns.from_patterns(patterns)
+        for fusion in ("interp", "vector", "codegen"):
+            values = NumpyWordBackend(width, fusion=fusion).simulate_planes7(
+                compiled, packed.planes7()
+            )
+            as_ints = [
+                tuple(words_to_int(np.ascontiguousarray(p)) for p in planes)
+                for planes in values
+            ]
+            assert as_ints == oracle, fusion
+
+
+class TestDetectionMasks:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(circuit_params, st.sampled_from(list(TestClass)))
+    def test_masks_bit_identical_across_strategies(self, params, test_class):
+        seed, n_inputs, n_gates = params
+        circuit = random_dag(n_inputs, n_gates, seed=seed)
+        faults = fault_list(circuit, cap=24, strategy="all")
+        patterns = random_patterns(circuit, 100, seed + 3)
+        reference = None
+        for backend in ("int", "numpy"):
+            for fusion in ("interp", "vector", "codegen"):
+                sim = DelayFaultSimulator(
+                    circuit, test_class, backend=backend, fusion=fusion
+                )
+                masks = sim.detection_masks(patterns, faults)
+                if reference is None:
+                    reference = masks
+                else:
+                    assert masks == reference, (backend, fusion)
+
+
+class TestImplicationForwardTable:
+    @settings(max_examples=30, deadline=None)
+    @given(circuit_params, st.sampled_from(["three", "seven"]))
+    def test_imply_matches_interp(self, params, algebra_name):
+        seed, n_inputs, n_gates = params
+        circuit = random_dag(n_inputs, n_gates, seed=seed)
+        algebra = THREE_VALUED if algebra_name == "three" else SEVEN_VALUED
+        logic = three_valued if algebra_name == "three" else seven_valued
+        width = 8
+        rng = random.Random(seed + 4)
+        assignments = [
+            (
+                rng.randrange(circuit.num_signals),
+                logic.encode_word(
+                    rng.choice(["0", "1"])
+                    if algebra_name == "three"
+                    else rng.choice(["S0", "S1", "R", "F"]),
+                    1 << rng.randrange(width),
+                )
+                if algebra_name == "seven"
+                else logic.encode_word(rng.randint(0, 1), 1 << rng.randrange(width)),
+            )
+            for _ in range(6)
+        ]
+        states = {}
+        for fusion in ("interp", "codegen"):
+            state = TpgState(circuit, algebra, width, fusion=fusion)
+            for signal, planes in assignments:
+                state.assign(signal, planes)
+            state.imply()
+            states[fusion] = state
+        assert states["interp"].planes == states["codegen"].planes
+        assert (
+            states["interp"].conflict_mask == states["codegen"].conflict_mask
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_dirty_scan_matches_direct_computation(self, seed):
+        """The cached justification scan equals per-signal recomputation,
+        through assign/imply/rollback/flatten sequences."""
+        circuit = random_dag(5, 18, seed=seed)
+        state = TpgState(circuit, SEVEN_VALUED, 8)
+        rng = random.Random(seed + 5)
+
+        def assert_scan_consistent():
+            scanned = dict(state.scan_unjustified())
+            live = state.mask & ~state.conflict_mask
+            direct = {}
+            for index in range(circuit.num_signals):
+                m = state.unjustified_lanes(index) & live
+                if m:
+                    direct[index] = m
+            assert scanned == direct
+            expected_all = live
+            for m in direct.values():
+                expected_all &= ~m
+            assert state.all_justified_mask() == expected_all
+
+        token = None
+        for step in range(12):
+            signal = rng.randrange(circuit.num_signals)
+            planes = seven_valued.encode_word(
+                rng.choice(["S0", "S1", "R", "F"]), 1 << rng.randrange(8)
+            )
+            if step == 4:
+                token = state.mark()
+            state.assign(signal, planes)
+            if rng.random() < 0.5:
+                state.imply()
+            assert_scan_consistent()
+        if token is not None:
+            state.rollback(token)
+            assert_scan_consistent()
+        state.flatten_lane(2)
+        assert_scan_consistent()
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("test_class", list(TestClass))
+    def test_c880_statuses_identical_under_auto_fusion(self, test_class):
+        statuses = {}
+        for fusion in ("interp", "auto"):
+            session = AtpgSession.open(
+                "c880", options=Options(width=16, fusion=fusion)
+            )
+            report = session.generate(test_class=test_class, max_faults=96)
+            statuses[fusion] = [record.status for record in report.records]
+        assert statuses["interp"] == statuses["auto"]
+
+    def test_bulk2k_suite_circuit_is_large(self):
+        circuit = suite_circuit("bulk2k")
+        assert circuit.num_signals - len(circuit.inputs) >= 2000
+
+    def test_fused_plan_covers_every_gate_once(self):
+        circuit = suite_circuit("bulk2k")
+        compiled = circuit.compiled()
+        plan = fused_plan(compiled)
+        outs = np.concatenate([group.outs for group in plan.groups])
+        assert len(outs) == plan.n_gates == len(compiled.plan)
+        assert len(np.unique(outs)) == len(outs)
+        # every fanin is strictly below its group's outputs in level
+        for group in plan.groups:
+            out_levels = compiled.level[group.outs]
+            fanin_levels = compiled.level[group.fanins]
+            assert (fanin_levels < out_levels[:, None]).all()

@@ -218,7 +218,9 @@ class TestArtifacts:
         path = os.path.join(os.path.dirname(__file__), "..", name)
         kind, version = validate_file(path)
         assert kind.startswith("repro/bench-")
-        assert version == 1
+        from repro.api.schemas import latest_version
+
+        assert version == latest_version(kind)
 
     def test_checkpoint_validates(self, tmp_path):
         from repro.api import AtpgSession
