@@ -1,24 +1,29 @@
 #!/usr/bin/env python
-"""Regenerate BENCH_kernel.json: PPSFP throughput per execution tier.
+"""Regenerate BENCH_kernel.json: fused-kernel throughput per workload.
 
-Rows compare, per circuit, the seed object-graph path, the compiled
-kernel's interpreted per-gate loop, and the two fused strategies
-(level-vectorized numpy groups and straight-line codegen) on one
-identical robust-class PPSFP workload — 4096-pattern batches, best of
-three runs, detection masks asserted bit-identical across every tier.
+Three workloads, each comparing the compiled kernel's interpreted
+per-gate loop against the fused execution strategies on identical
+inputs, results asserted bit-identical across every tier:
 
-The four ``*_like`` generator-suite rows track the historical
-comparison; the ``bulk2k`` row (~2k gates, wide and shallow) is the
-workload where per-gate interpreter overhead actually dominates, and
-is the row the CI perf guard reads.  Usage::
+* ``ppsfp`` — robust-class PPSFP detection masks (4096-pattern
+  batches; the four ``*_like`` generator-suite rows also keep the seed
+  object-graph baseline for the historical comparison),
+* ``grade10`` — 10-valued detection-strength grading (one 5-plane
+  forward pass, all three classes per fault),
+* ``stuck_at`` — parallel-pattern stuck-at cone resimulation
+  (per-cone compiled bodies vs the gate-by-gate cone walk).
+
+The ``bulk2k`` circuit (~2k gates, wide and shallow) is the workload
+where per-gate interpreter overhead actually dominates, and carries
+the rows the CI perf guard reads — one per workload.  Usage::
 
     PYTHONPATH=src python scripts/bench_kernel.py [output.json]
     PYTHONPATH=src python scripts/bench_kernel.py --check [output.json]
 
 ``--check`` is the CI soft perf guard: it re-reads the JSON and fails
-unless the best fused strategy on ``bulk2k`` is at least as fast as
-the interpreted loop (correctness is asserted everywhere; absolute
-speedups are only trusted from CI hardware).
+unless the best fused strategy on every ``bulk2k`` row is at least as
+fast as the interpreted loop (correctness is asserted everywhere;
+absolute speedups are only trusted from CI hardware).
 """
 
 import json
@@ -27,10 +32,10 @@ import sys
 
 from repro.api.resolve import resolve_circuit, resolve_test_class
 from repro.api.schemas import stamp, validate_file
-from repro.cli import bench_ppsfp
+from repro.cli import bench_grade10, bench_ppsfp, bench_stuck_at
 from repro.analysis import render_table
 
-#: (spec, fault cap) per row.  bulk2k uses a smaller cap so the
+#: (spec, fault cap) per PPSFP row.  bulk2k uses a smaller cap so the
 #: per-fault detection walk (identical across tiers) leaves the
 #: simulation pass — the part the fused strategies accelerate — as
 #: the dominant cost, matching the drop-loop workload shape where a
@@ -44,6 +49,7 @@ CIRCUITS = [
 ]
 
 GUARD_CIRCUIT = "bulk2k"
+GUARD_WORKLOADS = ("ppsfp", "grade10", "stuck_at")
 
 
 def regenerate(out: str) -> int:
@@ -60,11 +66,14 @@ def regenerate(out: str) -> int:
                 repeat=3,
             )
         )
-    print(render_table(rows, title="PPSFP throughput per execution tier"))
+    bulk = resolve_circuit(GUARD_CIRCUIT)
+    rows.append(bench_grade10(bulk, n_patterns=1024, fault_cap=32, repeat=3))
+    rows.append(bench_stuck_at(bulk, n_vectors=256, fault_cap=192, repeat=3))
+    print(render_table(rows, title="Fused kernel throughput per workload"))
     payload = stamp(
         "repro/bench-kernel",
         {
-            "benchmark": "ppsfp_throughput",
+            "benchmark": "fused_kernel_throughput",
             "units": "patterns*faults/second",
             "python": platform.python_version(),
             "rows": rows,
@@ -82,27 +91,41 @@ def check(path: str) -> int:
     validate_file(path)
     with open(path) as handle:
         payload = json.load(handle)
-    for row in payload["rows"]:
-        if row["circuit"] == GUARD_CIRCUIT:
-            break
-    else:
-        print(f"FAIL {path}: no {GUARD_CIRCUIT} row to guard on")
-        return 1
-    speedup = row.get("fused_speedup")
-    if speedup is None:
-        print(f"FAIL {path}: {GUARD_CIRCUIT} row carries no fused timings")
-        return 1
-    if speedup < 1.0:
+    # row.get: a stale pre-v3 artifact still validates (the old schema
+    # stays registered) but carries no workload column — that must be
+    # a clean FAIL per guarded workload, not a KeyError
+    guarded = {
+        row.get("workload"): row
+        for row in payload["rows"]
+        if row["circuit"] == GUARD_CIRCUIT
+    }
+    failures = 0
+    for workload in GUARD_WORKLOADS:
+        row = guarded.get(workload)
+        if row is None:
+            print(f"FAIL {path}: no {GUARD_CIRCUIT} {workload} row to guard on")
+            failures += 1
+            continue
+        speedup = row.get("fused_speedup")
+        if speedup is None:
+            print(
+                f"FAIL {path}: {GUARD_CIRCUIT} {workload} row carries no "
+                f"fused timings"
+            )
+            failures += 1
+            continue
+        if speedup < 1.0:
+            print(
+                f"FAIL {path}: fused {workload} on {GUARD_CIRCUIT} is slower "
+                f"than the interpreted loop (fused_speedup={speedup})"
+            )
+            failures += 1
+            continue
         print(
-            f"FAIL {path}: fused PPSFP on {GUARD_CIRCUIT} is slower than the "
-            f"interpreted loop (fused_speedup={speedup})"
+            f"ok   {path}: {GUARD_CIRCUIT} {workload} fused_speedup={speedup} "
+            f"(best strategy: {row.get('best_fused')})"
         )
-        return 1
-    print(
-        f"ok   {path}: {GUARD_CIRCUIT} fused_speedup={speedup} "
-        f"(best strategy: {row.get('best_fused')})"
-    )
-    return 0
+    return 1 if failures else 0
 
 
 def main() -> int:

@@ -65,6 +65,7 @@ def bench_circuit(name, circuit, faults, test_class, width, workers, repeat):
         {
             "circuit": name,
             "runner": "engine_serial",
+            "fusion": "auto",
             "workers": 1,
             "shards": 2,
             "faults": serial.n_faults,
@@ -72,6 +73,35 @@ def bench_circuit(name, circuit, faults, test_class, width, workers, repeat):
             "seconds": round(seconds, 6),
             "faults_per_s": round(serial.n_faults / seconds, 1),
             "speedup_vs_serial": 1.0,
+        }
+    )
+
+    # contrast row: the identical serial engine pinned to the per-gate
+    # interpreter loop — the end-to-end cost of not fusing.  Statuses
+    # are bit-identical by the fusion contract, so detected must match.
+    seconds, interp = _best_of(
+        repeat,
+        lambda: session.generate(
+            faults, test_class=test_class, width=width, fusion="interp"
+        ),
+    )
+    if interp.n_tested != serial.n_tested:
+        raise AssertionError(
+            f"engine_serial fusion=interp detected {interp.n_tested} != "
+            f"fused {serial.n_tested} on {name}"
+        )
+    rows.append(
+        {
+            "circuit": name,
+            "runner": "engine_serial",
+            "fusion": "interp",
+            "workers": 1,
+            "shards": 2,
+            "faults": interp.n_faults,
+            "detected": interp.n_tested,
+            "seconds": round(seconds, 6),
+            "faults_per_s": round(interp.n_faults / seconds, 1),
+            "speedup_vs_serial": round(serial_seconds / seconds, 2),
         }
     )
 
@@ -97,6 +127,7 @@ def bench_circuit(name, circuit, faults, test_class, width, workers, repeat):
             {
                 "circuit": name,
                 "runner": runner,
+                "fusion": options.fusion,
                 "workers": n_workers,
                 "shards": shards,
                 "faults": report.n_faults,
@@ -164,13 +195,17 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
 
-    header = f"{'circuit':8} {'runner':22} {'workers':7} {'faults/s':>10} {'speedup':>8}"
+    header = (
+        f"{'circuit':8} {'runner':22} {'fusion':7} {'workers':7} "
+        f"{'faults/s':>10} {'speedup':>8}"
+    )
     print(header)
     print("-" * len(header))
     for row in rows:
         print(
-            f"{row['circuit']:8} {row['runner']:22} {row['workers']:7} "
-            f"{row['faults_per_s']:>10} {row['speedup_vs_serial']:>8}"
+            f"{row['circuit']:8} {row['runner']:22} {row['fusion']:7} "
+            f"{row['workers']:7} {row['faults_per_s']:>10} "
+            f"{row['speedup_vs_serial']:>8}"
         )
     print(f"wrote {args.output}")
     return 0

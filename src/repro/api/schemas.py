@@ -185,10 +185,54 @@ _BENCH_KERNEL_ROW_V2 = obj(
         "fused_speedup": NUM,
     },
 )
+# v3: a required ``workload`` discriminator alongside the strategy
+# columns — besides the historical PPSFP rows, the artifact now also
+# tracks the 10-valued detection-strength grading pass and stuck-at
+# cone resimulation (the fusion-sweep workloads the CI perf guard
+# reads); ``test_class`` is absent on workloads without one.
+_BENCH_KERNEL_ROW_V3 = obj(
+    {
+        "circuit": STR,
+        "workload": {"enum": ["ppsfp", "grade10", "stuck_at"]},
+        "signals": INT,
+        "faults": INT,
+        "patterns": INT,
+        "interp_seconds": NUM,
+        "interp_throughput": NUM,
+    },
+    optional={
+        "test_class": TEST_CLASS,
+        "seed_seconds": NUM,
+        "seed_throughput": NUM,
+        "interp_speedup_vs_seed": NUM,
+        "vector_seconds": NUM,
+        "vector_throughput": NUM,
+        "codegen_seconds": NUM,
+        "codegen_throughput": NUM,
+        "best_fused": {"enum": ["vector", "codegen"]},
+        "fused_speedup": NUM,
+    },
+)
 _BENCH_TPG_ROW = obj(
     {
         "circuit": STR,
         "runner": STR,
+        "workers": INT,
+        "shards": INT,
+        "faults": INT,
+        "detected": INT,
+        "seconds": NUM,
+        "faults_per_s": NUM,
+        "speedup_vs_serial": NUM,
+    }
+)
+# v2: the ``fusion`` strategy column (parity with bench-kernel v2+) —
+# every runner row records which plan-execution strategy it ran under.
+_BENCH_TPG_ROW_V2 = obj(
+    {
+        "circuit": STR,
+        "runner": STR,
+        "fusion": FUSION,
         "workers": INT,
         "shards": INT,
         "faults": INT,
@@ -283,7 +327,33 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
                 "coverage": NUM,
                 "detected_flags": arr(BOOL),
             }
-        )
+        ),
+        # v2: optional hazard-aware detection-strength breakdown
+        # (AtpgSession.grade with strength=True): per-fault strongest
+        # class and the aggregated counts.
+        2: obj(
+            {
+                "circuit": STR,
+                "test_class": TEST_CLASS,
+                "patterns": INT,
+                "faults": INT,
+                "detected": INT,
+                "coverage": NUM,
+                "detected_flags": arr(BOOL),
+            },
+            optional={
+                "strengths": arr(
+                    opt({"enum": ["hazard_free_robust", "robust", "nonrobust"]})
+                ),
+                "strength_counts": obj(
+                    {
+                        "hazard_free_robust": INT,
+                        "robust": INT,
+                        "nonrobust": INT,
+                    }
+                ),
+            },
+        ),
     },
     "repro/paths-report": {
         1: obj(
@@ -337,6 +407,14 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
                 "rows": arr(_BENCH_KERNEL_ROW_V2),
             }
         ),
+        3: obj(
+            {
+                "benchmark": {"const": "fused_kernel_throughput"},
+                "units": STR,
+                "python": STR,
+                "rows": arr(_BENCH_KERNEL_ROW_V3),
+            }
+        ),
     },
     "repro/bench-tpg": {
         1: obj(
@@ -349,7 +427,18 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
                 "note": STR,
                 "rows": arr(_BENCH_TPG_ROW),
             }
-        )
+        ),
+        2: obj(
+            {
+                "benchmark": {"const": "tpg_end_to_end_throughput"},
+                "units": STR,
+                "python": STR,
+                "cpu_count": INT,
+                "workers": INT,
+                "note": STR,
+                "rows": arr(_BENCH_TPG_ROW_V2),
+            }
+        ),
     },
     "repro/request.generate": {
         1: obj(

@@ -201,29 +201,71 @@ class AtpgSession:
         test_class: Union[str, TestClass] = TestClass.NONROBUST,
         backend: str = "auto",
         fusion: str = "auto",
+        strength: bool = False,
     ) -> Dict[str, object]:
         """Grade a pattern set: which faults does it cover?
 
         Returns a flat dict (the ``repro/grade-report`` wire shape
         minus the envelope): fault/detected counts, the coverage
         fraction, and an index-aligned ``detected_flags`` list.
+
+        With ``strength=True`` the batch is additionally graded
+        through the hazard-aware 10-valued calculus
+        (:func:`repro.sim.delay_sim.strength_masks_all`, honoring the
+        same *backend*/*fusion* selection): the report gains a
+        ``strengths`` list — per fault, the strongest class in which
+        any pattern detects it (``"hazard_free_robust"`` ⊂
+        ``"robust"`` ⊂ ``"nonrobust"``, or ``None``) — and the
+        aggregated ``strength_counts``.
         """
         faults = list(faults)
-        masks = self.simulate(
-            patterns, faults, test_class=test_class, backend=backend,
-            fusion=fusion,
-        )
+        resolved_class = resolve_test_class(test_class)
+        if strength:
+            from ..sim.delay_sim import strength_masks_all  # lazy: cycle
+
+            # one 10-valued pass serves both jobs: its first four
+            # planes are the 7-valued planes and the nonrobust/robust
+            # walk conditions are identical, so the requested class's
+            # detection masks fall out of the strength triples
+            triples = strength_masks_all(
+                self.circuit, patterns, faults, backend=backend, fusion=fusion
+            )
+            robust_class = resolved_class is TestClass.ROBUST
+            masks = [t[1] if robust_class else t[0] for t in triples]
+        else:
+            masks = self.simulate(
+                patterns, faults, test_class=test_class, backend=backend,
+                fusion=fusion,
+            )
         flags = [bool(mask) for mask in masks]
         detected = sum(flags)
-        return {
+        report: Dict[str, object] = {
             "circuit": self.circuit.name,
-            "test_class": resolve_test_class(test_class).value,
+            "test_class": resolved_class.value,
             "patterns": len(patterns),
             "faults": len(faults),
             "detected": detected,
             "coverage": detected / len(faults) if faults else 1.0,
             "detected_flags": flags,
         }
+        if strength:
+            strengths = []
+            counts = {"hazard_free_robust": 0, "robust": 0, "nonrobust": 0}
+            for nonrobust, robust, strong in triples:
+                if strong:
+                    label = "hazard_free_robust"
+                elif robust:
+                    label = "robust"
+                elif nonrobust:
+                    label = "nonrobust"
+                else:
+                    label = None
+                strengths.append(label)
+                if label is not None:
+                    counts[label] += 1
+            report["strengths"] = strengths
+            report["strength_counts"] = counts
+        return report
 
     # ------------------------------------------------------------ paths
     def paths(

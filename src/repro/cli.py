@@ -418,17 +418,9 @@ def bench_ppsfp(
                 merged[fault] |= lanes << start
         return merged
 
-    def best_of(fn) -> tuple:
-        best = float("inf")
-        result = None
-        for _ in range(repeat):
-            t0 = time.perf_counter()
-            result = fn()
-            best = min(best, time.perf_counter() - t0)
-        return best, result
-
     row: Dict[str, object] = {
         "circuit": circuit.name,
+        "workload": "ppsfp",
         "test_class": test_class.value,
         "signals": circuit.num_signals,
         "faults": len(faults),
@@ -438,14 +430,15 @@ def bench_ppsfp(
     interp_sim = DelayFaultSimulator(
         circuit, test_class, backend="numpy", fusion="interp"
     )
-    interp_seconds, interp_masks = best_of(
+    interp_seconds, interp_masks = _best_of_runs(
+        repeat,
         lambda: interp_sim.detected_faults(patterns, faults)
     )
     row["interp_seconds"] = round(interp_seconds, 6)
     row["interp_throughput"] = round(work / interp_seconds, 1)
 
     if seed_baseline:
-        seed_seconds, seed_masks = best_of(run_seed)
+        seed_seconds, seed_masks = _best_of_runs(repeat, run_seed)
         if seed_masks != interp_masks:
             raise AssertionError(
                 f"kernel and seed PPSFP disagree on {circuit.name}"
@@ -460,7 +453,9 @@ def bench_ppsfp(
             circuit, test_class, backend="numpy", fusion=strategy
         )
         sim.detected_faults(patterns[:64], faults[:1])  # warm the lowering
-        seconds, masks = best_of(lambda: sim.detected_faults(patterns, faults))
+        seconds, masks = _best_of_runs(
+            repeat, lambda: sim.detected_faults(patterns, faults)
+        )
         if masks != interp_masks:
             raise AssertionError(
                 f"{strategy} and interp PPSFP disagree on {circuit.name}"
@@ -475,15 +470,156 @@ def bench_ppsfp(
     return row
 
 
+def _best_of_runs(repeat: int, fn):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_grade10(
+    circuit: Circuit,
+    n_patterns: int = 1024,
+    fault_cap: int = 128,
+    repeat: int = 3,
+    seed: int = 0,
+    strategies: tuple = ("vector", "codegen"),
+) -> Dict[str, object]:
+    """Time 10-valued detection-strength grading per execution strategy.
+
+    The workload is one batched :func:`repro.sim.delay_sim.
+    strength_masks_all` call on the numpy backend — every fault graded
+    against every pattern in all three classes (nonrobust / robust /
+    hazard-free robust) from a single 5-plane forward pass.  The
+    interpreted tier dispatches :func:`repro.logic.ten_valued.forward`
+    per gate and walks faults one by one; the fused tiers run the
+    slab-form group executor or the straight-line compiled body plus
+    the edge-sharing batched walk.  Strength-mask triples are asserted
+    bit-identical across every tier.
+    """
+    from .core.patterns import random_patterns
+    from .sim.delay_sim import strength_masks_all
+
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    faults = fault_list(circuit, cap=fault_cap, strategy="all")
+    patterns = random_patterns(circuit, n_patterns, seed)
+    work = len(patterns) * len(faults)
+
+    row: Dict[str, object] = {
+        "circuit": circuit.name,
+        "workload": "grade10",
+        "signals": circuit.num_signals,
+        "faults": len(faults),
+        "patterns": n_patterns,
+    }
+    interp_seconds, interp_masks = _best_of_runs(
+        repeat,
+        lambda: strength_masks_all(
+            circuit, patterns, faults, backend="numpy", fusion="interp"
+        ),
+    )
+    row["interp_seconds"] = round(interp_seconds, 6)
+    row["interp_throughput"] = round(work / interp_seconds, 1)
+    fused_best: Optional[Tuple[float, str]] = None
+    for strategy in strategies:
+        # warm the one-time lowering (cached on the compiled circuit)
+        strength_masks_all(
+            circuit, patterns[:64], faults[:1], backend="numpy", fusion=strategy
+        )
+        seconds, masks = _best_of_runs(
+            repeat,
+            lambda strategy=strategy: strength_masks_all(
+                circuit, patterns, faults, backend="numpy", fusion=strategy
+            ),
+        )
+        if masks != interp_masks:
+            raise AssertionError(
+                f"{strategy} and interp 10-valued grading disagree on "
+                f"{circuit.name}"
+            )
+        row[f"{strategy}_seconds"] = round(seconds, 6)
+        row[f"{strategy}_throughput"] = round(work / seconds, 1)
+        if fused_best is None or seconds < fused_best[0]:
+            fused_best = (seconds, strategy)
+    if fused_best is not None:
+        row["best_fused"] = fused_best[1]
+        row["fused_speedup"] = round(interp_seconds / fused_best[0], 2)
+    return row
+
+
+def bench_stuck_at(
+    circuit: Circuit,
+    n_vectors: int = 256,
+    fault_cap: int = 256,
+    repeat: int = 3,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Time parallel-pattern stuck-at simulation per execution strategy.
+
+    Every fault's fanout cone is resimulated against every vector
+    batch: the interpreted tier walks the cone gate by gate
+    (``eval_gate_word`` with dirty-set early-outs), the fused tier
+    runs the per-cone straight-line compiled bodies.  Detection masks
+    are asserted bit-identical.  The fused strategies collapse for
+    int words, so one ``codegen`` column represents them.
+    """
+    import random as _random
+
+    from .core.stuck_at import all_stuck_at_faults
+    from .sim.stuck_at_sim import StuckAtSimulator
+
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    faults = all_stuck_at_faults(circuit)[:fault_cap]
+    rng = _random.Random(seed)
+    vectors = [
+        [rng.randint(0, 1) for _ in circuit.inputs] for _ in range(n_vectors)
+    ]
+    work = len(vectors) * len(faults)
+
+    row: Dict[str, object] = {
+        "circuit": circuit.name,
+        "workload": "stuck_at",
+        "signals": circuit.num_signals,
+        "faults": len(faults),
+        "patterns": n_vectors,
+    }
+    interp_sim = StuckAtSimulator(circuit, fusion="interp")
+    interp_seconds, interp_masks = _best_of_runs(
+        repeat, lambda: interp_sim.detected_faults(vectors, faults)
+    )
+    row["interp_seconds"] = round(interp_seconds, 6)
+    row["interp_throughput"] = round(work / interp_seconds, 1)
+    fused_sim = StuckAtSimulator(circuit, fusion="codegen")
+    fused_sim.detected_faults(vectors[:4], faults)  # warm the cone lowering
+    fused_seconds, fused_masks = _best_of_runs(
+        repeat, lambda: fused_sim.detected_faults(vectors, faults)
+    )
+    if fused_masks != interp_masks:
+        raise AssertionError(
+            f"fused and interp stuck-at simulation disagree on {circuit.name}"
+        )
+    row["codegen_seconds"] = round(fused_seconds, 6)
+    row["codegen_throughput"] = round(work / fused_seconds, 1)
+    row["best_fused"] = "codegen"
+    row["fused_speedup"] = round(interp_seconds / fused_seconds, 2)
+    return row
+
+
 def main_bench_sim(argv: Optional[List[str]] = None) -> int:
-    """PPSFP throughput: seed vs interpreted kernel vs fused strategies."""
+    """Simulation throughput: interpreted kernel vs fused strategies."""
     parser = argparse.ArgumentParser(
         prog="tip-bench-sim",
         description=(
-            "PPSFP throughput (patterns x faults per second): seed "
+            "Simulation throughput (patterns x faults per second) per "
+            "execution strategy.  Workloads: PPSFP detection masks (seed "
             "object-graph path vs the compiled kernel's interpreted loop "
-            "vs the fused execution strategies (level-vectorized numpy "
-            "groups and straight-line codegen)."
+            "vs the fused strategies), 10-valued detection-strength "
+            "grading, and stuck-at cone resimulation."
         ),
     )
     parser.add_argument(
@@ -493,6 +629,12 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
         help="circuit specs (default: the c880-scale generator suite row)",
     )
     _add_test_class_argument(parser, default="robust")
+    parser.add_argument(
+        "--workload",
+        choices=["ppsfp", "grade10", "stuck-at", "all"],
+        default="ppsfp",
+        help="which simulation workload to time (default: ppsfp)",
+    )
     parser.add_argument("--patterns", type=int, default=4096, help="batch size")
     parser.add_argument(
         "--fault-cap", type=int, default=128, help="cap on the fault list"
@@ -520,31 +662,56 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
     strategies = (
         ("vector", "codegen") if args.fusion == "both" else (args.fusion,)
     )
+    workloads = (
+        ("ppsfp", "grade10", "stuck-at")
+        if args.workload == "all"
+        else (args.workload,)
+    )
     rows = []
     for spec in args.circuits:
         circuit = resolve_circuit(spec, args.scale)
-        rows.append(
-            bench_ppsfp(
-                circuit,
-                test_class,
-                n_patterns=args.patterns,
-                fault_cap=args.fault_cap,
-                repeat=args.repeat,
-                strategies=strategies,
-                seed_baseline=not args.no_seed,
+        if "ppsfp" in workloads:
+            rows.append(
+                bench_ppsfp(
+                    circuit,
+                    test_class,
+                    n_patterns=args.patterns,
+                    fault_cap=args.fault_cap,
+                    repeat=args.repeat,
+                    strategies=strategies,
+                    seed_baseline=not args.no_seed,
+                )
             )
-        )
+        if "grade10" in workloads:
+            rows.append(
+                bench_grade10(
+                    circuit,
+                    n_patterns=args.patterns,
+                    fault_cap=args.fault_cap,
+                    repeat=args.repeat,
+                    strategies=strategies,
+                )
+            )
+        if "stuck-at" in workloads:
+            rows.append(
+                bench_stuck_at(
+                    circuit,
+                    n_vectors=min(args.patterns, 512),
+                    fault_cap=args.fault_cap,
+                    repeat=args.repeat,
+                )
+            )
     print(
         render_table(
             rows,
-            title="PPSFP throughput: seed vs interpreted kernel vs fused",
+            title="Simulation throughput: interpreted kernel vs fused",
         )
     )
     if args.json_path:
         payload = stamp(
             "repro/bench-kernel",
             {
-                "benchmark": "ppsfp_throughput",
+                "benchmark": "fused_kernel_throughput",
                 "units": "patterns*faults/second",
                 "python": platform.python_version(),
                 "rows": rows,

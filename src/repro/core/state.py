@@ -91,11 +91,14 @@ class TpgState:
             for the Figure 2 walkthrough and the implication-strength
             ablation benchmark.
         fusion: ``"interp"`` dispatches forward evaluations through
-            ``Algebra.forward`` (the oracle path); anything else
-            installs the per-signal compiled forward table of
-            :mod:`repro.kernel.codegen` — branch-free bodies
-            specialized per (gate code, arity), bit-identical by
-            construction and asserted so in the test suite.
+            ``Algebra.forward`` and backward implications through
+            ``Algebra.backward`` (the oracle path); anything else
+            installs the per-signal compiled forward *and* backward
+            tables of :mod:`repro.kernel.codegen` — branch-free
+            bodies specialized per (gate code, arity) with the
+            backward prefix/suffix-product chains fully unrolled,
+            bit-identical by construction and asserted so in the test
+            suite.
     """
 
     def __init__(
@@ -127,10 +130,15 @@ class TpgState:
         self.implication_passes = 0
         self.assignments = 0
         self._forward_fns: Optional[List] = None
+        self._backward_fns: Optional[List] = None
         if fusion != "interp":
-            from ..kernel.codegen import forward_table  # lazy: keep core light
+            from ..kernel.codegen import (  # lazy: keep core light
+                backward_table,
+                forward_table,
+            )
 
             self._forward_fns = forward_table(self.compiled, algebra.name)
+            self._backward_fns = backward_table(self.compiled, algebra.name)
         # justification cache: raw unjustified lane mask per signal
         # (conflict filtering applied at query time) plus the dirty
         # set of signals whose planes changed since the last refresh —
@@ -229,6 +237,7 @@ class TpgState:
         forward = self.algebra.forward
         backward = self.algebra.backward
         forward_fns = self._forward_fns
+        backward_fns = self._backward_fns
         while self._queue:
             if stop_when_all_conflicted and self.conflict_mask == mask:
                 self._drain_queue()
@@ -248,9 +257,11 @@ class TpgState:
             self.assign(signal, fwd)
             if self.use_backward:
                 out = planes[signal]
-                for fanin_signal, add in zip(
-                    fanin, backward(gate_type, out, ins, mask)
-                ):
+                if backward_fns is None:
+                    adds = backward(gate_type, out, ins, mask)
+                else:
+                    adds = backward_fns[signal](out, ins, mask)
+                for fanin_signal, add in zip(fanin, adds):
                     self.assign(fanin_signal, add)
         return self.conflict_mask
 

@@ -27,7 +27,14 @@ from .backends import (
     backend_for,
     eval_gate_word,
 )
-from .codegen import forward_table, logic_fn, planes7_fn
+from .codegen import (
+    backward_table,
+    cone_fault_fn,
+    forward_table,
+    logic_fn,
+    planes7_fn,
+    planes10_fn,
+)
 from .fusion import FusedGroup, FusedPlan, fused_plan
 from .compiled import (
     CODE_AND,
@@ -66,7 +73,9 @@ __all__ = [
     "PackedPatterns",
     "WordBackend",
     "backend_for",
+    "backward_table",
     "compile_circuit",
+    "cone_fault_fn",
     "eval_gate_word",
     "forward_table",
     "fused_plan",
@@ -74,5 +83,6 @@ __all__ = [
     "logic_fn",
     "pack_bits",
     "planes7_fn",
+    "planes10_fn",
     "words_to_int",
 ]

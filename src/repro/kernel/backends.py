@@ -38,9 +38,9 @@ from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..logic import seven_valued
+from ..logic import seven_valued, ten_valued
 from ..logic.words import mask_for
-from .codegen import logic_fn, planes7_fn
+from .codegen import logic_fn, planes7_fn, planes10_fn
 from .compiled import (
     CODE_AND,
     CODE_BUF,
@@ -52,7 +52,7 @@ from .compiled import (
     CODE_XOR,
     CompiledCircuit,
 )
-from .fusion import run_logic_fused, run_planes7_fused
+from .fusion import run_logic_fused, run_planes7_fused, run_planes10_fused
 from .packed import FULL_WORD, lane_valid_words
 
 #: A 7-valued plane tuple in either representation (ints or arrays).
@@ -160,6 +160,26 @@ class IntWordBackend:
         for pi, planes in zip(compiled.py_inputs, input_planes):
             values[pi] = planes
         forward = seven_valued.forward
+        for _code, out, fanin, gate_type in compiled.plan:
+            values[out] = forward(gate_type, [values[f] for f in fanin], mask)
+        return values
+
+    def simulate_planes10(
+        self, compiled: CompiledCircuit, input_planes: Sequence[PlanesLike]
+    ) -> List[PlanesLike]:
+        """Forward 10-valued (hazard-aware) simulation from input planes."""
+        if len(input_planes) != compiled.n_inputs:
+            raise ValueError(
+                f"expected {compiled.n_inputs} input planes, got {len(input_planes)}"
+            )
+        mask = self.mask
+        if self._fused:
+            return planes10_fn(compiled)(input_planes, mask)
+        x = ten_valued.X
+        values: List[PlanesLike] = [x] * compiled.n_signals
+        for pi, planes in zip(compiled.py_inputs, input_planes):
+            values[pi] = planes
+        forward = ten_valued.forward
         for _code, out, fanin, gate_type in compiled.plan:
             values[out] = forward(gate_type, [values[f] for f in fanin], mask)
         return values
@@ -276,6 +296,47 @@ class NumpyWordBackend:
         for pi, planes in zip(compiled.py_inputs, input_planes):
             values[pi] = planes
         forward = seven_valued.forward
+        for _code, out, fanin, gate_type in compiled.plan:
+            values[out] = forward(gate_type, [values[f] for f in fanin], full)
+        return values
+
+    def simulate_planes10(
+        self, compiled: CompiledCircuit, input_planes: Sequence[PlanesLike]
+    ) -> List[PlanesLike]:
+        """Forward 10-valued simulation with array-valued planes.
+
+        The hazard calculus of :mod:`repro.logic.ten_valued` is pure
+        bitwise arithmetic like the 7-valued rules, so the same
+        strategy split applies: ``vector`` runs the slab-form group
+        executor, ``codegen`` the straight-line body, ``interp`` the
+        per-gate oracle loop.  Padding lanes stay ``X``.
+        """
+        if len(input_planes) != compiled.n_inputs:
+            raise ValueError(
+                f"expected {compiled.n_inputs} input planes, got {len(input_planes)}"
+            )
+        full = self.full
+        if self.fusion == "codegen":
+            return planes10_fn(compiled)(input_planes, full)
+        if self.fusion != "interp":
+            n = compiled.n_signals
+            shape = (n, self.n_words)
+            slabs = [np.zeros(shape, dtype=np.uint64) for _ in range(5)]
+            for pi, planes in zip(compiled.py_inputs, input_planes):
+                for plane_slab, plane in zip(slabs, planes):
+                    plane_slab[pi] = plane
+            run_planes10_fused(compiled, *slabs)
+            zero, one, stable, instable, hazard = slabs
+            return [
+                (zero[s], one[s], stable[s], instable[s], hazard[s])
+                for s in range(n)
+            ]
+        zero = np.zeros(self.n_words, dtype=np.uint64)
+        x = (zero, zero, zero, zero, zero)
+        values: List[PlanesLike] = [x] * compiled.n_signals
+        for pi, planes in zip(compiled.py_inputs, input_planes):
+            values[pi] = planes
+        forward = ten_valued.forward
         for _code, out, fanin, gate_type in compiled.plan:
             values[out] = forward(gate_type, [values[f] for f in fanin], full)
         return values

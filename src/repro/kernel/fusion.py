@@ -42,6 +42,11 @@ from ..logic.seven_valued import (
     or_forward_slab,
     xor_forward_slab,
 )
+from ..logic.ten_valued import (
+    and_forward_slab10,
+    or_forward_slab10,
+    xor_forward_slab10,
+)
 from .compiled import (
     CODE_AND,
     CODE_NAND,
@@ -200,3 +205,52 @@ def run_planes7_fused(
         one[outs] = o
         stable[outs] = s
         instable[outs] = i
+
+
+def run_planes10_fused(
+    compiled: CompiledCircuit,
+    zero: np.ndarray,
+    one: np.ndarray,
+    stable: np.ndarray,
+    instable: np.ndarray,
+    hazard: np.ndarray,
+) -> None:
+    """Ten-valued fused pass over five ``(n_signals, n_words)`` planes.
+
+    Applies the slab-form hazard calculus of
+    :mod:`repro.logic.ten_valued` group by group.  The first four
+    planes follow the 7-valued rules exactly; the fifth adds
+    hazard-freedom (and is inversion-invariant, so negated codes only
+    swap the value planes).  Padding lanes stay ``X`` end to end.
+    """
+    for group in fused_plan(compiled).groups:
+        code = group.code
+        if group.arity == 1:
+            rows = group.fanins[:, 0]
+            z, o, s, i = zero[rows], one[rows], stable[rows], instable[rows]
+            h = hazard[rows] | s
+        else:
+            fanins = group.fanins
+            z, o, s, i, h = (
+                zero[fanins],
+                one[fanins],
+                stable[fanins],
+                instable[fanins],
+                hazard[fanins],
+            )
+            if code in _AND_FAMILY:
+                z, o, s, i, h = and_forward_slab10(z, o, s, i, h)
+            elif code in _OR_FAMILY:
+                z, o, s, i, h = or_forward_slab10(z, o, s, i, h)
+            elif code in _XOR_FAMILY:
+                z, o, s, i, h = xor_forward_slab10(z, o, s, i, h)
+            else:  # pragma: no cover - plan only contains known codes
+                raise ValueError(f"unhandled gate code {code}")
+        if code in INVERTING_CODES:
+            z, o = o, z
+        outs = group.outs
+        zero[outs] = z
+        one[outs] = o
+        stable[outs] = s
+        instable[outs] = i
+        hazard[outs] = h

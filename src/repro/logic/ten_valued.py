@@ -207,6 +207,84 @@ def forward(gate_type: GateType, inputs: Sequence[Planes], mask: int) -> Planes:
     return (z, o, s, i, h | s)
 
 
+# ---------------------------------------------------------------------------
+# slab-form forward evaluation (vectorized over gate groups)
+# ---------------------------------------------------------------------------
+#
+# The fused numpy execution strategy (:mod:`repro.kernel.fusion`)
+# evaluates a whole group of same-type gates at once; each of the five
+# planes arrives as a ``(n_gates, arity, n_words)`` uint64 slab.  The
+# value/stability planes reuse the slab rules of
+# :mod:`repro.logic.seven_valued`; the rules below add the hazard-free
+# plane, expressed with ``np.bitwise_*.reduce`` instead of the Python
+# folds of ``_and_hazard_free``/``_or_hazard_free``/
+# ``_xor_hazard_free`` above — the test suite asserts bit-identity.
+
+
+def _direction_slabs(z, o, s, h):
+    """(non-decreasing, non-increasing) slabs — ``_directions`` per gate."""
+    return h & (s | o), h & (s | z)
+
+
+def and_forward_slab10(z, o, s, i, h):
+    """AND-group forward over 5-plane slabs; reduce along ``axis=-2``.
+
+    Returns the (zero, one, stable, instable, hazard-free) output
+    planes, one row per gate in the group.  Callers handle inversion
+    (NAND) by swapping the first two returned planes — the hazard
+    plane is inversion-invariant.
+    """
+    import numpy as np
+
+    zs, os_, ss, is_ = seven_valued.and_forward_slab(z, o, s, i)
+    nd, ni = _direction_slabs(z, o, s, h)
+    hf = (
+        np.bitwise_or.reduce(z & s, axis=-2)
+        | np.bitwise_and.reduce(nd, axis=-2)
+        | np.bitwise_and.reduce(ni, axis=-2)
+    )
+    return zs, os_, ss, is_, hf | ss
+
+
+def or_forward_slab10(z, o, s, i, h):
+    """OR-group forward over 5-plane slabs (dual of the AND rule)."""
+    import numpy as np
+
+    zs, os_, ss, is_ = seven_valued.or_forward_slab(z, o, s, i)
+    nd, ni = _direction_slabs(z, o, s, h)
+    hf = (
+        np.bitwise_or.reduce(o & s, axis=-2)
+        | np.bitwise_and.reduce(nd, axis=-2)
+        | np.bitwise_and.reduce(ni, axis=-2)
+    )
+    return zs, os_, ss, is_, hf | ss
+
+
+def xor_forward_slab10(z, o, s, i, h):
+    """XOR-group forward over 5-plane slabs.
+
+    The hazard plane mirrors ``_xor_hazard_free``: hazard-free iff all
+    inputs are stable, or exactly the one changing input changes
+    cleanly — prefix/suffix stable products along the arity axis, one
+    vectorized pass per fanin position.
+    """
+    import numpy as np
+
+    zs, os_, ss, is_ = seven_valued.xor_forward_slab(z, o, s, i)
+    n = z.shape[-2]
+    full = np.bitwise_not(np.zeros_like(z[..., 0, :]))
+    stable_pre = [full]
+    for k in range(n):
+        stable_pre.append(stable_pre[k] & s[..., k, :])
+    stable_suf = [full] * (n + 1)
+    for k in range(n - 1, -1, -1):
+        stable_suf[k] = stable_suf[k + 1] & s[..., k, :]
+    hf = stable_pre[n]
+    for k in range(n):
+        hf = hf | (stable_pre[k] & stable_suf[k + 1] & h[..., k, :])
+    return zs, os_, ss, is_, hf | ss
+
+
 def unjustified_planes(
     gate_type: GateType, output: Planes, inputs: Sequence[Planes], mask: int
 ) -> Planes:

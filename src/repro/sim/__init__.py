@@ -9,6 +9,7 @@ from .delay_sim import (
     simulate_planes,
     simulate_planes10,
     strength_masks,
+    strength_masks_all,
 )
 from .reference import (
     detected_faults_reference,
@@ -48,6 +49,7 @@ __all__ = [
     "simulate_planes10",
     "simulate_planes_reference",
     "strength_masks",
+    "strength_masks_all",
     "simulate_words",
     "slowed_delays",
     "timing_detects",

@@ -214,6 +214,71 @@ def detection_mask(
     )
 
 
+def _edge_term(compiled, on_path_input: int, signal: int, values, mask, robust):
+    """Off-path side conditions of one on-path edge, as one lane word.
+
+    The AND of every side-input condition the per-fault walk applies
+    at gate *signal* when the path enters through *on_path_input* —
+    the term depends only on the edge (and the test class), never on
+    the rest of the fault's path, which is what makes it shareable.
+    """
+    term = mask
+    control = compiled.controlling[signal]
+    dz, do, _ds, _di = values[on_path_input]
+    for fanin_signal in compiled.py_fanin[signal]:
+        if fanin_signal == on_path_input:
+            continue
+        fz, fo, fs, _fi = values[fanin_signal]
+        if control is None:
+            if robust:
+                term = term & fs
+            continue
+        nc = 1 - control
+        has_nc_final = fo if nc == 1 else fz
+        term = term & has_nc_final
+        if robust:
+            on_nc = do if nc == 1 else dz
+            term = term & (fs | ~on_nc)
+    return term
+
+
+def _detection_masks_batched(
+    compiled: CompiledCircuit,
+    faults: Sequence[PathDelayFault],
+    values: Sequence,
+    mask,
+    robust: bool,
+) -> List:
+    """Detection lane words of many faults over one simulated batch.
+
+    Bit-identical to mapping :func:`_detection_mask_compiled` over
+    *faults* (the conditions AND associatively), but every on-path
+    edge's side-condition term is computed once per batch and shared:
+    the R/F fault pair of a path reuses all of it, and faults whose
+    paths overlap — the common case on drop-heavy campaigns, where
+    the pending set is dominated by long paths through shared cones —
+    stop re-walking the common segments.
+    """
+    edge_terms: Dict[Tuple[int, int], object] = {}
+    masks = []
+    for fault in faults:
+        z, o, _s, i = values[fault.input_signal]
+        detected = i & (o if fault.transition.final == 1 else z)
+        signals = fault.signals
+        for position in range(1, len(signals)):
+            if not _any_lane(detected):
+                break
+            key = (signals[position - 1], signals[position])
+            term = edge_terms.get(key)
+            if term is None:
+                term = edge_terms[key] = _edge_term(
+                    compiled, key[0], key[1], values, mask, robust
+                )
+            detected = detected & term
+        masks.append(detected & mask)
+    return masks
+
+
 class DelayFaultSimulator:
     """Convenience wrapper: simulate batches, report per-fault detection.
 
@@ -276,15 +341,15 @@ class DelayFaultSimulator:
             values = _LazyIntPlanes(
                 backend.simulate_planes7(compiled, packed.planes7())
             )
-            valid = words_to_int(backend.lane_valid)
-            return [
-                _detection_mask_compiled(compiled, fault, values, valid, robust)
-                for fault in faults
-            ]
-        input_planes, _ = pack_patterns(self.circuit, patterns)
-        values = backend.simulate_planes7(compiled, input_planes)
+            mask = words_to_int(backend.lane_valid)
+        else:
+            input_planes, _ = pack_patterns(self.circuit, patterns)
+            values = backend.simulate_planes7(compiled, input_planes)
+            mask = backend.mask
+        if self.fusion != "interp":
+            return _detection_masks_batched(compiled, faults, values, mask, robust)
         return [
-            _detection_mask_compiled(compiled, fault, values, backend.mask, robust)
+            _detection_mask_compiled(compiled, fault, values, mask, robust)
             for fault in faults
         ]
 
@@ -336,23 +401,24 @@ Planes10 = Tuple[int, int, int, int, int]
 
 
 def simulate_planes10(
-    circuit: Circuit, patterns: Sequence[PatternLike]
+    circuit: Circuit, patterns: Sequence[PatternLike], fusion: str = "auto"
 ) -> Tuple[List[Planes10], int]:
     """Forward 10-valued simulation: primary-input transitions are
-    single clean edges, so they enter as S0/S1/HR/HF."""
+    single clean edges, so they enter as S0/S1/HR/HF.
+
+    Runs on the int word backend; ``fusion`` selects the execution
+    strategy (``"interp"`` dispatches :func:`repro.logic.ten_valued.
+    forward` per gate — the oracle; anything else runs the
+    straight-line compiled 5-plane body).  Bulk multi-word grading
+    goes through :func:`strength_masks_all` instead.
+    """
     input_planes, width = pack_patterns(circuit, patterns)
     if width == 0:
         return [], 0
     mask = mask_for(width)
-    compiled = circuit.compiled()
-    values: List[Planes10] = [(0, 0, 0, 0, 0)] * compiled.n_signals
-    for planes, pi in zip(input_planes, compiled.py_inputs):
-        z, o, st, i = planes
-        values[pi] = (z, o, st, i, mask)  # PI waveforms are hazard-free
-    forward = ten_valued.forward
-    for _code, out, fanin, gate_type in compiled.plan:
-        values[out] = forward(gate_type, [values[f] for f in fanin], mask)  # type: ignore[assignment]
-    return values, width
+    inputs10 = [(z, o, s, i, mask) for z, o, s, i in input_planes]
+    backend = IntWordBackend(width, fusion=fusion)
+    return backend.simulate_planes10(circuit.compiled(), inputs10), width
 
 
 def strength_masks(
@@ -369,18 +435,124 @@ def strength_masks(
     any hazard timing.  Containment (strong <= robust <= nonrobust)
     holds by construction and is asserted by the test-suite.
     """
-    mask = mask_for(width)
-    compiled = circuit.compiled()
-    z, o, s, i, _h = values[fault.input_signal]
-    want_final_one = fault.transition.final == 1
-    launch = i & (o if want_final_one else z)
+    return _strength_masks_walk(
+        circuit.compiled(), fault, values, mask_for(width)
+    )
 
-    nonrobust = launch
-    robust = launch
-    strong = launch
+
+def _strength_edge_term(compiled, on_path_input: int, signal: int, values, mask):
+    """(nonrobust, robust, hazard-free) side conditions of one edge.
+
+    The three-class analogue of :func:`_edge_term`: one lane-word
+    triple per on-path edge, shared across every fault whose path uses
+    the edge.
+    """
+    nr = r = st = mask
+    control = compiled.controlling[signal]
+    dz, do, _ds, _di, _dh = values[on_path_input]
+    for fanin_signal in compiled.py_fanin[signal]:
+        if fanin_signal == on_path_input:
+            continue
+        fz, fo, fs, _fi, fh = values[fanin_signal]
+        if control is None:
+            r = r & fs
+            st = st & fs
+            continue
+        nc = 1 - control
+        has_nc_final = fo if nc == 1 else fz
+        nr = nr & has_nc_final
+        on_nc = do if nc == 1 else dz
+        stable_where_needed = fs | ~on_nc
+        r = r & has_nc_final & stable_where_needed
+        st = st & has_nc_final & fh & stable_where_needed
+    return nr, r, st
+
+
+def _strength_masks_batched(
+    compiled: CompiledCircuit,
+    faults: Sequence[PathDelayFault],
+    values: Sequence,
+    mask,
+) -> List[Tuple[int, int, int]]:
+    """Per-fault (nonrobust, robust, hazard-free-robust) lane masks.
+
+    Bit-identical to mapping :func:`strength_masks` over *faults*
+    (containment strong <= robust <= nonrobust makes the early exit
+    on a dead nonrobust mask safe for all three classes), with every
+    on-path edge's condition triple computed once per batch.
+    """
+    edge_terms: Dict[Tuple[int, int], Tuple] = {}
+    results = []
+    for fault in faults:
+        z, o, _s, i, _h = values[fault.input_signal]
+        launch = i & (o if fault.transition.final == 1 else z)
+        nonrobust = robust = strong = launch
+        signals = fault.signals
+        for position in range(1, len(signals)):
+            if not _any_lane(nonrobust):
+                break
+            key = (signals[position - 1], signals[position])
+            term = edge_terms.get(key)
+            if term is None:
+                term = edge_terms[key] = _strength_edge_term(
+                    compiled, key[0], key[1], values, mask
+                )
+            nonrobust = nonrobust & term[0]
+            robust = robust & term[1]
+            strong = strong & term[2]
+        results.append((nonrobust & mask, robust & mask, strong & mask))
+    return results
+
+
+def strength_masks_all(
+    circuit: Circuit,
+    patterns: Sequence[PatternLike],
+    faults: Sequence[PathDelayFault],
+    backend: str = "auto",
+    fusion: str = "auto",
+) -> List[Tuple[int, int, int]]:
+    """Batched detection-strength grading of many faults at once.
+
+    One forward 10-valued pass over the whole batch on the selected
+    backend/strategy, then per-fault (nonrobust, robust,
+    hazard-free-robust) lane-mask triples, index-aligned with
+    *faults*.  ``fusion="interp"`` runs the per-gate oracle pass and
+    the per-fault oracle walk; fused strategies share on-path edge
+    conditions across faults (:func:`_strength_masks_batched`).
+    """
+    width = len(patterns)
+    if width == 0:
+        return [(0, 0, 0)] * len(faults)
+    compiled = circuit.compiled()
+    word_backend = backend_for(width, backend, fusion=fusion)
+    if isinstance(word_backend, NumpyWordBackend):
+        packed = PackedPatterns.from_patterns(patterns)
+        valid = packed.lane_valid()
+        inputs10 = [(z, o, s, i, valid) for z, o, s, i in packed.planes7()]
+        values = _LazyIntPlanes(
+            word_backend.simulate_planes10(compiled, inputs10)
+        )
+        mask = words_to_int(word_backend.lane_valid)
+    else:
+        input_planes, _ = pack_patterns(circuit, patterns)
+        mask = word_backend.mask
+        inputs10 = [(z, o, s, i, mask) for z, o, s, i in input_planes]
+        values = word_backend.simulate_planes10(compiled, inputs10)
+    if fusion != "interp":
+        return _strength_masks_batched(compiled, faults, values, mask)
+    return [
+        _strength_masks_walk(compiled, fault, values, mask) for fault in faults
+    ]
+
+
+def _strength_masks_walk(compiled, fault, values, mask):
+    """The per-fault oracle strength walk over compiled arrays."""
+    z, o, _s, i, _h = values[fault.input_signal]
+    launch = i & (o if fault.transition.final == 1 else z)
+    nonrobust = robust = strong = launch
     signals = fault.signals
     for position in range(1, len(signals)):
-        if not nonrobust:
+        if not _any_lane(nonrobust):
             break
         signal = signals[position]
         on_path_input = signals[position - 1]
@@ -407,14 +579,17 @@ def strength_masks(
 
 
 def detection_strength(
-    circuit: Circuit, pattern: PatternLike, fault: PathDelayFault
+    circuit: Circuit,
+    pattern: PatternLike,
+    fault: PathDelayFault,
+    fusion: str = "auto",
 ) -> Optional[str]:
     """The strongest class in which *pattern* detects *fault*.
 
     Returns ``"hazard_free_robust"``, ``"robust"``, ``"nonrobust"`` or
     ``None``.
     """
-    values, width = simulate_planes10(circuit, [pattern])
+    values, width = simulate_planes10(circuit, [pattern], fusion=fusion)
     if width == 0:
         return None
     nonrobust, robust, strong = strength_masks(circuit, fault, values, width)

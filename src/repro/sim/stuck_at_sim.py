@@ -8,6 +8,21 @@ cites as the inspiration for bit-parallel test *generation*.  The
 faulty re-simulation walks only the fault site's transitive fanout
 cone (:meth:`repro.kernel.CompiledCircuit.cone_of`), not the whole
 netlist.
+
+Two execution strategies, selected by the ``fusion`` option:
+
+* ``"interp"`` — the per-gate cone walk (``eval_gate_word`` with
+  dirty-set early-outs), retained verbatim as the oracle,
+* anything else — per-cone straight-line compiled functions
+  (:func:`repro.kernel.codegen.cone_fault_fn`): the whole cone
+  resimulation plus the output-difference reduction as one body, no
+  per-gate dispatch, memoized on the compiled circuit so the sa0/sa1
+  pair and every simulator over the same circuit share it.
+
+Both strategies are cross-checked bit-identical in
+``tests/test_fusion.py``.  The interpreted cone plans are cached on
+the simulator instance, so repeated ``detected_faults``/``coverage``
+calls (the grading loop) stop rebuilding them per call.
 """
 
 from __future__ import annotations
@@ -15,39 +30,52 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence
 
 from ..circuit import Circuit
-from ..kernel.backends import eval_gate_word
+from ..kernel.backends import FUSION_MODES, eval_gate_word
+from ..kernel.codegen import cone_fault_fn
 from ..logic.words import mask_for
 from ..core.stuck_at import StuckAtFault
 from .logic_sim import pack_vectors, simulate_words
 
 
 class StuckAtSimulator:
-    """Parallel-pattern stuck-at fault simulator."""
+    """Parallel-pattern stuck-at fault simulator.
 
-    def __init__(self, circuit: Circuit):
+    Args:
+        circuit: frozen target circuit (compiled once, cached).
+        fusion: execution strategy — ``"interp"`` runs the per-gate
+            cone walk, everything else the per-cone compiled bodies
+            (``"auto"``, the default, is fused).
+    """
+
+    def __init__(self, circuit: Circuit, fusion: str = "auto"):
+        if fusion not in FUSION_MODES:
+            raise ValueError(f"unknown fusion strategy {fusion!r}")
         self.circuit = circuit
         self.compiled = circuit.compiled()
+        self.fusion = fusion
+        self._fused = fusion != "interp"
+        # site -> interpreted cone plan, cached across calls (grading
+        # loops call detected_faults once per batch; the plans depend
+        # only on structure, never on the batch)
+        self._cone_plans: Dict[int, List] = {}
 
     # ------------------------------------------------------------------
     def _cone_plan(self, site: int) -> List:
-        """Evaluation steps for the site's transitive fanout cone.
-
-        Built per call: ``cone_of`` is already topo-sorted, so the
-        construction is O(cone) — the same order as the resimulation
-        that consumes it, which makes caching (and its eviction
-        policy) not worth the retained memory.
-        """
-        compiled = self.compiled
-        return [
-            (
-                compiled.py_codes[s],
-                s,
-                compiled.py_fanin[s],
-                compiled.gate_types[s],
-            )
-            for s in compiled.cone_of(site)
-            if s != site and not compiled.is_input[s]
-        ]
+        """Evaluation steps for the site's transitive fanout cone."""
+        plan = self._cone_plans.get(site)
+        if plan is None:
+            compiled = self.compiled
+            plan = self._cone_plans[site] = [
+                (
+                    compiled.py_codes[s],
+                    s,
+                    compiled.py_fanin[s],
+                    compiled.gate_types[s],
+                )
+                for s in compiled.cone_of(site)
+                if s != site and not compiled.is_input[s]
+            ]
+        return plan
 
     def _faulty_values(
         self, good: List[int], fault: StuckAtFault, width: int, plan: List
@@ -84,16 +112,18 @@ class StuckAtSimulator:
             return {fault: 0 for fault in faults}
         width = len(vectors)
         words = pack_vectors(vectors)
-        good = simulate_words(self.circuit, words, width)
-        outputs = self.compiled.py_outputs
+        good = simulate_words(self.circuit, words, width, fusion=self.fusion)
         mask = mask_for(width)
         result: Dict[StuckAtFault, int] = {}
-        # the sa0/sa1 pair at each site shares one cone plan per call
-        plans: Dict[int, List] = {}
+        if self._fused:
+            compiled = self.compiled
+            for fault in faults:
+                fn = cone_fault_fn(compiled, fault.signal)
+                result[fault] = fn(good, mask if fault.value else 0, mask) & mask
+            return result
+        outputs = self.compiled.py_outputs
         for fault in faults:
-            plan = plans.get(fault.signal)
-            if plan is None:
-                plan = plans[fault.signal] = self._cone_plan(fault.signal)
+            plan = self._cone_plan(fault.signal)
             faulty = self._faulty_values(good, fault, width, plan)
             lanes = 0
             for po in outputs:

@@ -130,13 +130,14 @@ class TestBenchSimCommand:
             == 0
         )
         out = capsys.readouterr().out
-        assert "PPSFP throughput" in out
+        assert "Simulation throughput" in out
         assert "c499_like" in out
         import json
 
         payload = json.loads(out_path.read_text())
-        assert payload["benchmark"] == "ppsfp_throughput"
+        assert payload["benchmark"] == "fused_kernel_throughput"
         row = payload["rows"][0]
+        assert row["workload"] == "ppsfp"
         assert row["patterns"] == 96
         assert row["interp_throughput"] > 0
         assert row["seed_throughput"] > 0
@@ -147,7 +148,37 @@ class TestBenchSimCommand:
 
         from repro.api.schemas import validate_file
 
-        assert validate_file(str(out_path)) == ("repro/bench-kernel", 2)
+        assert validate_file(str(out_path)) == ("repro/bench-kernel", 3)
+
+    def test_all_workloads_cover_grading_and_stuck_at(self, capsys, tmp_path):
+        out_path = tmp_path / "bench_all.json"
+        assert (
+            main_bench_sim(
+                [
+                    "c499",
+                    "--workload", "all",
+                    "--patterns", "96",
+                    "--fault-cap", "8",
+                    "--repeat", "1",
+                    "--no-seed",
+                    "--json", str(out_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        import json
+
+        payload = json.loads(out_path.read_text())
+        workloads = [row["workload"] for row in payload["rows"]]
+        assert workloads == ["ppsfp", "grade10", "stuck_at"]
+        for row in payload["rows"]:
+            assert row["interp_throughput"] > 0
+            assert row["fused_speedup"] > 0
+
+        from repro.api.schemas import validate_file
+
+        assert validate_file(str(out_path)) == ("repro/bench-kernel", 3)
 
 
 class TestExperimentsCommand:

@@ -4,9 +4,11 @@ The contract of the plan-fusion layer: ``interp`` (the per-gate
 oracle loop), ``vector`` (level-vectorized numpy groups) and
 ``codegen`` (straight-line compiled bodies) may differ only in speed.
 These tests assert bit-identity on randomized circuits and inputs for
-two-valued and seven-valued simulation, for detection masks across
-both test classes, for the TPG implication engine's forward table,
-and for end-to-end generation on c880.
+two-valued, seven-valued, and ten-valued simulation, for detection
+masks and detection-strength grading across both test classes, for
+stuck-at cone resimulation, for the TPG implication engine's forward
+and backward tables, and for end-to-end generation / grading /
+stuck-at coverage on c880.
 """
 
 import random
@@ -21,6 +23,7 @@ from repro.circuit.generators import random_dag
 from repro.circuit.suites import suite_circuit
 from repro.core.patterns import random_patterns
 from repro.core.state import SEVEN_VALUED, THREE_VALUED, TpgState
+from repro.core.stuck_at import all_stuck_at_faults
 from repro.kernel import (
     IntWordBackend,
     NumpyWordBackend,
@@ -28,10 +31,17 @@ from repro.kernel import (
     fused_plan,
     words_to_int,
 )
+from repro.kernel.codegen import gate_backward_fn
 from repro.logic import seven_valued, three_valued
+from repro.logic.words import mask_for
 from repro.paths import TestClass, fault_list
-from repro.sim import DelayFaultSimulator
-from repro.sim.delay_sim import pack_patterns
+from repro.sim import DelayFaultSimulator, StuckAtSimulator
+from repro.sim.delay_sim import (
+    pack_patterns,
+    simulate_planes10,
+    strength_masks,
+    strength_masks_all,
+)
 from repro.sim.logic_sim import pack_vectors
 
 circuit_params = st.tuples(
@@ -108,6 +118,97 @@ class TestLogicStrategies:
             assert as_ints == oracle, fusion
 
 
+class TestTenValuedStrategies:
+    @settings(max_examples=30, deadline=None)
+    @given(circuit_params, st.integers(min_value=1, max_value=130))
+    def test_ten_valued_bit_identity(self, params, n_patterns):
+        seed, n_inputs, n_gates = params
+        circuit = random_dag(n_inputs, n_gates, seed=seed)
+        compiled = circuit.compiled()
+        patterns = random_patterns(circuit, n_patterns, seed + 6)
+        oracle, width = simulate_planes10(circuit, patterns, fusion="interp")
+        fused, _ = simulate_planes10(circuit, patterns, fusion="codegen")
+        assert fused == oracle
+        packed = PackedPatterns.from_patterns(patterns)
+        valid = packed.lane_valid()
+        inputs10 = [(z, o, s, i, valid) for z, o, s, i in packed.planes7()]
+        for fusion in ("interp", "vector", "codegen"):
+            values = NumpyWordBackend(width, fusion=fusion).simulate_planes10(
+                compiled, inputs10
+            )
+            as_ints = [
+                tuple(words_to_int(np.ascontiguousarray(p)) for p in planes)
+                for planes in values
+            ]
+            assert as_ints == oracle, fusion
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(circuit_params, st.integers(min_value=1, max_value=130))
+    def test_strength_grading_bit_identical_across_strategies(
+        self, params, n_patterns
+    ):
+        seed, n_inputs, n_gates = params
+        circuit = random_dag(n_inputs, n_gates, seed=seed)
+        faults = fault_list(circuit, cap=16, strategy="all")
+        patterns = random_patterns(circuit, n_patterns, seed + 7)
+        # per-fault oracle walk over the interpreted int-word pass
+        values, width = simulate_planes10(circuit, patterns, fusion="interp")
+        reference = [
+            strength_masks(circuit, fault, values, width) for fault in faults
+        ]
+        for backend in ("int", "numpy"):
+            for fusion in ("interp", "vector", "codegen", "auto"):
+                triples = strength_masks_all(
+                    circuit, patterns, faults, backend=backend, fusion=fusion
+                )
+                assert triples == reference, (backend, fusion)
+        # containment: strong <= robust <= nonrobust, lane-wise
+        for nonrobust, robust, strong in reference:
+            assert strong & ~robust == 0
+            assert robust & ~nonrobust == 0
+
+
+class TestStuckAtStrategies:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(circuit_params, st.integers(min_value=1, max_value=130))
+    def test_cone_resim_bit_identical_across_strategies(self, params, n_vectors):
+        seed, n_inputs, n_gates = params
+        circuit = random_dag(n_inputs, n_gates, seed=seed)
+        rng = random.Random(seed + 8)
+        vectors = [
+            [rng.randint(0, 1) for _ in circuit.inputs]
+            for _ in range(n_vectors)
+        ]
+        faults = all_stuck_at_faults(circuit)
+        oracle = StuckAtSimulator(circuit, fusion="interp").detected_faults(
+            vectors, faults
+        )
+        for fusion in ("codegen", "auto"):
+            sim = StuckAtSimulator(circuit, fusion=fusion)
+            assert sim.detected_faults(vectors, faults) == oracle, fusion
+            # repeated calls serve from the same memoized cone bodies
+            assert sim.detected_faults(vectors, faults) == oracle, fusion
+
+    def test_interp_cone_plans_cached_across_calls(self):
+        circuit = random_dag(5, 20, seed=11)
+        sim = StuckAtSimulator(circuit, fusion="interp")
+        faults = all_stuck_at_faults(circuit)
+        vectors = [[lane & 1 for _ in circuit.inputs] for lane in range(8)]
+        sim.detected_faults(vectors, faults)
+        plans = {site: plan for site, plan in sim._cone_plans.items()}
+        sim.detected_faults(vectors, faults)
+        for site, plan in sim._cone_plans.items():
+            assert plans[site] is plan  # rebuilt nothing
+
+
 class TestDetectionMasks:
     @settings(
         max_examples=20,
@@ -169,6 +270,37 @@ class TestImplicationForwardTable:
             states["interp"].conflict_mask == states["codegen"].conflict_mask
         )
 
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_backward_bodies_match_interp_on_arbitrary_planes(self, seed):
+        """The unrolled backward bodies equal ``Algebra.backward`` for
+        every gate shape, on arbitrary (not only consistent) planes."""
+        circuit = random_dag(5, 22, seed=seed)
+        compiled = circuit.compiled()
+        rng = random.Random(seed + 9)
+        mask = mask_for(8)
+        for algebra in (THREE_VALUED, SEVEN_VALUED):
+            for s in range(compiled.n_signals):
+                if compiled.is_input[s]:
+                    continue
+                fanin = compiled.py_fanin[s]
+                out = tuple(
+                    rng.randint(0, mask) for _ in range(algebra.n_planes)
+                )
+                ins = [
+                    tuple(rng.randint(0, mask) for _ in range(algebra.n_planes))
+                    for _ in fanin
+                ]
+                gate_type = compiled.gate_types[s]
+                reference = algebra.backward(gate_type, out, ins, mask)
+                fn = gate_backward_fn(
+                    algebra.name, compiled.py_codes[s], len(fanin)
+                )
+                assert list(fn(out, ins, mask)) == list(reference), (
+                    algebra.name,
+                    gate_type,
+                )
+
     @settings(max_examples=20, deadline=None)
     @given(st.integers(min_value=0, max_value=10_000))
     def test_dirty_scan_matches_direct_computation(self, seed):
@@ -222,6 +354,48 @@ class TestEndToEnd:
             report = session.generate(test_class=test_class, max_faults=96)
             statuses[fusion] = [record.status for record in report.records]
         assert statuses["interp"] == statuses["auto"]
+
+    @pytest.mark.parametrize("test_class", list(TestClass))
+    def test_c880_grade_identical_under_auto_fusion(self, test_class):
+        session = AtpgSession.open("c880")
+        faults = fault_list(session.circuit, cap=64, strategy="all")
+        patterns = random_patterns(session.circuit, 100, 13)
+        reports = {
+            fusion: session.grade(
+                patterns,
+                faults,
+                test_class=test_class,
+                fusion=fusion,
+                strength=True,
+            )
+            for fusion in ("interp", "auto")
+        }
+        assert reports["interp"] == reports["auto"]
+        report = reports["auto"]
+        assert len(report["strengths"]) == len(faults)
+        assert sum(report["strength_counts"].values()) == sum(
+            1 for label in report["strengths"] if label is not None
+        )
+        # the strength path derives detection from the 10-valued pass;
+        # it must agree with the plain 7-valued grading flags
+        plain = session.grade(patterns, faults, test_class=test_class)
+        assert report["detected_flags"] == plain["detected_flags"]
+
+    def test_c880_stuck_at_coverage_identical_under_auto_fusion(self):
+        circuit = suite_circuit("c880")
+        faults = all_stuck_at_faults(circuit)[:120]
+        rng = random.Random(17)
+        vectors = [
+            [rng.randint(0, 1) for _ in circuit.inputs] for _ in range(100)
+        ]
+        interp = StuckAtSimulator(circuit, fusion="interp")
+        fused = StuckAtSimulator(circuit, fusion="auto")
+        assert fused.detected_faults(vectors, faults) == interp.detected_faults(
+            vectors, faults
+        )
+        assert fused.coverage(vectors, faults) == interp.coverage(
+            vectors, faults
+        )
 
     def test_bulk2k_suite_circuit_is_large(self):
         circuit = suite_circuit("bulk2k")
