@@ -2,8 +2,10 @@
 """Regenerate BENCH_kernel.json: fused-kernel throughput per workload.
 
 Three workloads, each comparing the compiled kernel's interpreted
-per-gate loop against the fused execution strategies on identical
-inputs, results asserted bit-identical across every tier:
+per-gate loop against the fused execution strategies — and, when a C
+toolchain is available, the compiled-C native backend
+(:mod:`repro.kernel.native`) — on identical inputs, results asserted
+bit-identical across every tier:
 
 * ``ppsfp`` — robust-class PPSFP detection masks (4096-pattern
   batches; the four ``*_like`` generator-suite rows also keep the seed
@@ -22,8 +24,9 @@ the rows the CI perf guard reads — one per workload.  Usage::
 
 ``--check`` is the CI soft perf guard: it re-reads the JSON and fails
 unless the best fused strategy on every ``bulk2k`` row is at least as
-fast as the interpreted loop (correctness is asserted everywhere;
-absolute speedups are only trusted from CI hardware).
+fast as the interpreted loop, and — when the rows carry native
+columns — the native backend is too (correctness is asserted
+everywhere; absolute speedups are only trusted from CI hardware).
 """
 
 import json
@@ -64,11 +67,16 @@ def regenerate(out: str) -> int:
                 n_patterns=4096,
                 fault_cap=fault_cap,
                 repeat=3,
+                native=True,
             )
         )
     bulk = resolve_circuit(GUARD_CIRCUIT)
-    rows.append(bench_grade10(bulk, n_patterns=1024, fault_cap=32, repeat=3))
-    rows.append(bench_stuck_at(bulk, n_vectors=256, fault_cap=192, repeat=3))
+    rows.append(
+        bench_grade10(bulk, n_patterns=1024, fault_cap=32, repeat=3, native=True)
+    )
+    rows.append(
+        bench_stuck_at(bulk, n_vectors=256, fault_cap=192, repeat=3, native=True)
+    )
     print(render_table(rows, title="Fused kernel throughput per workload"))
     payload = stamp(
         "repro/bench-kernel",
@@ -125,6 +133,23 @@ def check(path: str) -> int:
             f"ok   {path}: {GUARD_CIRCUIT} {workload} fused_speedup={speedup} "
             f"(best strategy: {row.get('best_fused')})"
         )
+        # native is optional in the artifact (no-toolchain bench hosts)
+        # but when recorded it must at least match the interpreted loop
+        native_speedup = row.get("native_speedup")
+        if native_speedup is None:
+            continue
+        if native_speedup < 1.0:
+            print(
+                f"FAIL {path}: native {workload} on {GUARD_CIRCUIT} is "
+                f"slower than the interpreted loop "
+                f"(native_speedup={native_speedup})"
+            )
+            failures += 1
+        else:
+            print(
+                f"ok   {path}: {GUARD_CIRCUIT} {workload} "
+                f"native_speedup={native_speedup}"
+            )
     return 1 if failures else 0
 
 

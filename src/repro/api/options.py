@@ -69,8 +69,11 @@ class GenerationOptions:
         unique_backward: apply unique backward implications (see
             :class:`repro.core.state.TpgState`).
         sim_backend: word backend of the PPSFP drop simulator
-            (``"auto"``, ``"int"`` or ``"numpy"``; see
-            :class:`repro.sim.delay_sim.DelayFaultSimulator`).
+            (``"auto"``, ``"int"``, ``"numpy"`` or ``"native"`` — the
+            compiled-C backend, which falls back to numpy with a
+            one-time warning when no C toolchain is present; see
+            :class:`repro.sim.delay_sim.DelayFaultSimulator`).  Never
+            outcome-relevant: every backend is bit-identical.
         fusion: plan execution strategy of every hot simulation loop —
             ``"interp"`` (per-gate interpreter, the oracle),
             ``"vector"`` (level-vectorized numpy groups), ``"codegen"``
@@ -94,9 +97,13 @@ class GenerationOptions:
             raise ValueError("width must be >= 1")
         if self.backtrack_limit < 0:
             raise ValueError("backtrack_limit must be >= 0")
-        if self.sim_backend not in ("auto", "int", "numpy"):
-            raise ValueError(f"unknown sim_backend {self.sim_backend!r}")
-        from ..kernel import FUSION_MODES  # lazy: avoid import cycles
+        from ..kernel import BACKEND_MODES, FUSION_MODES  # lazy: avoid cycles
+
+        if self.sim_backend not in BACKEND_MODES:
+            raise ValueError(
+                f"unknown sim_backend {self.sim_backend!r} "
+                f"(choose from {BACKEND_MODES})"
+            )
 
         if self.fusion not in FUSION_MODES:
             raise ValueError(f"unknown fusion strategy {self.fusion!r}")

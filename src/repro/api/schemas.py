@@ -87,7 +87,7 @@ def _options_spec(generation_extra: Optional[Dict] = None) -> Dict:
         "use_fptpg": BOOL,
         "use_aptpg": BOOL,
         "unique_backward": BOOL,
-        "sim_backend": {"enum": ["auto", "int", "numpy"]},
+        "sim_backend": {"enum": ["auto", "int", "numpy", "native"]},
     }
     generation.update(generation_extra or {})
     return obj(
@@ -211,6 +211,37 @@ _BENCH_KERNEL_ROW_V3 = obj(
         "codegen_throughput": NUM,
         "best_fused": {"enum": ["vector", "codegen"]},
         "fused_speedup": NUM,
+    },
+)
+# v4: optional compiled-C backend columns alongside the fused Python
+# strategies — ``native_*`` is the whole workload inside the circuit's
+# cffi-compiled module (:mod:`repro.kernel.native`); absent when the
+# bench machine has no C toolchain.  ``native_speedup`` is
+# interp_seconds / native_seconds, the row the CI perf guard reads.
+_BENCH_KERNEL_ROW_V4 = obj(
+    {
+        "circuit": STR,
+        "workload": {"enum": ["ppsfp", "grade10", "stuck_at"]},
+        "signals": INT,
+        "faults": INT,
+        "patterns": INT,
+        "interp_seconds": NUM,
+        "interp_throughput": NUM,
+    },
+    optional={
+        "test_class": TEST_CLASS,
+        "seed_seconds": NUM,
+        "seed_throughput": NUM,
+        "interp_speedup_vs_seed": NUM,
+        "vector_seconds": NUM,
+        "vector_throughput": NUM,
+        "codegen_seconds": NUM,
+        "codegen_throughput": NUM,
+        "best_fused": {"enum": ["vector", "codegen"]},
+        "fused_speedup": NUM,
+        "native_seconds": NUM,
+        "native_throughput": NUM,
+        "native_speedup": NUM,
     },
 )
 _BENCH_TPG_ROW = obj(
@@ -413,6 +444,14 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
                 "units": STR,
                 "python": STR,
                 "rows": arr(_BENCH_KERNEL_ROW_V3),
+            }
+        ),
+        4: obj(
+            {
+                "benchmark": {"const": "fused_kernel_throughput"},
+                "units": STR,
+                "python": STR,
+                "rows": arr(_BENCH_KERNEL_ROW_V4),
             }
         ),
     },

@@ -187,7 +187,11 @@ class AtpgSession:
         Bit ``k`` of ``masks[i]`` is set iff ``patterns[k]`` detects
         ``faults[i]`` under the session circuit and *test_class*.  The
         simulator for each (class, backend, fusion) triple is built
-        once per session and reused across calls.
+        once per session and reused across calls.  *backend* accepts
+        ``"auto"``/``"int"``/``"numpy"``/``"native"`` — the compiled-C
+        word backend falls back to numpy (with a one-time warning)
+        when no C toolchain is available; every backend is
+        bit-identical.
         """
         sim = self._simulator(resolve_test_class(test_class), backend, fusion)
         return sim.detection_masks(patterns, list(faults))

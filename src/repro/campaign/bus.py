@@ -28,7 +28,10 @@ set:
 
 One :class:`repro.sim.delay_sim.DelayFaultSimulator` instance is
 reused for every admission check and drop round — the compiled kernel
-and backend selection are paid once per campaign.
+and backend selection are paid once per campaign.  The ``backend``
+knob passes straight through to the simulator, so a campaign run with
+``sim_backend="native"`` does all its admission and drop PPSFP inside
+the circuit's compiled-C module (building it once up front).
 """
 
 from __future__ import annotations

@@ -377,10 +377,11 @@ def bench_ppsfp(
     seed: int = 0,
     strategies: tuple = ("vector", "codegen"),
     seed_baseline: bool = True,
+    native: bool = False,
 ) -> Dict[str, object]:
     """Time PPSFP per execution strategy on one identical workload.
 
-    Every run checks every fault against every pattern.  Three tiers
+    Every run checks every fault against every pattern.  Four tiers
     are compared:
 
     * **seed** (optional) — the pre-kernel object-graph path
@@ -389,17 +390,26 @@ def bench_ppsfp(
     * **interp** — the compiled numpy kernel with the per-gate
       interpreter loop (the v1 ``kernel_*`` numbers),
     * **fused** — the requested *strategies* (``"vector"`` and/or
-      ``"codegen"``) on the same kernel.
+      ``"codegen"``) on the same kernel,
+    * **native** (optional) — the compiled-C word backend
+      (:mod:`repro.kernel.native`): planes pass, fault injection and
+      detection walk all inside one cffi module, one Python call per
+      batch.  Skipped silently when no C toolchain is available.
 
     Detection masks are asserted equal lane-for-lane across every
     tier, so speed-ups are never bought with a semantics change.
     Fused runs are warmed once before timing — plan fusion and
     codegen are one-time lowering costs cached on the compiled
     circuit, amortized over a workload's lifetime exactly like the
-    lowering itself.  Throughput is patterns x faults per second,
+    lowering itself.  The batch is packed into uint64 lane planes once
+    up front and every kernel tier receives the packed batch, so the
+    timed region measures simulation, not Python-side marshalling
+    (the seed tier keeps the raw pattern list — chunked packing *is*
+    part of its engine).  Throughput is patterns x faults per second,
     best of *repeat* runs.
     """
     from .core.patterns import random_patterns
+    from .kernel.packed import PackedPatterns
     from .sim import DelayFaultSimulator
     from .sim.reference import detected_faults_reference
 
@@ -407,6 +417,7 @@ def bench_ppsfp(
         raise ValueError("repeat must be >= 1")
     faults = fault_list(circuit, cap=fault_cap, strategy="all")
     patterns = random_patterns(circuit, n_patterns, seed)
+    packed = PackedPatterns.from_patterns(patterns)
     work = len(patterns) * len(faults)
 
     def run_seed() -> Dict:
@@ -432,7 +443,7 @@ def bench_ppsfp(
     )
     interp_seconds, interp_masks = _best_of_runs(
         repeat,
-        lambda: interp_sim.detected_faults(patterns, faults)
+        lambda: interp_sim.detected_faults(packed, faults)
     )
     row["interp_seconds"] = round(interp_seconds, 6)
     row["interp_throughput"] = round(work / interp_seconds, 1)
@@ -454,7 +465,7 @@ def bench_ppsfp(
         )
         sim.detected_faults(patterns[:64], faults[:1])  # warm the lowering
         seconds, masks = _best_of_runs(
-            repeat, lambda: sim.detected_faults(patterns, faults)
+            repeat, lambda: sim.detected_faults(packed, faults)
         )
         if masks != interp_masks:
             raise AssertionError(
@@ -467,7 +478,35 @@ def bench_ppsfp(
     if fused_best is not None:
         row["best_fused"] = fused_best[1]
         row["fused_speedup"] = round(interp_seconds / fused_best[0], 2)
+    if native and _native_ready():
+        sim = DelayFaultSimulator(
+            circuit, test_class, backend="native", fusion="auto"
+        )
+        sim.detected_faults(patterns[:64], faults[:1])  # warm the C build
+        seconds, masks = _best_of_runs(
+            repeat, lambda: sim.detected_faults(packed, faults)
+        )
+        if masks != interp_masks:
+            raise AssertionError(
+                f"native and interp PPSFP disagree on {circuit.name}"
+            )
+        _native_columns(row, work, interp_seconds, seconds)
     return row
+
+
+def _native_ready() -> bool:
+    """True when the compiled-C backend can actually build modules."""
+    from .kernel.native import native_available
+
+    return native_available()
+
+
+def _native_columns(
+    row: Dict[str, object], work: int, interp_seconds: float, seconds: float
+) -> None:
+    row["native_seconds"] = round(seconds, 6)
+    row["native_throughput"] = round(work / seconds, 1)
+    row["native_speedup"] = round(interp_seconds / seconds, 2)
 
 
 def _best_of_runs(repeat: int, fn):
@@ -487,6 +526,7 @@ def bench_grade10(
     repeat: int = 3,
     seed: int = 0,
     strategies: tuple = ("vector", "codegen"),
+    native: bool = False,
 ) -> Dict[str, object]:
     """Time 10-valued detection-strength grading per execution strategy.
 
@@ -498,15 +538,19 @@ def bench_grade10(
     per gate and walks faults one by one; the fused tiers run the
     slab-form group executor or the straight-line compiled body plus
     the edge-sharing batched walk.  Strength-mask triples are asserted
-    bit-identical across every tier.
+    bit-identical across every tier.  As in :func:`bench_ppsfp`, the
+    batch is packed once up front so every tier times simulation, not
+    marshalling.
     """
     from .core.patterns import random_patterns
+    from .kernel.packed import PackedPatterns
     from .sim.delay_sim import strength_masks_all
 
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
     faults = fault_list(circuit, cap=fault_cap, strategy="all")
     patterns = random_patterns(circuit, n_patterns, seed)
+    packed = PackedPatterns.from_patterns(patterns)
     work = len(patterns) * len(faults)
 
     row: Dict[str, object] = {
@@ -519,7 +563,7 @@ def bench_grade10(
     interp_seconds, interp_masks = _best_of_runs(
         repeat,
         lambda: strength_masks_all(
-            circuit, patterns, faults, backend="numpy", fusion="interp"
+            circuit, packed, faults, backend="numpy", fusion="interp"
         ),
     )
     row["interp_seconds"] = round(interp_seconds, 6)
@@ -533,7 +577,7 @@ def bench_grade10(
         seconds, masks = _best_of_runs(
             repeat,
             lambda strategy=strategy: strength_masks_all(
-                circuit, patterns, faults, backend="numpy", fusion=strategy
+                circuit, packed, faults, backend="numpy", fusion=strategy
             ),
         )
         if masks != interp_masks:
@@ -548,6 +592,22 @@ def bench_grade10(
     if fused_best is not None:
         row["best_fused"] = fused_best[1]
         row["fused_speedup"] = round(interp_seconds / fused_best[0], 2)
+    if native and _native_ready():
+        strength_masks_all(  # warm the C build
+            circuit, patterns[:64], faults[:1], backend="native", fusion="auto"
+        )
+        seconds, masks = _best_of_runs(
+            repeat,
+            lambda: strength_masks_all(
+                circuit, packed, faults, backend="native", fusion="auto"
+            ),
+        )
+        if masks != interp_masks:
+            raise AssertionError(
+                f"native and interp 10-valued grading disagree on "
+                f"{circuit.name}"
+            )
+        _native_columns(row, work, interp_seconds, seconds)
     return row
 
 
@@ -557,6 +617,7 @@ def bench_stuck_at(
     fault_cap: int = 256,
     repeat: int = 3,
     seed: int = 0,
+    native: bool = False,
 ) -> Dict[str, object]:
     """Time parallel-pattern stuck-at simulation per execution strategy.
 
@@ -607,19 +668,32 @@ def bench_stuck_at(
     row["codegen_throughput"] = round(work / fused_seconds, 1)
     row["best_fused"] = "codegen"
     row["fused_speedup"] = round(interp_seconds / fused_seconds, 2)
+    if native and _native_ready():
+        native_sim = StuckAtSimulator(circuit, backend="native")
+        native_sim.detected_faults(vectors[:4], faults)  # warm the C build
+        seconds, masks = _best_of_runs(
+            repeat, lambda: native_sim.detected_faults(vectors, faults)
+        )
+        if masks != interp_masks:
+            raise AssertionError(
+                f"native and interp stuck-at simulation disagree on "
+                f"{circuit.name}"
+            )
+        _native_columns(row, work, interp_seconds, seconds)
     return row
 
 
 def main_bench_sim(argv: Optional[List[str]] = None) -> int:
-    """Simulation throughput: interpreted kernel vs fused strategies."""
+    """Simulation throughput: interpreted kernel vs fused vs native."""
     parser = argparse.ArgumentParser(
         prog="tip-bench-sim",
         description=(
             "Simulation throughput (patterns x faults per second) per "
             "execution strategy.  Workloads: PPSFP detection masks (seed "
             "object-graph path vs the compiled kernel's interpreted loop "
-            "vs the fused strategies), 10-valued detection-strength "
-            "grading, and stuck-at cone resimulation."
+            "vs the fused strategies vs the compiled-C native backend), "
+            "10-valued detection-strength grading, and stuck-at cone "
+            "resimulation."
         ),
     )
     parser.add_argument(
@@ -648,6 +722,15 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
         help="which fused strategies to time against the interpreted loop",
     )
     parser.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "native"],
+        default="auto",
+        help="word backends to time: 'auto' runs the fused numpy "
+        "strategies plus the compiled-C backend when a toolchain is "
+        "available, 'numpy' skips native, 'native' times only the "
+        "interpreted baseline against the compiled-C backend",
+    )
+    parser.add_argument(
         "--no-seed",
         action="store_true",
         help="skip the seed object-graph baseline (it dominates the bench "
@@ -662,6 +745,16 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
     strategies = (
         ("vector", "codegen") if args.fusion == "both" else (args.fusion,)
     )
+    if args.backend == "native":
+        strategies = ()  # interp baseline vs the compiled-C tier only
+    native = args.backend != "numpy"
+    if args.backend == "native" and not _native_ready():
+        from .kernel.native import native_unavailable_reason
+
+        parser.error(
+            f"--backend native requires a C toolchain "
+            f"({native_unavailable_reason()})"
+        )
     workloads = (
         ("ppsfp", "grade10", "stuck-at")
         if args.workload == "all"
@@ -680,6 +773,7 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
                     repeat=args.repeat,
                     strategies=strategies,
                     seed_baseline=not args.no_seed,
+                    native=native,
                 )
             )
         if "grade10" in workloads:
@@ -690,6 +784,7 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
                     fault_cap=args.fault_cap,
                     repeat=args.repeat,
                     strategies=strategies,
+                    native=native,
                 )
             )
         if "stuck-at" in workloads:
@@ -699,6 +794,7 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
                     n_vectors=min(args.patterns, 512),
                     fault_cap=args.fault_cap,
                     repeat=args.repeat,
+                    native=native,
                 )
             )
     print(

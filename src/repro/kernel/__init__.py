@@ -16,16 +16,31 @@ The layers (see ARCHITECTURE.md):
   its vectorized numpy executors (the ``"vector"`` strategy).
 * :mod:`repro.kernel.codegen` — straight-line compiled plan bodies
   and the per-gate forward tables the TPG implication engine uses
-  (the ``"codegen"`` strategy).
+  (the ``"codegen"`` strategy), plus the C renderers the native
+  backend compiles.
+* :mod:`repro.kernel.native` — :class:`NativeWordBackend`, the plan
+  executed as compiled C over uint64 lane slabs (cffi-built at
+  session time, cached by structural hash; degrades to numpy with a
+  one-time warning when no C toolchain is present).
 """
 
 from .backends import (
+    BACKEND_MODES,
     FUSION_MODES,
     IntWordBackend,
     NumpyWordBackend,
     WordBackend,
     backend_for,
     eval_gate_word,
+)
+from .native import (
+    NativeBackendUnavailableWarning,
+    NativeConeSimulator,
+    NativeWordBackend,
+    native_available,
+    native_module,
+    native_unavailable_reason,
+    plan_hash,
 )
 from .codegen import (
     backward_table,
@@ -53,6 +68,7 @@ from .compiled import (
 from .packed import FULL_WORD, PackedPatterns, int_to_words, pack_bits, words_to_int
 
 __all__ = [
+    "BACKEND_MODES",
     "CODE_AND",
     "CODE_BUF",
     "CODE_INPUT",
@@ -69,10 +85,17 @@ __all__ = [
     "GATE_CODES",
     "CompiledCircuit",
     "IntWordBackend",
+    "NativeBackendUnavailableWarning",
+    "NativeConeSimulator",
+    "NativeWordBackend",
     "NumpyWordBackend",
     "PackedPatterns",
     "WordBackend",
     "backend_for",
+    "native_available",
+    "native_module",
+    "native_unavailable_reason",
+    "plan_hash",
     "backward_table",
     "compile_circuit",
     "cone_fault_fn",

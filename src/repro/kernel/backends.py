@@ -1,6 +1,6 @@
 """Pluggable word backends executing the compiled evaluation plan.
 
-Two word representations share one compiled netlist
+Three word representations share one compiled netlist
 (:class:`repro.kernel.compiled.CompiledCircuit`):
 
 * :class:`IntWordBackend` — Python integers as lane words.  Arbitrary
@@ -12,6 +12,12 @@ Two word representations share one compiled netlist
   thousand-pattern batches stream through the netlist at a fraction of
   the per-pattern cost; this is the bulk-simulation backend behind
   batched PPSFP and ``tip bench-sim``.
+* :class:`repro.kernel.native.NativeWordBackend` — the same uint64
+  lane slabs executed by compiled C (the plan rendered to one
+  translation unit per circuit, built via cffi at session time).
+  Opt-in (``prefer="native"``) because it needs a C toolchain; when
+  none is present :func:`backend_for` degrades to the numpy backend
+  with a one-time structured warning.
 
 Each backend additionally selects a **fusion strategy** — how the
 plan is *executed*, orthogonal to the word representation:
@@ -58,8 +64,11 @@ from .packed import FULL_WORD, lane_valid_words
 #: A 7-valued plane tuple in either representation (ints or arrays).
 PlanesLike = Tuple
 
-#: The fusion strategies accepted by both backends and ``Options``.
+#: The fusion strategies accepted by every backend and ``Options``.
 FUSION_MODES = ("auto", "interp", "vector", "codegen")
+
+#: The backend preferences accepted by ``backend_for`` and ``Options``.
+BACKEND_MODES = ("auto", "int", "numpy", "native")
 
 
 def _check_fusion(fusion: str) -> str:
@@ -350,18 +359,40 @@ def backend_for(
 ) -> WordBackend:
     """Choose a backend for an *n_lanes*-wide batch.
 
-    ``prefer`` is ``"int"``, ``"numpy"`` or ``"auto"`` (numpy once the
-    batch exceeds one machine word — the crossover where per-gate
-    numpy overhead is amortized).  ``fusion`` selects the execution
-    strategy of the chosen backend (see the module docstring).
+    ``prefer`` is one of :data:`BACKEND_MODES`:
+
+    * ``"auto"`` (default) — the crossover between the two
+      zero-toolchain backends: Python-int words up to one machine
+      word (``n_lanes <= 64``, where CPython int bitwise ops beat
+      numpy's per-gate dispatch), the numpy multi-word backend
+      beyond it (where per-gate cost is amortized over many words).
+      ``auto`` never selects ``native`` — compiled-C execution is
+      opt-in since it needs a C toolchain at session time.
+    * ``"int"`` / ``"numpy"`` — pin that backend.
+    * ``"native"`` — the compiled-C backend
+      (:class:`repro.kernel.native.NativeWordBackend`); degrades to
+      ``numpy`` with a one-time
+      :class:`repro.kernel.native.NativeBackendUnavailableWarning`
+      when no C toolchain is present.
+
+    ``fusion`` selects the execution strategy of the chosen backend
+    (see the module docstring).
     """
     _check_fusion(fusion)
     if prefer == "int":
         return IntWordBackend(n_lanes, fusion=fusion)
     if prefer == "numpy":
         return NumpyWordBackend(n_lanes, fusion=fusion)
+    if prefer == "native":
+        # imported here: repro.kernel.native imports this module
+        from .native import native_backend_or_fallback
+
+        return native_backend_or_fallback(n_lanes, fusion=fusion)
     if prefer != "auto":
-        raise ValueError(f"unknown backend preference {prefer!r}")
+        raise ValueError(
+            f"unknown backend preference {prefer!r} "
+            f"(choose from {BACKEND_MODES})"
+        )
     if n_lanes > 64:
         return NumpyWordBackend(n_lanes, fusion=fusion)
     return IntWordBackend(n_lanes, fusion=fusion)

@@ -36,6 +36,14 @@ Five generators live here:
   gates (reading unaffected signals from the good-machine values) and
   returns the output-difference lane word directly.
 
+:func:`render_native_source` also lives here: the C translation unit
+the native word backend compiles (:mod:`repro.kernel.native`).  Unlike
+the Python strategies it is *not* straight-line — the C passes are
+constant-size data-driven interpreters over baked plan/fanin tables
+(``_C_PASSES``), because gcc's per-function passes made straight-line
+C a minutes-long build on thousand-gate circuits while buying nothing
+over a dispatch loop that is dominated by slab memory traffic.
+
 All generated code is asserted bit-identical to the interpreted
 oracle by ``tests/test_fusion.py`` (hypothesis cross-checks).
 
@@ -652,6 +660,505 @@ def backward_table(
 # ---------------------------------------------------------------------------
 # per-cone stuck-at resimulation functions
 # ---------------------------------------------------------------------------
+
+
+# The three forward passes are circuit-generic C interpreters over the
+# baked level-order plan (REPRO_PLAN_OUT) and the per-signal gate-code
+# / fanin-CSR tables.  A fixed few hundred lines of C regardless of
+# circuit size — straight-line rendering made gcc's per-function
+# passes the build bottleneck (minutes at -O1 on a 2k-gate circuit) —
+# while the per-gate switch dispatch is noise next to the slab memory
+# traffic each gate's plane math streams.  The fold formulas below are
+# the n-ary emitter formulas of :func:`_emit_planes7` /
+# :func:`_emit_planes10` transcribed over C accumulators: bitwise
+# AND/OR folds are order-insensitive, and the order-sensitive XOR
+# chains iterate fanins in CSR order, which is plan fanin order, so
+# every pass stays bit-identical to the Python oracles.
+_C_PASSES = r"""
+void repro_logic_pass(u64 *V, long n) {
+  long t, w, k;
+  for (t = 0; t < REPRO_N_PLAN; t++) {
+    long out = REPRO_PLAN_OUT[t];
+    int code = REPRO_CODE[out];
+    const int32_t *fi = REPRO_FANIN_IDX + REPRO_FANIN_OFF[out];
+    long nf = REPRO_FANIN_OFF[out + 1] - REPRO_FANIN_OFF[out];
+    u64 *dst = V + out * n;
+    for (w = 0; w < n; w++) {
+      u64 acc = V[(long)fi[0] * n + w];
+      switch (code) {
+        case 3: case 4: /* AND / NAND */
+          for (k = 1; k < nf; k++) acc &= V[(long)fi[k] * n + w];
+          if (code == 4) acc = ~acc;
+          break;
+        case 5: case 6: /* OR / NOR */
+          for (k = 1; k < nf; k++) acc |= V[(long)fi[k] * n + w];
+          if (code == 6) acc = ~acc;
+          break;
+        case 7: case 8: /* XOR / XNOR */
+          for (k = 1; k < nf; k++) acc ^= V[(long)fi[k] * n + w];
+          if (code == 8) acc = ~acc;
+          break;
+        case 2: acc = ~acc; break; /* NOT */
+        default: break;            /* BUF */
+      }
+      dst[w] = acc;
+    }
+  }
+}
+
+/* One 7-valued AND/OR-family gate: the n-ary accumulator folds of the
+   fused emitters, inversion as a final zero/one plane swap. */
+static void _p7_andor(u64 *Z, u64 *O, u64 *S, u64 *I, long out,
+                      int or_family, int invert,
+                      const int32_t *fi, long nf, long n) {
+  long w, k;
+  for (w = 0; w < n; w++) {
+    u64 rz, ro, rs, ri;
+    if (or_family) {
+      u64 zA = ~(u64)0, oO = 0, zsA = ~(u64)0, osO = 0;
+      u64 i0A = ~(u64)0, i1O = 0;
+      for (k = 0; k < nf; k++) {
+        long fs = fi[k];
+        u64 z = Z[fs * n + w], o = O[fs * n + w];
+        u64 s = S[fs * n + w], i = I[fs * n + w];
+        u64 zs = z & s, os = o & s;
+        zA &= z; oO |= o; zsA &= zs; osO |= os;
+        i0A &= zs | (o & i); i1O |= os | (z & i);
+      }
+      rz = zA; ro = oO; rs = zsA | osO;
+      ri = ((ro & i0A) | (rz & i1O)) & ~rs;
+    } else {
+      u64 zO = 0, oA = ~(u64)0, zsO = 0, osA = ~(u64)0;
+      u64 i0O = 0, i1A = ~(u64)0;
+      for (k = 0; k < nf; k++) {
+        long fs = fi[k];
+        u64 z = Z[fs * n + w], o = O[fs * n + w];
+        u64 s = S[fs * n + w], i = I[fs * n + w];
+        u64 zs = z & s, os = o & s;
+        zO |= z; oA &= o; zsO |= zs; osA &= os;
+        i0O |= zs | (o & i); i1A &= os | (z & i);
+      }
+      rz = zO; ro = oA; rs = zsO | osA;
+      ri = ((ro & i0O) | (rz & i1A)) & ~rs;
+    }
+    if (invert) { u64 tmp = rz; rz = ro; ro = tmp; }
+    Z[out * n + w] = rz; O[out * n + w] = ro;
+    S[out * n + w] = rs; I[out * n + w] = ri;
+  }
+}
+
+/* One 7-valued XOR-family gate: the emitters' left-fold binary chain
+   in fanin order (the XOR calculus is order-sensitive only in its
+   intermediate names, but the fold order is kept identical anyway). */
+static void _p7_xor(u64 *Z, u64 *O, u64 *S, u64 *I, long out, int invert,
+                    const int32_t *fi, long nf, long n) {
+  long w, k;
+  for (w = 0; w < n; w++) {
+    long fs = fi[0];
+    u64 az = Z[fs * n + w], ao = O[fs * n + w];
+    u64 as = S[fs * n + w], ai = I[fs * n + w];
+    for (k = 1; k < nf; k++) {
+      fs = fi[k];
+      u64 z = Z[fs * n + w], o = O[fs * n + w];
+      u64 s = S[fs * n + w], i = I[fs * n + w];
+      u64 x0 = (az & as) | (ao & ai);
+      u64 x1 = (ao & as) | (az & ai);
+      u64 y0 = (z & s) | (o & i);
+      u64 y1 = (o & s) | (z & i);
+      u64 tz = (az & z) | (ao & o);
+      u64 to = (az & o) | (ao & z);
+      u64 ts = as & s;
+      u64 ti = ((to & ((x0 & y0) | (x1 & y1))) |
+                (tz & ((x0 & y1) | (x1 & y0)))) & ~ts;
+      az = tz; ao = to; as = ts; ai = ti;
+    }
+    if (invert) { u64 tmp = az; az = ao; ao = tmp; }
+    Z[out * n + w] = az; O[out * n + w] = ao;
+    S[out * n + w] = as; I[out * n + w] = ai;
+  }
+}
+
+void repro_planes7_pass(u64 *Z, u64 *O, u64 *S, u64 *I, long n) {
+  long t, w;
+  for (t = 0; t < REPRO_N_PLAN; t++) {
+    long out = REPRO_PLAN_OUT[t];
+    int code = REPRO_CODE[out];
+    const int32_t *fi = REPRO_FANIN_IDX + REPRO_FANIN_OFF[out];
+    long nf = REPRO_FANIN_OFF[out + 1] - REPRO_FANIN_OFF[out];
+    if (code <= 2) { /* BUF / NOT: copy, NOT swaps zero/one */
+      long src = fi[0];
+      for (w = 0; w < n; w++) {
+        u64 z = Z[src * n + w], o = O[src * n + w];
+        Z[out * n + w] = code == 2 ? o : z;
+        O[out * n + w] = code == 2 ? z : o;
+        S[out * n + w] = S[src * n + w];
+        I[out * n + w] = I[src * n + w];
+      }
+    } else if (code <= 6) {
+      _p7_andor(Z, O, S, I, out, code >= 5, code == 4 || code == 6,
+                fi, nf, n);
+    } else {
+      _p7_xor(Z, O, S, I, out, code == 8, fi, nf, n);
+    }
+  }
+}
+
+/* 10-valued AND/OR-family gate: the 7-valued folds plus the
+   hazard-free plane (held-at-controlling | no-dynamic | no-inverse
+   hazard), ORing the output stability plane in at the end. */
+static void _p10_andor(u64 *Z, u64 *O, u64 *S, u64 *I, u64 *H, long out,
+                       int or_family, int invert,
+                       const int32_t *fi, long nf, long n) {
+  long w, k;
+  for (w = 0; w < n; w++) {
+    u64 rz, ro, rs, ri;
+    u64 ndA = ~(u64)0, niA = ~(u64)0, held;
+    if (or_family) {
+      u64 zA = ~(u64)0, oO = 0, zsA = ~(u64)0, osO = 0;
+      u64 i0A = ~(u64)0, i1O = 0;
+      for (k = 0; k < nf; k++) {
+        long fs = fi[k];
+        u64 z = Z[fs * n + w], o = O[fs * n + w];
+        u64 s = S[fs * n + w], i = I[fs * n + w], h = H[fs * n + w];
+        u64 zs = z & s, os = o & s;
+        zA &= z; oO |= o; zsA &= zs; osO |= os;
+        i0A &= zs | (o & i); i1O |= os | (z & i);
+        ndA &= h & (s | o); niA &= h & (s | z);
+      }
+      rz = zA; ro = oO; rs = zsA | osO;
+      ri = ((ro & i0A) | (rz & i1O)) & ~rs;
+      held = osO;
+    } else {
+      u64 zO = 0, oA = ~(u64)0, zsO = 0, osA = ~(u64)0;
+      u64 i0O = 0, i1A = ~(u64)0;
+      for (k = 0; k < nf; k++) {
+        long fs = fi[k];
+        u64 z = Z[fs * n + w], o = O[fs * n + w];
+        u64 s = S[fs * n + w], i = I[fs * n + w], h = H[fs * n + w];
+        u64 zs = z & s, os = o & s;
+        zO |= z; oA &= o; zsO |= zs; osA &= os;
+        i0O |= zs | (o & i); i1A &= os | (z & i);
+        ndA &= h & (s | o); niA &= h & (s | z);
+      }
+      rz = zO; ro = oA; rs = zsO | osA;
+      ri = ((ro & i0O) | (rz & i1A)) & ~rs;
+      held = zsO;
+    }
+    if (invert) { u64 tmp = rz; rz = ro; ro = tmp; }
+    Z[out * n + w] = rz; O[out * n + w] = ro;
+    S[out * n + w] = rs; I[out * n + w] = ri;
+    H[out * n + w] = held | ndA | niA | rs;
+  }
+}
+
+/* 10-valued XOR-family gate: 7-valued fold plus the prefix/suffix
+   stability products of the hazard-free rule (an input's hazard is
+   masked only when every *other* input is stable). */
+static void _p10_xor(u64 *Z, u64 *O, u64 *S, u64 *I, u64 *H, long out,
+                     int invert, const int32_t *fi, long nf, long n) {
+  long w, k;
+  u64 sp[REPRO_MAX_ARITY + 1];
+  for (w = 0; w < n; w++) {
+    long fs = fi[0];
+    u64 az = Z[fs * n + w], ao = O[fs * n + w];
+    u64 as = S[fs * n + w], ai = I[fs * n + w];
+    for (k = 1; k < nf; k++) {
+      fs = fi[k];
+      u64 z = Z[fs * n + w], o = O[fs * n + w];
+      u64 s = S[fs * n + w], i = I[fs * n + w];
+      u64 x0 = (az & as) | (ao & ai);
+      u64 x1 = (ao & as) | (az & ai);
+      u64 y0 = (z & s) | (o & i);
+      u64 y1 = (o & s) | (z & i);
+      u64 tz = (az & z) | (ao & o);
+      u64 to = (az & o) | (ao & z);
+      u64 ts = as & s;
+      u64 ti = ((to & ((x0 & y0) | (x1 & y1))) |
+                (tz & ((x0 & y1) | (x1 & y0)))) & ~ts;
+      az = tz; ao = to; as = ts; ai = ti;
+    }
+    sp[0] = ~(u64)0;
+    for (k = 0; k < nf; k++) sp[k + 1] = sp[k] & S[(long)fi[k] * n + w];
+    u64 sq = ~(u64)0, clean = 0;
+    for (k = nf - 1; k >= 0; k--) {
+      clean |= sp[k] & sq & H[(long)fi[k] * n + w];
+      sq &= S[(long)fi[k] * n + w];
+    }
+    if (invert) { u64 tmp = az; az = ao; ao = tmp; }
+    Z[out * n + w] = az; O[out * n + w] = ao;
+    S[out * n + w] = as; I[out * n + w] = ai;
+    H[out * n + w] = sp[nf] | clean | as;
+  }
+}
+
+void repro_planes10_pass(u64 *Z, u64 *O, u64 *S, u64 *I, u64 *H, long n) {
+  long t, w;
+  for (t = 0; t < REPRO_N_PLAN; t++) {
+    long out = REPRO_PLAN_OUT[t];
+    int code = REPRO_CODE[out];
+    const int32_t *fi = REPRO_FANIN_IDX + REPRO_FANIN_OFF[out];
+    long nf = REPRO_FANIN_OFF[out + 1] - REPRO_FANIN_OFF[out];
+    if (code <= 2) { /* BUF / NOT: h-plane is inversion-invariant */
+      long src = fi[0];
+      for (w = 0; w < n; w++) {
+        u64 z = Z[src * n + w], o = O[src * n + w];
+        Z[out * n + w] = code == 2 ? o : z;
+        O[out * n + w] = code == 2 ? z : o;
+        S[out * n + w] = S[src * n + w];
+        I[out * n + w] = I[src * n + w];
+        H[out * n + w] = H[src * n + w] | S[src * n + w];
+      }
+    } else if (code <= 6) {
+      _p10_andor(Z, O, S, I, H, out, code >= 5, code == 4 || code == 6,
+                 fi, nf, n);
+    } else {
+      _p10_xor(Z, O, S, I, H, out, code == 8, fi, nf, n);
+    }
+  }
+}
+"""
+
+
+def _c_int_array(name: str, ctype: str, values: Sequence[int]) -> str:
+    """One static const C array (emitted non-empty even for no values)."""
+    vals = list(values) or [0]
+    joined = ", ".join(str(v) for v in vals)
+    return f"static const {ctype} {name}[{len(vals)}] = {{{joined}}};"
+
+
+# The per-batch fault walks and the stuck-at cone interpreter are
+# circuit-generic C, but the fanin CSR and controlling-value tables
+# they read are baked into each circuit's module as static arrays —
+# the per-call ABI then only carries the per-batch data (paths, lane
+# planes, cone step arrays).
+_C_WALKS = r"""
+void repro_detect_walk(const u64 *Z, const u64 *O, const u64 *S,
+                       const u64 *I, long n,
+                       const int32_t *path_flat, const int32_t *path_off,
+                       const uint8_t *final_one, long n_faults, int robust,
+                       const u64 *valid, u64 *out) {
+  long f, p, w;
+  for (f = 0; f < n_faults; f++) {
+    const int32_t *path = path_flat + path_off[f];
+    long plen = path_off[f + 1] - path_off[f];
+    u64 *det = out + f * n;
+    long s0 = path[0];
+    const u64 *launch = final_one[f] ? O : Z;
+    u64 any = 0;
+    for (w = 0; w < n; w++) {
+      det[w] = I[s0 * n + w] & launch[s0 * n + w];
+      any |= det[w];
+    }
+    for (p = 1; p < plen && any; p++) {
+      long sig = path[p], on = path[p - 1];
+      int c = REPRO_CTRL[sig];
+      int32_t k;
+      for (k = REPRO_FANIN_OFF[sig]; k < REPRO_FANIN_OFF[sig + 1]; k++) {
+        long fs = REPRO_FANIN_IDX[k];
+        if (fs == on) continue;
+        if (c < 0) {
+          /* XOR-like: nonrobust imposes nothing, robust needs
+             glitch-free (stable) side inputs */
+          if (robust)
+            for (w = 0; w < n; w++) det[w] &= S[fs * n + w];
+          continue;
+        }
+        /* nc = 1 - c: the plane holding the non-controlling final */
+        const u64 *ncp = c ? Z : O;
+        for (w = 0; w < n; w++) det[w] &= ncp[fs * n + w];
+        if (robust)
+          for (w = 0; w < n; w++)
+            det[w] &= S[fs * n + w] | ~ncp[on * n + w];
+      }
+      any = 0;
+      for (w = 0; w < n; w++) any |= det[w];
+    }
+    for (w = 0; w < n; w++) det[w] &= valid[w];
+  }
+}
+
+void repro_strength_walk(const u64 *Z, const u64 *O, const u64 *S,
+                         const u64 *I, const u64 *H, long n,
+                         const int32_t *path_flat, const int32_t *path_off,
+                         const uint8_t *final_one, long n_faults,
+                         const u64 *valid,
+                         u64 *out_nr, u64 *out_r, u64 *out_st) {
+  long f, p, w;
+  for (f = 0; f < n_faults; f++) {
+    const int32_t *path = path_flat + path_off[f];
+    long plen = path_off[f + 1] - path_off[f];
+    u64 *nr = out_nr + f * n;
+    u64 *r = out_r + f * n;
+    u64 *st = out_st + f * n;
+    long s0 = path[0];
+    const u64 *launch = final_one[f] ? O : Z;
+    u64 any = 0;
+    for (w = 0; w < n; w++) {
+      u64 l = I[s0 * n + w] & launch[s0 * n + w];
+      nr[w] = l; r[w] = l; st[w] = l;
+      any |= l;
+    }
+    for (p = 1; p < plen && any; p++) {
+      long sig = path[p], on = path[p - 1];
+      int c = REPRO_CTRL[sig];
+      int32_t k;
+      for (k = REPRO_FANIN_OFF[sig]; k < REPRO_FANIN_OFF[sig + 1]; k++) {
+        long fs = REPRO_FANIN_IDX[k];
+        if (fs == on) continue;
+        if (c < 0) {
+          for (w = 0; w < n; w++) {
+            r[w] &= S[fs * n + w];
+            st[w] &= S[fs * n + w];
+          }
+          continue;
+        }
+        const u64 *ncp = c ? Z : O;
+        for (w = 0; w < n; w++) {
+          u64 has_nc = ncp[fs * n + w];
+          u64 stable_where = S[fs * n + w] | ~ncp[on * n + w];
+          nr[w] &= has_nc;
+          r[w] &= has_nc & stable_where;
+          st[w] &= has_nc & H[fs * n + w] & stable_where;
+        }
+      }
+      any = 0;
+      for (w = 0; w < n; w++) any |= nr[w];
+    }
+    for (w = 0; w < n; w++) {
+      nr[w] &= valid[w];
+      r[w] &= valid[w];
+      st[w] &= valid[w];
+    }
+  }
+}
+
+/* Cone step fanin encoding: value >= 0 is a cone-local scratch slot,
+   value < 0 is -(signal + 1) into the good-machine slab. */
+static u64 _cone_load(const u64 *good, const u64 *scratch, long n,
+                      int32_t ref, long w) {
+  if (ref >= 0) return scratch[(long)ref * n + w];
+  return good[(long)(-ref - 1) * n + w];
+}
+
+void repro_stuck_cone(const u64 *good, long n,
+                      const int32_t *codes, const int32_t *outs,
+                      const int32_t *fanin_flat, const int32_t *fanin_off,
+                      long n_steps, u64 *scratch, u64 forced,
+                      const int32_t *po_sig, const int32_t *po_slot,
+                      long n_pos, u64 *diff) {
+  long t, w, k;
+  for (w = 0; w < n; w++) scratch[w] = forced; /* slot 0 = fault site */
+  for (t = 0; t < n_steps; t++) {
+    int code = codes[t];
+    const int32_t *fi = fanin_flat + fanin_off[t];
+    long nf = fanin_off[t + 1] - fanin_off[t];
+    u64 *dst = scratch + (long)outs[t] * n;
+    for (w = 0; w < n; w++) {
+      u64 acc = _cone_load(good, scratch, n, fi[0], w);
+      switch (code) {
+        case 3: case 4: /* AND / NAND */
+          for (k = 1; k < nf; k++)
+            acc &= _cone_load(good, scratch, n, fi[k], w);
+          if (code == 4) acc = ~acc;
+          break;
+        case 5: case 6: /* OR / NOR */
+          for (k = 1; k < nf; k++)
+            acc |= _cone_load(good, scratch, n, fi[k], w);
+          if (code == 6) acc = ~acc;
+          break;
+        case 7: case 8: /* XOR / XNOR */
+          for (k = 1; k < nf; k++)
+            acc ^= _cone_load(good, scratch, n, fi[k], w);
+          if (code == 8) acc = ~acc;
+          break;
+        case 2: /* NOT */
+          acc = ~acc;
+          break;
+        default: /* BUF (1): acc already holds the input */
+          break;
+      }
+      dst[w] = acc;
+    }
+  }
+  for (w = 0; w < n; w++) diff[w] = 0;
+  for (k = 0; k < n_pos; k++) {
+    const u64 *g = good + (long)po_sig[k] * n;
+    const u64 *v = scratch + (long)po_slot[k] * n;
+    for (w = 0; w < n; w++) diff[w] |= g[w] ^ v[w];
+  }
+}
+"""
+
+#: The cffi declarations of every entry point a native module exports.
+NATIVE_CDEF = """
+void repro_logic_pass(uint64_t *v, long n);
+void repro_planes7_pass(uint64_t *z, uint64_t *o, uint64_t *s,
+                        uint64_t *i, long n);
+void repro_planes10_pass(uint64_t *z, uint64_t *o, uint64_t *s,
+                         uint64_t *i, uint64_t *h, long n);
+void repro_detect_walk(const uint64_t *z, const uint64_t *o,
+                       const uint64_t *s, const uint64_t *i, long n,
+                       const int32_t *path_flat, const int32_t *path_off,
+                       const uint8_t *final_one, long n_faults, int robust,
+                       const uint64_t *valid, uint64_t *out);
+void repro_strength_walk(const uint64_t *z, const uint64_t *o,
+                         const uint64_t *s, const uint64_t *i,
+                         const uint64_t *h, long n,
+                         const int32_t *path_flat, const int32_t *path_off,
+                         const uint8_t *final_one, long n_faults,
+                         const uint64_t *valid, uint64_t *out_nr,
+                         uint64_t *out_r, uint64_t *out_st);
+void repro_stuck_cone(const uint64_t *good, long n,
+                      const int32_t *codes, const int32_t *outs,
+                      const int32_t *fanin_flat, const int32_t *fanin_off,
+                      long n_steps, uint64_t *scratch, uint64_t forced,
+                      const int32_t *po_sig, const int32_t *po_slot,
+                      long n_pos, uint64_t *diff);
+"""
+
+
+def render_native_source(compiled: CompiledCircuit) -> str:
+    """The whole native kernel of one circuit as one C translation unit.
+
+    The C text is circuit-generic: the three forward passes
+    (``_C_PASSES``) interpret the baked level-order plan over row-major
+    ``(n_signals, n_words)`` uint64 slabs with the very fold formulas
+    the Python emitters inline, and the per-fault PPSFP detection
+    walk, the three-class strength walk and the stuck-at cone
+    resimulation (``_C_WALKS``) read the same static fanin /
+    controlling tables, so a whole fault batch costs one Python call.
+    Only the tables differ between circuits — the code size (and so
+    the session-time compile cost) is constant in circuit size, which
+    is what lets the build run at a real optimization level.
+    """
+    plan_out = [out for _code, out, _fanin, _gt in compiled.plan]
+    max_arity = max(
+        (len(fanin) for _code, _out, fanin, _gt in compiled.plan), default=1
+    )
+    parts: List[str] = [
+        "#include <stdint.h>",
+        "typedef uint64_t u64;",
+        "",
+        f"#define REPRO_N_PLAN {len(plan_out)}",
+        f"#define REPRO_MAX_ARITY {max(1, max_arity)}",
+        _c_int_array("REPRO_PLAN_OUT", "int32_t", plan_out),
+        _c_int_array("REPRO_CODE", "int8_t", compiled.py_codes),
+        _c_int_array(
+            "REPRO_FANIN_OFF", "int32_t", compiled.fanin_offsets.tolist()
+        ),
+        _c_int_array(
+            "REPRO_FANIN_IDX", "int32_t", compiled.fanin_index.tolist()
+        ),
+        _c_int_array(
+            "REPRO_CTRL",
+            "int8_t",
+            [-1 if c is None else int(c) for c in compiled.controlling],
+        ),
+        "",
+        _C_PASSES,
+        _C_WALKS,
+    ]
+    return "\n".join(parts)
 
 
 def render_cone_source(compiled: CompiledCircuit, site: int) -> str:

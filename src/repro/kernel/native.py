@@ -1,0 +1,553 @@
+"""Native word backend: the lowered plan compiled to machine code.
+
+The third word backend.  :mod:`repro.kernel.codegen` renders the same
+level-major plan the Python strategies execute as one C translation
+unit over contiguous row-major ``(n_signals, n_words)`` uint64 lane
+slabs (:func:`repro.kernel.codegen.render_native_source`); this module
+compiles it via :mod:`cffi` at session time and exposes it behind the
+:class:`NativeWordBackend` — a drop-in :class:`NumpyWordBackend`
+subclass, so every ``isinstance`` dispatch on the numpy backend keeps
+working and only the pass bodies change.
+
+Covered end to end: the two-valued and 7-valued full passes, the
+10-valued grading pass, the stuck-at cone resimulation, and the PPSFP
+fault inner loops — the per-fault detection and strength walks run
+*inside* the module (fault injection plus detection-mask reduction in
+C over static fanin/controlling tables), so a whole fault batch costs
+one Python call instead of one per fault per edge.
+
+Build and caching lifecycle:
+
+* one **probe** per process (:func:`native_available`) compiles a
+  trivial module to prove a working C toolchain; without one, every
+  ``prefer="native"`` request degrades to the numpy backend with a
+  one-time :class:`NativeBackendUnavailableWarning`,
+* per circuit, the module is keyed by a **structural hash** of the
+  evaluation plan (:func:`plan_hash`) — the compiled shared object is
+  written to a per-user disk cache (``REPRO_NATIVE_CACHE`` overrides
+  the location) and re-loaded without recompiling on later runs,
+* in process, modules are memoized globally by hash and on
+  ``CompiledCircuit._fusion_cache`` — which ``__getstate__`` drops, so
+  compiled circuits stay pickling-safe exactly like ``cone_fault_fn``
+  bodies (campaign pool workers rebuild/reload per process).
+
+Bit-identity against the interpreted oracle for every covered pass is
+asserted by ``tests/test_fusion.py``; speed is tracked in
+``BENCH_kernel.json`` (the ``native_*`` columns).
+"""
+
+from __future__ import annotations
+
+import array
+import glob
+import hashlib
+import importlib.util
+import os
+import sys
+import tempfile
+import threading
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .backends import NumpyWordBackend, PlanesLike
+from .codegen import NATIVE_CDEF, render_native_source
+from .compiled import CompiledCircuit
+from .packed import rows_to_ints, words_to_int
+
+#: Bump when the generated C or the call ABI changes: the version is
+#: hashed into module names, so stale disk-cached shared objects from
+#: older generators are never reloaded.
+NATIVE_ABI = 2
+
+
+class NativeBackendUnavailableWarning(RuntimeWarning):
+    """Emitted once per process when ``prefer="native"`` falls back.
+
+    Structured (its own category) so callers can filter or assert on
+    it; the message carries the probe's failure reason.
+    """
+
+
+_lock = threading.Lock()
+_probe_result: Optional[Tuple[bool, str]] = None
+_modules: Dict[str, object] = {}
+_warned_fallback = False
+
+
+def native_cache_dir() -> str:
+    """The on-disk cache of compiled native modules.
+
+    ``REPRO_NATIVE_CACHE`` overrides; the default is per-user (and
+    per-Python-tag via the extension filename) under the system temp
+    directory.
+    """
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return override
+    uid = os.getuid() if hasattr(os, "getuid") else "shared"
+    return os.path.join(tempfile.gettempdir(), f"repro-native-{uid}")
+
+
+def _load_extension(name: str, path: str):
+    """Import one compiled extension module from an explicit path."""
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:  # pragma: no cover
+        raise ImportError(f"cannot load native module from {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run_probe() -> Tuple[bool, str]:
+    """Compile + load + call a trivial module; (ok, failure reason)."""
+    try:
+        import cffi
+    except Exception as exc:  # pragma: no cover - cffi is baked in
+        return False, f"cffi is not importable ({exc!r})"
+    try:
+        ffi = cffi.FFI()
+        ffi.cdef("int repro_native_probe(void);")
+        ffi.set_source(
+            "_repro_native_probe",
+            "int repro_native_probe(void) { return 42; }",
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            lib_path = ffi.compile(tmpdir=tmp)
+            module = _load_extension("_repro_native_probe", lib_path)
+            if module.lib.repro_native_probe() != 42:  # pragma: no cover
+                return False, "probe module returned a wrong value"
+    except Exception as exc:
+        return False, f"C toolchain probe failed ({exc})"
+    return True, ""
+
+
+def native_available() -> bool:
+    """True when a working C toolchain (and cffi) is present.
+
+    The probe actually compiles (once per process), so a compiler
+    removed between sessions — or hidden via ``CC=/nonexistent`` — is
+    detected rather than assumed from a stale cache.
+    """
+    global _probe_result
+    with _lock:
+        if _probe_result is None:
+            _probe_result = _run_probe()
+    return _probe_result[0]
+
+
+def native_unavailable_reason() -> str:
+    """The probe's failure reason ("" when native is available)."""
+    native_available()
+    assert _probe_result is not None
+    return _probe_result[1]
+
+
+def warn_native_fallback() -> None:
+    """One-time structured warning that native degraded to numpy."""
+    global _warned_fallback
+    if _warned_fallback:
+        return
+    _warned_fallback = True
+    warnings.warn(
+        "native word backend unavailable "
+        f"({native_unavailable_reason()}); falling back to the numpy "
+        "backend — simulation results are identical, only slower",
+        NativeBackendUnavailableWarning,
+        stacklevel=3,
+    )
+
+
+def native_backend_or_fallback(n_lanes: int, fusion: str = "auto"):
+    """A :class:`NativeWordBackend`, or numpy + one-time warning.
+
+    The graceful-degradation seam ``backend_for(prefer="native")``
+    routes through: without a C toolchain the package must keep
+    working everywhere, so the numpy backend (bit-identical results)
+    is substituted and a :class:`NativeBackendUnavailableWarning` is
+    emitted once per process.
+    """
+    if native_available():
+        return NativeWordBackend(n_lanes, fusion=fusion)
+    warn_native_fallback()
+    return NumpyWordBackend(n_lanes, fusion=fusion)
+
+
+def plan_hash(compiled: CompiledCircuit) -> str:
+    """Structural hash of the evaluation plan (the module cache key).
+
+    Two circuits with the same signals/inputs/outputs and the same
+    plan steps generate byte-identical C, so they share one compiled
+    module — across processes via the disk cache.
+    """
+    h = hashlib.sha256()
+    h.update(f"abi{NATIVE_ABI};{compiled.n_signals};".encode())
+    h.update(f"{tuple(compiled.py_inputs)};{tuple(compiled.py_outputs)};".encode())
+    for code, out, fanin, _gt in compiled.plan:
+        h.update(f"{code}:{out}:{fanin};".encode())
+    return h.hexdigest()[:16]
+
+
+def _find_cached(name: str, cache_dir: str) -> Optional[str]:
+    """Path of a previously compiled shared object, if any."""
+    for path in sorted(glob.glob(os.path.join(cache_dir, name + ".*"))):
+        if path.endswith((".so", ".pyd", ".dylib")):
+            return path
+    return None
+
+
+def _build_module(compiled: CompiledCircuit, name: str, cache_dir: str):
+    import cffi
+
+    ffi = cffi.FFI()
+    ffi.cdef(NATIVE_CDEF)
+    # The C text is constant-size (data-driven plan interpreters, only
+    # the tables grow with the circuit), so a real optimization level
+    # is affordable at session time: -O2 builds bulk2k in ~2s and runs
+    # the fault loop ~2x faster than -O0.  -w: machine-written code
+    # trips set-but-unused warnings by construction; the noise helps
+    # nobody.
+    extra = [] if os.name == "nt" else ["-O2", "-w"]
+    ffi.set_source(
+        name, render_native_source(compiled), extra_compile_args=extra
+    )
+    os.makedirs(cache_dir, exist_ok=True)
+    return ffi.compile(tmpdir=cache_dir)
+
+
+def native_module(compiled: CompiledCircuit):
+    """The compiled native module of *compiled* (memoized, see module doc).
+
+    Requires :func:`native_available`; raises the underlying build
+    error otherwise.  The returned module exposes ``lib`` (the entry
+    points of :data:`repro.kernel.codegen.NATIVE_CDEF`) and ``ffi``.
+    """
+    module = compiled._fusion_cache.get("native_module")
+    if module is not None:
+        return module
+    key = plan_hash(compiled)
+    name = f"_repro_native_{key}"
+    with _lock:
+        module = _modules.get(key)
+        if module is None:
+            cache_dir = native_cache_dir()
+            path = _find_cached(name, cache_dir)
+            if path is not None:
+                try:
+                    module = _load_extension(name, path)
+                except Exception:
+                    path = None  # stale/foreign object: rebuild below
+                    module = None
+            if module is None:
+                lib_path = _build_module(compiled, name, cache_dir)
+                module = _load_extension(name, lib_path)
+            _modules[key] = module
+    compiled._fusion_cache["native_module"] = module
+    return module
+
+
+def _u64_ptr(ffi, array: np.ndarray):
+    return ffi.cast("uint64_t *", ffi.from_buffer(array))
+
+
+def _i32_ptr(ffi, array: np.ndarray):
+    return ffi.cast("int32_t *", ffi.from_buffer(array))
+
+
+def _path_arrays(
+    faults: Sequence,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(path_flat, path_off, final_one) of one fault batch.
+
+    ``array.array.extend`` flattens each path at C speed — the batch
+    arrays are rebuilt per call (fault lists shrink between campaign
+    rounds), so this is on the hot path of every native fault walk.
+    """
+    offsets = np.zeros(len(faults) + 1, dtype=np.int32)
+    flat_buf = array.array("i")
+    final_buf = bytearray(len(faults))
+    for k, fault in enumerate(faults):
+        flat_buf.extend(fault.signals)
+        offsets[k + 1] = len(flat_buf)
+        if fault.transition.final == 1:
+            final_buf[k] = 1
+    if not flat_buf:
+        flat = np.zeros(0, np.int32)
+    elif flat_buf.itemsize == 4:
+        flat = np.frombuffer(flat_buf, dtype=np.int32)
+    else:  # pragma: no cover - exotic C int width
+        flat = np.asarray(flat_buf, dtype=np.int32)
+    final_one = (
+        np.frombuffer(final_buf, dtype=np.uint8)
+        if final_buf
+        else np.zeros(0, np.uint8)
+    )
+    return flat, offsets, final_one
+
+
+def cone_step_arrays(compiled: CompiledCircuit, site: int) -> Tuple:
+    """The native stuck-at cone plan of one fault site (memoized).
+
+    ``(codes, out_slots, fanin_flat, fanin_off, po_sig, po_slot,
+    n_slots)`` — the arrays ``repro_stuck_cone`` interprets.  Slot 0
+    is the site itself (forced inside C); fanin references outside the
+    cone are encoded ``-(signal + 1)`` and read from the good-machine
+    slab.  Cached on the compiled circuit like the Python cone bodies.
+    """
+    key = ("native_cone", site)
+    arrays = compiled._fusion_cache.get(key)
+    if arrays is None:
+        slots = {site: 0}
+        steps = [
+            s
+            for s in compiled.cone_of(site)
+            if s != site and not compiled.is_input[s]
+        ]
+        for s in steps:
+            slots[s] = len(slots)
+        codes = np.fromiter(
+            (compiled.py_codes[s] for s in steps), np.int32, count=len(steps)
+        )
+        out_slots = np.fromiter(
+            (slots[s] for s in steps), np.int32, count=len(steps)
+        )
+        fanin_off = np.zeros(len(steps) + 1, dtype=np.int32)
+        flat: List[int] = []
+        for k, s in enumerate(steps):
+            for f in compiled.py_fanin[s]:
+                flat.append(slots[f] if f in slots else -(f + 1))
+            fanin_off[k + 1] = len(flat)
+        fanin_flat = np.asarray(flat, dtype=np.int32)
+        pos = [(po, slots[po]) for po in compiled.py_outputs if po in slots]
+        po_sig = np.fromiter((p for p, _ in pos), np.int32, count=len(pos))
+        po_slot = np.fromiter((q for _, q in pos), np.int32, count=len(pos))
+        arrays = (
+            codes, out_slots, fanin_flat, fanin_off, po_sig, po_slot,
+            len(slots),
+        )
+        compiled._fusion_cache[key] = arrays
+    return arrays
+
+
+class NativeWordBackend(NumpyWordBackend):
+    """Execute the plan as compiled C over uint64 lane slabs.
+
+    A :class:`NumpyWordBackend` in every interface respect — same
+    input/output shapes, same padding semantics (padding lanes of the
+    last word are unspecified for two-valued values and stay ``X`` for
+    plane passes), same ``fusion`` attribute (the C body *is* the
+    fused plan; the attribute is kept for option plumbing) — but each
+    forward pass is one call into the circuit's compiled module, and
+    the fault-batch methods (:meth:`ppsfp_masks`,
+    :meth:`strength_triples`) keep the walks in C too.
+    """
+
+    kind = "native"
+
+    # ------------------------------------------------------------------
+    def _pass_slabs(
+        self,
+        compiled: CompiledCircuit,
+        input_planes: Sequence[PlanesLike],
+        n_planes: int,
+    ) -> List[np.ndarray]:
+        n_words = (
+            len(np.asarray(input_planes[0][0]).reshape(-1))
+            if input_planes
+            else self.n_words
+        )
+        shape = (compiled.n_signals, n_words)
+        slabs = [np.zeros(shape, dtype=np.uint64) for _ in range(n_planes)]
+        for pi, planes in zip(compiled.py_inputs, input_planes):
+            for slab, plane in zip(slabs, planes):
+                slab[pi] = plane
+        return slabs
+
+    def simulate_logic(
+        self, compiled: CompiledCircuit, input_bits: np.ndarray
+    ) -> np.ndarray:
+        input_bits = np.asarray(input_bits, dtype=np.uint64)
+        if input_bits.ndim == 1:
+            input_bits = input_bits[:, None]
+        if input_bits.shape[0] != compiled.n_inputs:
+            raise ValueError(
+                f"expected {compiled.n_inputs} input rows, got {input_bits.shape[0]}"
+            )
+        n_words = input_bits.shape[1]
+        values = np.zeros((compiled.n_signals, n_words), dtype=np.uint64)
+        values[compiled.input_index] = input_bits
+        module = native_module(compiled)
+        module.lib.repro_logic_pass(_u64_ptr(module.ffi, values), n_words)
+        return values
+
+    def simulate_planes7(
+        self, compiled: CompiledCircuit, input_planes: Sequence[PlanesLike]
+    ) -> List[PlanesLike]:
+        if len(input_planes) != compiled.n_inputs:
+            raise ValueError(
+                f"expected {compiled.n_inputs} input planes, got {len(input_planes)}"
+            )
+        slabs = self._pass_slabs(compiled, input_planes, 4)
+        module = native_module(compiled)
+        ffi = module.ffi
+        module.lib.repro_planes7_pass(
+            *(_u64_ptr(ffi, slab) for slab in slabs), slabs[0].shape[1]
+        )
+        zero, one, stable, instable = slabs
+        return [
+            (zero[s], one[s], stable[s], instable[s])
+            for s in range(compiled.n_signals)
+        ]
+
+    def simulate_planes10(
+        self, compiled: CompiledCircuit, input_planes: Sequence[PlanesLike]
+    ) -> List[PlanesLike]:
+        if len(input_planes) != compiled.n_inputs:
+            raise ValueError(
+                f"expected {compiled.n_inputs} input planes, got {len(input_planes)}"
+            )
+        slabs = self._pass_slabs(compiled, input_planes, 5)
+        module = native_module(compiled)
+        ffi = module.ffi
+        module.lib.repro_planes10_pass(
+            *(_u64_ptr(ffi, slab) for slab in slabs), slabs[0].shape[1]
+        )
+        zero, one, stable, instable, hazard = slabs
+        return [
+            (zero[s], one[s], stable[s], instable[s], hazard[s])
+            for s in range(compiled.n_signals)
+        ]
+
+    # ------------------------------------------------------------------
+    # fault-batch inner loops (one Python call per batch)
+    # ------------------------------------------------------------------
+    def ppsfp_masks(
+        self,
+        compiled: CompiledCircuit,
+        packed,
+        faults: Sequence,
+        robust: bool,
+    ) -> List[int]:
+        """Detection lane masks of *faults* over one packed batch.
+
+        One 7-valued forward pass plus the whole per-fault detection
+        walk (launch, off-path side conditions, early-out, validity
+        masking) inside the native module; returns Python-int lane
+        masks index-aligned with *faults*, bit-identical to the
+        interpreted oracle walk.
+        """
+        slabs = self._pass_slabs(compiled, packed.planes7(), 4)
+        n_words = slabs[0].shape[1]
+        module = native_module(compiled)
+        ffi = module.ffi
+        lib = module.lib
+        lib.repro_planes7_pass(
+            *(_u64_ptr(ffi, slab) for slab in slabs), n_words
+        )
+        if not faults:
+            return []
+        flat, offsets, final_one = _path_arrays(faults)
+        valid = np.ascontiguousarray(packed.lane_valid(), dtype=np.uint64)
+        out = np.zeros((len(faults), n_words), dtype=np.uint64)
+        lib.repro_detect_walk(
+            *(_u64_ptr(ffi, slab) for slab in slabs),
+            n_words,
+            _i32_ptr(ffi, flat),
+            _i32_ptr(ffi, offsets),
+            ffi.cast("uint8_t *", ffi.from_buffer(final_one)),
+            len(faults),
+            int(robust),
+            _u64_ptr(ffi, valid),
+            _u64_ptr(ffi, out),
+        )
+        return rows_to_ints(out)
+
+    def strength_triples(
+        self, compiled: CompiledCircuit, packed, faults: Sequence
+    ) -> List[Tuple[int, int, int]]:
+        """(nonrobust, robust, hazard-free-robust) masks per fault.
+
+        The 10-valued analogue of :meth:`ppsfp_masks`: one 5-plane
+        forward pass plus the three-class strength walk in C.
+        """
+        valid = np.ascontiguousarray(packed.lane_valid(), dtype=np.uint64)
+        inputs10 = [
+            (z, o, s, i, valid) for z, o, s, i in packed.planes7()
+        ]
+        slabs = self._pass_slabs(compiled, inputs10, 5)
+        n_words = slabs[0].shape[1]
+        module = native_module(compiled)
+        ffi = module.ffi
+        lib = module.lib
+        lib.repro_planes10_pass(
+            *(_u64_ptr(ffi, slab) for slab in slabs), n_words
+        )
+        if not faults:
+            return []
+        flat, offsets, final_one = _path_arrays(faults)
+        out_nr = np.zeros((len(faults), n_words), dtype=np.uint64)
+        out_r = np.zeros_like(out_nr)
+        out_st = np.zeros_like(out_nr)
+        lib.repro_strength_walk(
+            *(_u64_ptr(ffi, slab) for slab in slabs),
+            n_words,
+            _i32_ptr(ffi, flat),
+            _i32_ptr(ffi, offsets),
+            ffi.cast("uint8_t *", ffi.from_buffer(final_one)),
+            len(faults),
+            _u64_ptr(ffi, valid),
+            _u64_ptr(ffi, out_nr),
+            _u64_ptr(ffi, out_r),
+            _u64_ptr(ffi, out_st),
+        )
+        return list(
+            zip(rows_to_ints(out_nr), rows_to_ints(out_r), rows_to_ints(out_st))
+        )
+
+
+class NativeConeSimulator:
+    """Per-fault stuck-at cone resimulation inside the native module.
+
+    The native counterpart of the per-site compiled Python bodies
+    (:func:`repro.kernel.codegen.cone_fault_fn`): the good-machine
+    slab is computed once per batch by :meth:`NativeWordBackend.
+    simulate_logic`; each fault then costs one ``repro_stuck_cone``
+    call — cone interpretation, fault forcing and output-difference
+    reduction all in C.  The scratch slab is grown once to the largest
+    cone seen and reused across faults.
+    """
+
+    def __init__(self, compiled: CompiledCircuit):
+        self.compiled = compiled
+        self.module = native_module(compiled)
+        self._scratch = np.empty(0, dtype=np.uint64)
+
+    def diff_mask(self, good: np.ndarray, site: int, forced_one: bool) -> int:
+        """Lane mask of output differences when *site* is forced."""
+        compiled = self.compiled
+        n_words = good.shape[1]
+        codes, out_slots, fanin_flat, fanin_off, po_sig, po_slot, n_slots = (
+            cone_step_arrays(compiled, site)
+        )
+        needed = n_slots * n_words
+        if self._scratch.size < needed:
+            self._scratch = np.empty(needed, dtype=np.uint64)
+        diff = np.zeros(n_words, dtype=np.uint64)
+        ffi = self.module.ffi
+        self.module.lib.repro_stuck_cone(
+            _u64_ptr(ffi, good),
+            n_words,
+            _i32_ptr(ffi, codes),
+            _i32_ptr(ffi, out_slots),
+            _i32_ptr(ffi, fanin_flat),
+            _i32_ptr(ffi, fanin_off),
+            len(codes),
+            _u64_ptr(ffi, self._scratch),
+            0xFFFFFFFFFFFFFFFF if forced_one else 0,
+            _i32_ptr(ffi, po_sig),
+            _i32_ptr(ffi, po_slot),
+            len(po_sig),
+            _u64_ptr(ffi, diff),
+        )
+        return words_to_int(diff)

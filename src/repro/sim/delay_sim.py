@@ -43,6 +43,7 @@ import numpy as np
 
 from ..circuit import Circuit
 from ..kernel import (
+    BACKEND_MODES,
     FUSION_MODES,
     CompiledCircuit,
     IntWordBackend,
@@ -285,10 +286,13 @@ class DelayFaultSimulator:
     Args:
         circuit: frozen target circuit (compiled once, cached).
         test_class: robust or nonrobust detection conditions.
-        backend: ``"int"``, ``"numpy"`` or ``"auto"`` (default) —
-            ``auto`` runs batches larger than one machine word on the
-            numpy multi-word backend and everything else on Python-int
-            words.
+        backend: ``"int"``, ``"numpy"``, ``"native"`` or ``"auto"``
+            (default) — ``auto`` runs batches larger than one machine
+            word on the numpy multi-word backend and everything else
+            on Python-int words; ``native`` runs the whole batch —
+            forward pass *and* per-fault detection walk — inside the
+            circuit's compiled-C module (falls back to numpy with a
+            one-time warning when no C toolchain is present).
         fusion: execution strategy of the chosen backend —
             ``"interp"`` (the per-gate oracle loop), ``"vector"``
             (level-vectorized fused groups, numpy), ``"codegen"``
@@ -303,8 +307,10 @@ class DelayFaultSimulator:
         backend: str = "auto",
         fusion: str = "auto",
     ):
-        if backend not in ("auto", "int", "numpy"):
-            raise ValueError(f"unknown backend {backend!r}")
+        if backend not in BACKEND_MODES:
+            raise ValueError(
+                f"unknown backend {backend!r} (choose from {BACKEND_MODES})"
+            )
         if fusion not in FUSION_MODES:
             raise ValueError(f"unknown fusion strategy {fusion!r}")
         self.circuit = circuit
@@ -329,6 +335,10 @@ class DelayFaultSimulator:
         ``patterns[k]`` regardless of backend.  Index-aligned output
         avoids hashing long path tuples on hot drop loops (the
         campaign drop bus calls this after every round).
+
+        Hot callers that reuse one batch across many calls may pass a
+        pre-built :class:`PackedPatterns` instead of the pattern
+        sequence, skipping the per-call packing cost.
         """
         width = len(patterns)
         if width == 0:
@@ -336,14 +346,26 @@ class DelayFaultSimulator:
         robust = self.test_class is TestClass.ROBUST
         compiled = self.compiled
         backend = backend_for(width, self.backend, fusion=self.fusion)
+        pre_packed = isinstance(patterns, PackedPatterns)
+        if getattr(backend, "kind", None) == "native":
+            # forward pass + whole fault walk inside the compiled-C
+            # module: one Python call per batch
+            packed = patterns if pre_packed else PackedPatterns.from_patterns(patterns)
+            return backend.ppsfp_masks(compiled, packed, faults, robust)
         if isinstance(backend, NumpyWordBackend):
-            packed = PackedPatterns.from_patterns(patterns)
+            packed = patterns if pre_packed else PackedPatterns.from_patterns(patterns)
             values = _LazyIntPlanes(
                 backend.simulate_planes7(compiled, packed.planes7())
             )
             mask = words_to_int(backend.lane_valid)
         else:
-            input_planes, _ = pack_patterns(self.circuit, patterns)
+            if pre_packed:
+                input_planes = [
+                    tuple(words_to_int(plane) for plane in planes)
+                    for planes in patterns.planes7()
+                ]
+            else:
+                input_planes, _ = pack_patterns(self.circuit, patterns)
             values = backend.simulate_planes7(compiled, input_planes)
             mask = backend.mask
         if self.fusion != "interp":
@@ -518,15 +540,25 @@ def strength_masks_all(
     hazard-free-robust) lane-mask triples, index-aligned with
     *faults*.  ``fusion="interp"`` runs the per-gate oracle pass and
     the per-fault oracle walk; fused strategies share on-path edge
-    conditions across faults (:func:`_strength_masks_batched`).
+    conditions across faults (:func:`_strength_masks_batched`);
+    ``backend="native"`` runs the pass and the three-class walk
+    inside the circuit's compiled-C module.
+
+    Like :meth:`DelayFaultSimulator.detection_masks`, *patterns* may
+    be a pre-built :class:`PackedPatterns` batch to skip the per-call
+    packing cost.
     """
     width = len(patterns)
     if width == 0:
         return [(0, 0, 0)] * len(faults)
     compiled = circuit.compiled()
     word_backend = backend_for(width, backend, fusion=fusion)
+    pre_packed = isinstance(patterns, PackedPatterns)
+    if getattr(word_backend, "kind", None) == "native":
+        packed = patterns if pre_packed else PackedPatterns.from_patterns(patterns)
+        return word_backend.strength_triples(compiled, packed, faults)
     if isinstance(word_backend, NumpyWordBackend):
-        packed = PackedPatterns.from_patterns(patterns)
+        packed = patterns if pre_packed else PackedPatterns.from_patterns(patterns)
         valid = packed.lane_valid()
         inputs10 = [(z, o, s, i, valid) for z, o, s, i in packed.planes7()]
         values = _LazyIntPlanes(
@@ -534,8 +566,14 @@ def strength_masks_all(
         )
         mask = words_to_int(word_backend.lane_valid)
     else:
-        input_planes, _ = pack_patterns(circuit, patterns)
         mask = word_backend.mask
+        if pre_packed:
+            input_planes = [
+                tuple(words_to_int(plane) for plane in planes)
+                for planes in patterns.planes7()
+            ]
+        else:
+            input_planes, _ = pack_patterns(circuit, patterns)
         inputs10 = [(z, o, s, i, mask) for z, o, s, i in input_planes]
         values = word_backend.simulate_planes10(compiled, inputs10)
     if fusion != "interp":

@@ -19,7 +19,14 @@ Two execution strategies, selected by the ``fusion`` option:
   per-gate dispatch, memoized on the compiled circuit so the sa0/sa1
   pair and every simulator over the same circuit share it.
 
-Both strategies are cross-checked bit-identical in
+Orthogonally, ``backend="native"`` moves the whole workload into the
+circuit's compiled-C module (:mod:`repro.kernel.native`): the good
+machine runs as the native two-valued pass over uint64 lane slabs and
+each fault's cone resimulation plus output-difference reduction is
+one ``repro_stuck_cone`` call.  Without a C toolchain it degrades to
+the default Python-int path with a one-time warning.
+
+All strategies are cross-checked bit-identical in
 ``tests/test_fusion.py``.  The interpreted cone plans are cached on
 the simulator instance, so repeated ``detected_faults``/``coverage``
 calls (the grading loop) stop rebuilding them per call.
@@ -27,14 +34,22 @@ calls (the grading loop) stop rebuilding them per call.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from ..circuit import Circuit
 from ..kernel.backends import FUSION_MODES, eval_gate_word
 from ..kernel.codegen import cone_fault_fn
+from ..kernel.packed import pack_bits
 from ..logic.words import mask_for
 from ..core.stuck_at import StuckAtFault
 from .logic_sim import pack_vectors, simulate_words
+
+#: Backend choices of :class:`StuckAtSimulator` (``"auto"`` is the
+#: Python-int word path — stuck-at grading batches are usually one
+#: machine word; ``"native"`` is opt-in compiled C).
+STUCK_AT_BACKENDS = ("auto", "int", "native")
 
 
 class StuckAtSimulator:
@@ -45,15 +60,39 @@ class StuckAtSimulator:
         fusion: execution strategy — ``"interp"`` runs the per-gate
             cone walk, everything else the per-cone compiled bodies
             (``"auto"``, the default, is fused).
+        backend: ``"auto"``/``"int"`` run Python-int lane words;
+            ``"native"`` runs good-machine pass and cone resims in
+            the circuit's compiled-C module (numpy-slab words), with
+            graceful fallback when no C toolchain is present.
     """
 
-    def __init__(self, circuit: Circuit, fusion: str = "auto"):
+    def __init__(
+        self, circuit: Circuit, fusion: str = "auto", backend: str = "auto"
+    ):
         if fusion not in FUSION_MODES:
             raise ValueError(f"unknown fusion strategy {fusion!r}")
+        if backend not in STUCK_AT_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} "
+                f"(choose from {STUCK_AT_BACKENDS})"
+            )
         self.circuit = circuit
         self.compiled = circuit.compiled()
         self.fusion = fusion
+        self.backend = backend
         self._fused = fusion != "interp"
+        self._native_cones: Optional[object] = None
+        if backend == "native":
+            from ..kernel.native import (
+                NativeConeSimulator,
+                native_available,
+                warn_native_fallback,
+            )
+
+            if native_available():
+                self._native_cones = NativeConeSimulator(self.compiled)
+            else:
+                warn_native_fallback()
         # site -> interpreted cone plan, cached across calls (grading
         # loops call detected_faults once per batch; the plans depend
         # only on structure, never on the batch)
@@ -111,6 +150,8 @@ class StuckAtSimulator:
         if not vectors:
             return {fault: 0 for fault in faults}
         width = len(vectors)
+        if self._native_cones is not None:
+            return self._detected_native(vectors, faults, width)
         words = pack_vectors(vectors)
         good = simulate_words(self.circuit, words, width, fusion=self.fusion)
         mask = mask_for(width)
@@ -130,6 +171,25 @@ class StuckAtSimulator:
                 lanes |= good[po] ^ faulty[po]
             result[fault] = lanes & mask
         return result
+
+    def _detected_native(
+        self,
+        vectors: Sequence[Sequence[int]],
+        faults: List[StuckAtFault],
+        width: int,
+    ) -> Dict[StuckAtFault, int]:
+        """The compiled-C path: native good pass + C cone resims."""
+        from ..kernel.native import NativeWordBackend
+
+        bits = pack_bits(np.asarray(vectors, dtype=np.uint8))
+        good = NativeWordBackend(width).simulate_logic(self.compiled, bits)
+        mask = mask_for(width)
+        cones = self._native_cones
+        return {
+            fault: cones.diff_mask(good, fault.signal, bool(fault.value))
+            & mask
+            for fault in faults
+        }
 
     def detects(self, vector: Sequence[int], fault: StuckAtFault) -> bool:
         return bool(self.detected_faults([vector], [fault])[fault])

@@ -148,7 +148,7 @@ class TestBenchSimCommand:
 
         from repro.api.schemas import validate_file
 
-        assert validate_file(str(out_path)) == ("repro/bench-kernel", 3)
+        assert validate_file(str(out_path)) == ("repro/bench-kernel", 4)
 
     def test_all_workloads_cover_grading_and_stuck_at(self, capsys, tmp_path):
         out_path = tmp_path / "bench_all.json"
@@ -178,7 +178,7 @@ class TestBenchSimCommand:
 
         from repro.api.schemas import validate_file
 
-        assert validate_file(str(out_path)) == ("repro/bench-kernel", 3)
+        assert validate_file(str(out_path)) == ("repro/bench-kernel", 4)
 
 
 class TestExperimentsCommand:

@@ -1,14 +1,16 @@
 """Fused execution strategies are bit-identical to the interpreter.
 
 The contract of the plan-fusion layer: ``interp`` (the per-gate
-oracle loop), ``vector`` (level-vectorized numpy groups) and
-``codegen`` (straight-line compiled bodies) may differ only in speed.
-These tests assert bit-identity on randomized circuits and inputs for
-two-valued, seven-valued, and ten-valued simulation, for detection
-masks and detection-strength grading across both test classes, for
-stuck-at cone resimulation, for the TPG implication engine's forward
-and backward tables, and for end-to-end generation / grading /
-stuck-at coverage on c880.
+oracle loop), ``vector`` (level-vectorized numpy groups), ``codegen``
+(straight-line compiled bodies) and the compiled-C ``native`` word
+backend may differ only in speed.  These tests assert bit-identity on
+randomized circuits and inputs for two-valued, seven-valued, and
+ten-valued simulation, for detection masks and detection-strength
+grading across both test classes, for stuck-at cone resimulation, for
+the TPG implication engine's forward and backward tables, and for
+end-to-end generation / grading / stuck-at coverage on c880.  The
+native classes are skip-marked cleanly on hosts without a C
+toolchain; the fallback path itself is covered in ``test_kernel.py``.
 """
 
 import random
@@ -26,9 +28,11 @@ from repro.core.state import SEVEN_VALUED, THREE_VALUED, TpgState
 from repro.core.stuck_at import all_stuck_at_faults
 from repro.kernel import (
     IntWordBackend,
+    NativeWordBackend,
     NumpyWordBackend,
     PackedPatterns,
     fused_plan,
+    native_available,
     words_to_int,
 )
 from repro.kernel.codegen import gate_backward_fn
@@ -413,3 +417,165 @@ class TestEndToEnd:
             out_levels = compiled.level[group.outs]
             fanin_levels = compiled.level[group.fanins]
             assert (fanin_levels < out_levels[:, None]).all()
+
+
+# ---------------------------------------------------------------------------
+# the compiled-C native backend
+# ---------------------------------------------------------------------------
+
+needs_toolchain = pytest.mark.skipif(
+    not native_available(),
+    reason="no C toolchain: native word backend unavailable",
+)
+
+
+@needs_toolchain
+class TestNativeBackend:
+    """Native vs the interpreted oracle, every covered pass per example.
+
+    One hypothesis example costs one cffi module build, so this suite
+    runs few examples but checks all native entry points — 2-valued,
+    7-valued and 10-valued passes, PPSFP detection masks in both
+    classes, strength triples, and stuck-at cone resimulation — on
+    each random circuit.
+    """
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(circuit_params, st.integers(min_value=1, max_value=130))
+    def test_native_bit_identical_to_interp_on_every_pass(
+        self, params, n_patterns
+    ):
+        seed, n_inputs, n_gates = params
+        circuit = random_dag(n_inputs, n_gates, seed=seed)
+        compiled = circuit.compiled()
+        rng = random.Random(seed + 10)
+        n_vectors = n_patterns
+
+        # --- two-valued full pass
+        vectors = [
+            [rng.randint(0, 1) for _ in circuit.inputs]
+            for _ in range(n_vectors)
+        ]
+        packed = PackedPatterns.from_vectors(vectors)
+        valid = words_to_int(packed.lane_valid())
+        oracle2 = IntWordBackend(n_vectors, fusion="interp").simulate_logic(
+            compiled, pack_vectors(vectors)
+        )
+        native2 = NativeWordBackend(n_vectors).simulate_logic(
+            compiled, packed.v2
+        )
+        assert _int_rows(np.asarray(native2), valid) == [
+            word & valid for word in oracle2
+        ]
+
+        # --- seven-valued full pass
+        patterns = random_patterns(circuit, n_patterns, seed + 11)
+        input_planes, width = pack_patterns(circuit, patterns)
+        oracle7 = IntWordBackend(width, fusion="interp").simulate_planes7(
+            compiled, input_planes
+        )
+        packed = PackedPatterns.from_patterns(patterns)
+        native7 = NativeWordBackend(width).simulate_planes7(
+            compiled, packed.planes7()
+        )
+        assert [
+            tuple(words_to_int(np.ascontiguousarray(p)) for p in planes)
+            for planes in native7
+        ] == oracle7
+
+        # --- ten-valued full pass
+        oracle10, _ = simulate_planes10(circuit, patterns, fusion="interp")
+        lane_valid = packed.lane_valid()
+        inputs10 = [(z, o, s, i, lane_valid) for z, o, s, i in packed.planes7()]
+        native10 = NativeWordBackend(width).simulate_planes10(
+            compiled, inputs10
+        )
+        assert [
+            tuple(words_to_int(np.ascontiguousarray(p)) for p in planes)
+            for planes in native10
+        ] == oracle10
+
+        # --- PPSFP detection masks, both classes, walk inside C
+        faults = fault_list(circuit, cap=12, strategy="all")
+        for test_class in TestClass:
+            interp_sim = DelayFaultSimulator(
+                circuit, test_class, backend="numpy", fusion="interp"
+            )
+            native_sim = DelayFaultSimulator(
+                circuit, test_class, backend="native"
+            )
+            assert native_sim.detection_masks(
+                patterns, faults
+            ) == interp_sim.detection_masks(patterns, faults), test_class
+
+        # --- 10-valued strength triples, walk inside C
+        assert strength_masks_all(
+            circuit, patterns, faults, backend="native"
+        ) == strength_masks_all(
+            circuit, patterns, faults, backend="int", fusion="interp"
+        )
+
+        # --- stuck-at cone resimulation inside C
+        sa_faults = all_stuck_at_faults(circuit)
+        assert StuckAtSimulator(circuit, backend="native").detected_faults(
+            vectors, sa_faults
+        ) == StuckAtSimulator(circuit, fusion="interp").detected_faults(
+            vectors, sa_faults
+        )
+
+    def test_empty_fault_batch(self):
+        circuit = random_dag(4, 12, seed=3)
+        patterns = random_patterns(circuit, 10, 4)
+        sim = DelayFaultSimulator(
+            circuit, TestClass.ROBUST, backend="native"
+        )
+        assert sim.detection_masks(patterns, []) == []
+        assert strength_masks_all(circuit, patterns, [], backend="native") == []
+
+
+@needs_toolchain
+class TestNativeEndToEnd:
+    @pytest.mark.parametrize("test_class", list(TestClass))
+    def test_c880_statuses_identical_under_native_backend(self, test_class):
+        statuses = {}
+        for sim_backend in ("auto", "native"):
+            session = AtpgSession.open(
+                "c880", options=Options(width=16, sim_backend=sim_backend)
+            )
+            report = session.generate(test_class=test_class, max_faults=96)
+            statuses[sim_backend] = [
+                record.status for record in report.records
+            ]
+        assert statuses["auto"] == statuses["native"]
+
+    def test_c880_grade_identical_under_native_backend(self):
+        session = AtpgSession.open("c880")
+        faults = fault_list(session.circuit, cap=64, strategy="all")
+        patterns = random_patterns(session.circuit, 100, 13)
+        reports = {
+            backend: session.grade(
+                patterns, faults, backend=backend, strength=True
+            )
+            for backend in ("auto", "native")
+        }
+        assert reports["auto"] == reports["native"]
+
+    def test_c880_stuck_at_coverage_identical_under_native_backend(self):
+        circuit = suite_circuit("c880")
+        faults = all_stuck_at_faults(circuit)[:120]
+        rng = random.Random(17)
+        vectors = [
+            [rng.randint(0, 1) for _ in circuit.inputs] for _ in range(100)
+        ]
+        interp = StuckAtSimulator(circuit, fusion="interp")
+        native = StuckAtSimulator(circuit, backend="native")
+        assert native.detected_faults(vectors, faults) == (
+            interp.detected_faults(vectors, faults)
+        )
+        assert native.coverage(vectors, faults) == interp.coverage(
+            vectors, faults
+        )

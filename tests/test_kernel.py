@@ -295,12 +295,20 @@ class TestBatchedPpsfp:
         )
 
     def test_auto_backend_picks_numpy_past_one_word(self):
-        from repro.kernel import NumpyWordBackend, backend_for
+        from repro.kernel import NativeWordBackend, NumpyWordBackend, backend_for
 
         assert not isinstance(backend_for(64, "auto"), NumpyWordBackend)
         assert isinstance(backend_for(65, "auto"), NumpyWordBackend)
         assert isinstance(backend_for(1, "numpy"), NumpyWordBackend)
+        # auto never opts into the C build cost on its own
+        assert not isinstance(backend_for(65, "auto"), NativeWordBackend)
         with pytest.raises(ValueError):
+            backend_for(8, "gpu")
+
+    def test_unknown_backend_error_enumerates_choices(self):
+        from repro.kernel import backend_for
+
+        with pytest.raises(ValueError, match=r"choose from.*native"):
             backend_for(8, "gpu")
 
     def test_unknown_backend_rejected(self):
@@ -361,3 +369,70 @@ def _evaluate_with_forced(circuit, vector, fault):
             continue
         values[index] = evaluate(gate.gate_type, [values[f] for f in gate.fanin])
     return values
+
+
+# ---------------------------------------------------------------------------
+# native backend selection, fallback, and caching hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestNativeSelection:
+    def test_fallback_warns_once_and_returns_numpy(self, monkeypatch):
+        """Without a toolchain, prefer="native" degrades with one warning."""
+        import warnings
+
+        from repro.kernel import NativeBackendUnavailableWarning, backend_for
+        from repro.kernel import native as native_mod
+
+        monkeypatch.setattr(
+            native_mod, "_probe_result", (False, "forced by test")
+        )
+        monkeypatch.setattr(native_mod, "_warned_fallback", False)
+        with pytest.warns(NativeBackendUnavailableWarning, match="forced by test"):
+            backend = backend_for(8, "native")
+        assert isinstance(backend, NumpyWordBackend)
+        assert type(backend) is NumpyWordBackend
+        # one-time: a second request stays silent
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            backend = backend_for(200, "native")
+        assert type(backend) is NumpyWordBackend
+
+    @pytest.mark.skipif(
+        not pytest.importorskip("repro.kernel.native").native_available(),
+        reason="no C toolchain: native word backend unavailable",
+    )
+    def test_native_preference_selects_native_at_any_width(self):
+        from repro.kernel import NativeWordBackend, backend_for
+
+        assert isinstance(backend_for(8, "native"), NativeWordBackend)
+        assert isinstance(backend_for(200, "native"), NativeWordBackend)
+
+    @pytest.mark.skipif(
+        not pytest.importorskip("repro.kernel.native").native_available(),
+        reason="no C toolchain: native word backend unavailable",
+    )
+    def test_compiled_circuit_pickles_after_native_build(self):
+        """The module memo lives in _fusion_cache, which pickling drops."""
+        import pickle
+
+        from repro.kernel import NativeWordBackend, native_module, plan_hash
+
+        circuit = make_circuit(23)
+        compiled = circuit.compiled()
+        module = native_module(compiled)
+        assert compiled._fusion_cache["native_module"] is module
+        # same structural hash -> the very same in-process module object
+        assert native_module(circuit.compiled()) is module
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert "native_module" not in clone._fusion_cache
+        assert plan_hash(clone) == plan_hash(compiled)
+        # the clone rebuilds/reloads and simulates identically
+        vectors = [[lane & 1 for _ in circuit.inputs] for lane in range(8)]
+        bits = pack_bits(np.asarray(vectors, dtype=np.uint8))
+        values = NativeWordBackend(8).simulate_logic(clone, bits)
+        oracle = IntWordBackend(8).simulate_logic(compiled, pack_vectors(vectors))
+        valid = (1 << 8) - 1
+        assert [int(row[0]) & valid for row in values] == [
+            word & valid for word in oracle
+        ]
