@@ -1,0 +1,358 @@
+#!/usr/bin/env python
+"""Regenerate BENCH_service.json: multi-tenant service throughput.
+
+Drives the real HTTP stack (``repro.api.service`` behind a loopback
+``ThreadingHTTPServer``, keep-alive connections) with concurrent
+clients issuing grade requests — each client a distinct tenant with
+its own seeded pattern set against the same circuit — and measures
+aggregate throughput and per-request latency percentiles at 1/8/32
+concurrent clients, with request coalescing off and on.
+
+Coalescing is the paper's bit-parallel idea applied across requests:
+each client's 32-pattern batch under-fills the machine word, so
+concurrent same-circuit batches merge into one shared
+``PackedPatterns`` lane slab, execute as a single kernel call over
+full words, and demultiplex per request.  The run asserts correctness
+as it measures: every client's ``detected_flags`` with coalescing on
+must equal its flags with coalescing off (bit-identical demux).
+Usage::
+
+    PYTHONPATH=src python scripts/loadgen.py [output.json]
+    PYTHONPATH=src python scripts/loadgen.py --smoke [output.json]
+    PYTHONPATH=src python scripts/loadgen.py --check [output.json]
+
+``--smoke`` is the fast CI variant (2 clients, a couple of requests
+each, small circuit) proving the serve/coalesce/measure loop end to
+end.  ``--check`` is the CI soft perf guard: it re-reads the JSON and
+fails unless coalescing-on throughput is at least :data:`MIN_SPEEDUP`
+x the coalescing-off throughput on the heaviest (32-client) workload
+(absolute numbers are only trusted from CI hardware; correctness is
+asserted during regeneration).
+"""
+
+import argparse
+import json
+import platform
+import random
+import socket
+import sys
+import threading
+import time
+from http.client import HTTPConnection
+
+from repro.api import ServiceOptions
+from repro.api.resolve import resolve_circuit
+from repro.api.schemas import stamp, validate_file
+from repro.api.serde import fault_to_payload, pattern_to_payload
+from repro.api.service import make_server
+from repro.core.patterns import TestPattern
+from repro.paths import fault_list
+
+#: The measured workload: a deep generated circuit (~4k gates at
+#: scale 2) where the simulation kernel — the part coalescing
+#: amortizes — dominates the per-request wire handling, each
+#: request's 32 patterns fill only half a machine word, and the
+#: coalescing window is wide enough for every concurrent client to
+#: join one shared slab (merge factor ~ window / per-request decode
+#: cost, about 2 ms each).
+CIRCUIT = "bulk2k"
+SCALE = 2
+PATTERNS_PER_REQUEST = 32
+FAULT_CAP = 32
+WINDOW_MS = 60.0
+GUARD_CLIENTS = 32
+MIN_SPEEDUP = 2.0
+WORKERS = 2  # job-queue workers; recorded in the envelope
+
+
+def _client_patterns(n_inputs: int, n: int, seed: int):
+    """A deterministic per-client two-vector pattern set."""
+    rng = random.Random(0xC0A1E5CE + seed)
+    out = []
+    for _ in range(n):
+        v1 = tuple(rng.randint(0, 1) for _ in range(n_inputs))
+        v2 = tuple(rng.randint(0, 1) for _ in range(n_inputs))
+        out.append(TestPattern(v1, v2))
+    return out
+
+
+def _grade_payload(circuit_spec, scale, patterns, fault_payloads) -> bytes:
+    body = stamp(
+        "repro/request.grade",
+        {
+            "circuit": circuit_spec,
+            "scale": scale,
+            "patterns": [
+                pattern_to_payload(p, envelope=False) for p in patterns
+            ],
+            "faults": fault_payloads,
+        },
+    )
+    return json.dumps(body).encode()
+
+
+def _percentile(sorted_ms, fraction: float) -> float:
+    if not sorted_ms:
+        return 0.0
+    index = min(len(sorted_ms) - 1, int(round(fraction * (len(sorted_ms) - 1))))
+    return sorted_ms[index]
+
+
+def _connect(port: int) -> HTTPConnection:
+    """A keep-alive connection with Nagle off (no delayed-ACK stalls)."""
+    conn = HTTPConnection("127.0.0.1", port)
+    conn.connect()
+    conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return conn
+
+
+def _post(conn: HTTPConnection, body: bytes, tenant: str):
+    conn.request(
+        "POST",
+        "/v1/grade",
+        body=body,
+        headers={"Content-Type": "application/json", "X-Tenant": tenant},
+    )
+    return json.loads(conn.getresponse().read())
+
+
+def run_row(
+    workload,
+    clients: int,
+    coalesce: bool,
+    requests_per_client: int,
+    flags_by_client,
+):
+    """One measured configuration: start a server, hammer it, tear down.
+
+    *flags_by_client* accumulates/checks each client's
+    ``detected_flags`` across the coalesce-off and coalesce-on rows of
+    the same client count — the bit-identical demux assertion.
+    """
+    window_ms = WINDOW_MS if coalesce else 0.0
+    config = ServiceOptions(coalesce_window_ms=window_ms, workers=WORKERS)
+    server = make_server(port=0, config=config, quiet=True)
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    port = server.server_address[1]
+
+    bodies = [workload["bodies"][k % len(workload["bodies"])] for k in range(clients)]
+    # warm up outside the timed window: the first grade lowers the
+    # circuit + compiles the single-word kernel, the wide batch
+    # compiles the multi-word (merged-slab) kernel
+    warm = _connect(port)
+    assert _post(warm, bodies[0], "warmup")["ok"]
+    assert _post(warm, workload["wide_body"], "warmup")["ok"]
+    warm.close()
+
+    latencies_ms = []
+    errors = [0]
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def client(index: int) -> None:
+        conn = _connect(port)
+        barrier.wait()
+        for _ in range(requests_per_client):
+            t0 = time.perf_counter()
+            try:
+                try:
+                    reply = _post(conn, bodies[index], f"client-{index}")
+                except OSError:  # server closed the idle socket: retry once
+                    conn.close()
+                    conn = _connect(port)
+                    reply = _post(conn, bodies[index], f"client-{index}")
+                ok = reply.get("ok", False)
+            except OSError:
+                ok = False
+            elapsed_ms = (time.perf_counter() - t0) * 1000.0
+            with lock:
+                if not ok:
+                    errors[0] += 1
+                else:
+                    latencies_ms.append(elapsed_ms)
+                    flags = reply["result"]["detected_flags"]
+                    key = (clients, index)
+                    if key in flags_by_client:
+                        assert flags_by_client[key] == flags, (
+                            f"client {index}: coalesced grade differs from "
+                            f"uncoalesced grade"
+                        )
+                    else:
+                        flags_by_client[key] = flags
+        conn.close()
+
+    threads = [
+        threading.Thread(target=client, args=(k,)) for k in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - t_start
+    server.shutdown()
+    server.server_close()
+    server.service.shutdown()
+
+    total = clients * requests_per_client
+    latencies_ms.sort()
+    return {
+        "workload": "grade",
+        "circuit": workload["name"],
+        "clients": clients,
+        "coalesce": coalesce,
+        "window_ms": window_ms,
+        "patterns_per_request": workload["patterns_per_request"],
+        "faults": workload["faults"],
+        "requests": total,
+        "errors": errors[0],
+        "seconds": round(seconds, 4),
+        "requests_per_s": round(total / seconds, 2) if seconds else 0.0,
+        "p50_ms": round(_percentile(latencies_ms, 0.50), 2),
+        "p95_ms": round(_percentile(latencies_ms, 0.95), 2),
+    }
+
+
+def _build_workload(smoke: bool):
+    """Pre-serialize every client's request body (not timed)."""
+    spec = "c880" if smoke else CIRCUIT
+    scale = 1 if smoke else SCALE
+    patterns = 16 if smoke else PATTERNS_PER_REQUEST
+    fault_cap = 32 if smoke else FAULT_CAP
+    max_clients = 2 if smoke else GUARD_CLIENTS
+    circuit = resolve_circuit(spec, scale)
+    n_inputs = len(circuit.inputs)
+    fault_payloads = [
+        fault_to_payload(f, envelope=False)
+        for f in fault_list(circuit, cap=fault_cap)
+    ]
+    return {
+        "name": circuit.name,
+        "patterns_per_request": patterns,
+        "faults": len(fault_payloads),
+        "bodies": [
+            _grade_payload(
+                spec, scale,
+                _client_patterns(n_inputs, patterns, seed=k),
+                fault_payloads,
+            )
+            for k in range(max_clients)
+        ],
+        # > 64 lanes: forces the multi-word kernel to compile at warmup
+        "wide_body": _grade_payload(
+            spec, scale,
+            _client_patterns(n_inputs, 96, seed=10_000),
+            fault_payloads,
+        ),
+    }
+
+
+def regenerate(out: str, smoke: bool = False) -> int:
+    workload = _build_workload(smoke)
+    requests_per_client = 2 if smoke else 6
+    client_counts = (2,) if smoke else (1, 8, 32)
+    rows = []
+    flags_by_client = {}
+    for clients in client_counts:
+        off = run_row(
+            workload, clients, False, requests_per_client, flags_by_client
+        )
+        on = run_row(
+            workload, clients, True, requests_per_client, flags_by_client
+        )
+        if off["requests_per_s"]:
+            on["speedup_vs_uncoalesced"] = round(
+                on["requests_per_s"] / off["requests_per_s"], 3
+            )
+        rows.extend([off, on])
+        for row in (off, on):
+            print(
+                f"{row['clients']:>3} clients "
+                f"coalesce={str(row['coalesce']).lower():<5} "
+                f"{row['requests_per_s']:>8.2f} req/s  "
+                f"p50={row['p50_ms']:>8.2f}ms  p95={row['p95_ms']:>8.2f}ms  "
+                f"errors={row['errors']}"
+            )
+    payload = stamp(
+        "repro/bench-service",
+        {
+            "benchmark": "service_throughput",
+            "units": "requests/second",
+            "python": platform.python_version(),
+            "workers": WORKERS,
+            "rows": rows,
+        },
+    )
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
+def check(path: str) -> int:
+    """The CI soft perf guard over an existing artifact."""
+    validate_file(path)
+    with open(path) as handle:
+        payload = json.load(handle)
+    by_key = {
+        (row["clients"], row["coalesce"]): row for row in payload["rows"]
+    }
+    off = by_key.get((GUARD_CLIENTS, False))
+    on = by_key.get((GUARD_CLIENTS, True))
+    failures = 0
+    if off is None or on is None:
+        print(f"FAIL {path}: no {GUARD_CLIENTS}-client row pair to guard on")
+        return 1
+    for row in (off, on):
+        if row["errors"]:
+            print(
+                f"FAIL {path}: {row['clients']}-client "
+                f"coalesce={row['coalesce']} row recorded "
+                f"{row['errors']} errors"
+            )
+            failures += 1
+    speedup = (
+        on["requests_per_s"] / off["requests_per_s"]
+        if off["requests_per_s"]
+        else 0.0
+    )
+    if speedup < MIN_SPEEDUP:
+        print(
+            f"FAIL {path}: coalescing-on throughput is only {speedup:.2f}x "
+            f"coalescing-off at {GUARD_CLIENTS} clients "
+            f"(need >= {MIN_SPEEDUP}x)"
+        )
+        failures += 1
+    else:
+        print(
+            f"ok   {path}: coalescing {speedup:.2f}x at {GUARD_CLIENTS} "
+            f"clients ({off['requests_per_s']} -> {on['requests_per_s']} "
+            f"req/s, p95 {off['p95_ms']} -> {on['p95_ms']} ms)"
+        )
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("out", nargs="?", default="BENCH_service.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI variant: 2 clients, 2 requests each, small circuit",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="guard an existing artifact instead of regenerating",
+    )
+    args = parser.parse_args()
+    if args.check:
+        return check(args.out)
+    return regenerate(args.out, smoke=args.smoke)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,8 @@ One typed surface for every workload the reproduction supports:
 """
 
 from . import schemas, serde
+from .coalesce import Coalescer
+from .jobs import Job, JobManager, QuotaExceeded
 from .options import (
     DEFAULT_SHARDS,
     ExecutionOptions,
@@ -24,6 +26,7 @@ from .options import (
     Options,
     PersistenceOptions,
     ScheduleOptions,
+    ServiceOptions,
 )
 from .resolve import (
     ResolutionError,
@@ -50,18 +53,23 @@ __all__ = [
     "AtpgService",
     "AtpgSession",
     "CampaignRequest",
+    "Coalescer",
     "DEFAULT_SHARDS",
     "ExecutionOptions",
     "GenerateRequest",
     "GenerationOptions",
     "GradeRequest",
+    "Job",
+    "JobManager",
     "Options",
     "PathsRequest",
     "PersistenceOptions",
+    "QuotaExceeded",
     "ResolutionError",
     "Response",
     "ScheduleOptions",
     "SchemaError",
+    "ServiceOptions",
     "SimulateRequest",
     "circuit_fingerprint",
     "make_server",

@@ -1,0 +1,198 @@
+"""Request coalescing: many tenants, one shared lane slab.
+
+The paper's core idea — pack many patterns into the bit lanes of one
+machine word so a single pass simulates all of them — applies across
+*requests* just as well as within one.  Concurrent simulate/grade
+requests that resolve to the same structural circuit under the same
+test class are independent pattern batches against the same compiled
+kernel; running them one by one under-fills the lanes and serializes
+kernel calls behind the GIL.  The :class:`Coalescer` merges them:
+
+1. The first request for a key ``(circuit hash, test class, verb)``
+   opens a *batch* and becomes its **leader**; it waits up to the
+   coalescing window for followers.
+2. Followers that arrive inside the window append their packed
+   patterns and fault lists to the batch and block on its event.
+3. When the window closes, the leader concatenates every member's
+   :class:`repro.kernel.PackedPatterns` into one word-aligned lane
+   slab (:meth:`PackedPatterns.concat`), deduplicates the fault union,
+   executes **one** backend call over the merged slab, and
+   demultiplexes the per-fault lane masks back to each member with
+   :func:`repro.logic.words.extract_lanes`.
+
+Demultiplexed masks are bit-identical to per-request execution: the
+plane calculus is lanewise, batches sit at word-aligned offsets, and
+each member only ever reads its own lanes (the inter-batch padding
+lanes pack as stable all-zero vectors, which cannot launch a
+transition).  The test suite asserts this.
+
+The coalescer is transport-free and knows nothing about HTTP — the
+service dispatcher routes eligible requests through :meth:`run`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..kernel import PackedPatterns
+from ..logic.words import extract_lanes
+from ..paths import PathDelayFault
+
+
+class _Member:
+    """One request's contribution to (and result slot in) a batch."""
+
+    __slots__ = ("packed", "faults", "masks")
+
+    def __init__(self, packed: PackedPatterns, faults: List[PathDelayFault]):
+        self.packed = packed
+        self.faults = faults
+        self.masks: List[int] = []
+
+
+class _Batch:
+    """One open coalescing window's members and completion event."""
+
+    __slots__ = ("members", "done", "error")
+
+    def __init__(self) -> None:
+        self.members: List[_Member] = []
+        self.done = threading.Event()
+        self.error: BaseException | None = None
+
+
+#: ``execute(merged_patterns, merged_faults) -> masks`` — one backend
+#: call over the shared slab; masks are index-aligned with the faults.
+ExecuteFn = Callable[[PackedPatterns, List[PathDelayFault]], Sequence[int]]
+
+
+class Coalescer:
+    """Merge concurrent same-circuit batches into shared lane slabs.
+
+    Args:
+        window_ms: how long the first request of a batch waits for
+            followers before executing.  ``0`` disables coalescing
+            entirely (every request executes alone, no added latency).
+    """
+
+    def __init__(self, window_ms: float = 0.0):
+        if window_ms < 0:
+            raise ValueError("window_ms must be >= 0")
+        self.window_ms = window_ms
+        self._lock = threading.Lock()
+        self._open: Dict[Tuple, _Batch] = {}
+        # stats: batches executed, requests seen, requests that shared
+        # a slab with at least one other request
+        self.batches = 0
+        self.requests = 0
+        self.merged_requests = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.window_ms > 0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        key: Tuple,
+        patterns: Sequence,
+        faults: Sequence[PathDelayFault],
+        execute: ExecuteFn,
+    ) -> List[int]:
+        """Execute one request's batch, possibly merged with others.
+
+        Returns this request's per-fault lane masks, index-aligned
+        with *faults*, bit-identical to ``execute`` on the request
+        alone.  *patterns* may be a pattern sequence or a pre-built
+        :class:`PackedPatterns`.
+        """
+        with self._lock:
+            self.requests += 1
+        if not self.enabled or not patterns or not faults:
+            packed = (
+                patterns
+                if isinstance(patterns, PackedPatterns)
+                else PackedPatterns.from_patterns(list(patterns))
+                if patterns
+                else None
+            )
+            if packed is None:
+                return [0] * len(faults)
+            with self._lock:
+                self.batches += 1
+            return list(execute(packed, list(faults)))
+        packed = (
+            patterns
+            if isinstance(patterns, PackedPatterns)
+            else PackedPatterns.from_patterns(list(patterns))
+        )
+        member = _Member(packed, list(faults))
+        with self._lock:
+            batch = self._open.get(key)
+            if batch is not None:
+                batch.members.append(member)
+                follower = True
+            else:
+                batch = _Batch()
+                batch.members.append(member)
+                self._open[key] = batch
+                follower = False
+        if follower:
+            batch.done.wait()
+            if batch.error is not None:
+                raise batch.error
+            return member.masks
+        # leader: hold the window open, then close, merge, execute
+        time.sleep(self.window_ms / 1000.0)
+        with self._lock:
+            if self._open.get(key) is batch:
+                del self._open[key]
+            members = list(batch.members)
+        try:
+            self._execute_merged(members, execute)
+        except BaseException as exc:
+            batch.error = exc
+            raise
+        finally:
+            with self._lock:
+                self.batches += 1
+                if len(members) > 1:
+                    self.merged_requests += len(members)
+            batch.done.set()
+        return member.masks
+
+    # ------------------------------------------------------------------
+    def _execute_merged(
+        self, members: List[_Member], execute: ExecuteFn
+    ) -> None:
+        """One backend call over the merged slab, demuxed per member."""
+        if len(members) == 1:
+            member = members[0]
+            member.masks = list(execute(member.packed, member.faults))
+            return
+        merged, offsets = PackedPatterns.concat([m.packed for m in members])
+        fault_index: Dict[PathDelayFault, int] = {}
+        merged_faults: List[PathDelayFault] = []
+        for member in members:
+            for fault in member.faults:
+                if fault not in fault_index:
+                    fault_index[fault] = len(merged_faults)
+                    merged_faults.append(fault)
+        masks = list(execute(merged, merged_faults))
+        for member, offset in zip(members, offsets):
+            width = member.packed.n_patterns
+            member.masks = [
+                extract_lanes(masks[fault_index[fault]], offset, width)
+                for fault in member.faults
+            ]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "requests": self.requests,
+                "merged_requests": self.merged_requests,
+            }

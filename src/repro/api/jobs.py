@@ -1,0 +1,389 @@
+"""The async job queue: submit → poll → result, durable across restarts.
+
+Long-running work (campaigns) must not hold an HTTP connection open or
+block the service's request threads.  :class:`JobManager` runs a
+bounded pool of worker threads over a FIFO job queue:
+
+* **submit** validates the wire payload, assigns an id, persists the
+  job record (when a jobs directory is configured) and enqueues it —
+  returning immediately.  A full queue raises :class:`QuotaExceeded`
+  (the HTTP layer maps it to ``429`` with ``Retry-After``).
+* **poll** (``get``/``list``) reads the job record: state, per-round
+  progress (fed by the campaign's :class:`repro.campaign.
+  CampaignControl` hook), and the result payload once done.
+* **cancel** flips the job's cancel event; a queued job is skipped, a
+  running campaign stops at the next round boundary and flushes its
+  checkpoint.
+* **shutdown** (SIGTERM/SIGINT via ``tip serve``) stops the workers
+  gracefully: running campaigns checkpoint and park as
+  ``interrupted``, queued jobs stay ``queued`` on disk.  A new manager
+  over the same jobs directory re-enqueues both — campaign jobs resume
+  from their checkpoint JSON, so no completed round is re-run.
+
+Job records and campaign checkpoints live side by side in the jobs
+directory (``<id>.job.json`` / ``<id>.ckpt.json``), each carrying the
+versioned schema envelope (``repro/job`` /
+``repro/campaign-checkpoint``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..campaign.runner import CampaignControl
+from .schemas import stamp, validate
+
+#: States a job can be observed in.  ``interrupted`` means "parked by
+#: a graceful shutdown, resumable"; the other terminal states are not
+#: re-enqueued on recovery.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "interrupted")
+_ACTIVE_STATES = ("queued", "running")
+_RESUMABLE_STATES = ("queued", "running", "interrupted")
+
+
+class QuotaExceeded(Exception):
+    """Backpressure signal: the caller should retry after a delay.
+
+    Raised when the job queue is full or a tenant exceeds its quota;
+    the HTTP layer maps it to ``429`` with a ``Retry-After`` header.
+    """
+
+    def __init__(self, detail: str, retry_after: float = 1.0):
+        super().__init__(detail)
+        self.retry_after = retry_after
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and its observable lifecycle."""
+
+    id: str
+    verb: str
+    payload: Dict
+    tenant: str = "anonymous"
+    state: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    progress: Dict[str, int] = field(default_factory=dict)
+    result: Optional[Dict] = None
+    error: Optional[Dict] = None
+    checkpoint: Optional[str] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    def body(self) -> Dict:
+        """The bare ``repro/job`` body (un-enveloped; job-list rows)."""
+        body: Dict = {
+            "id": self.id,
+            "verb": self.verb,
+            "state": self.state,
+            "tenant": self.tenant,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.progress:
+            body["progress"] = dict(self.progress)
+        if self.result is not None:
+            body["result"] = self.result
+        if self.error is not None:
+            body["error"] = self.error
+        if self.checkpoint is not None:
+            body["checkpoint"] = self.checkpoint
+        return body
+
+    def snapshot(self) -> Dict:
+        """The enveloped ``repro/job`` wire payload."""
+        return stamp("repro/job", self.body())
+
+
+class _JobControl(CampaignControl):
+    """Campaign hook bound to one job: cancel + shutdown + progress."""
+
+    def __init__(self, job: Job, manager: "JobManager"):
+        self.job = job
+        self.manager = manager
+
+    def should_stop(self) -> bool:
+        return (
+            self.job.cancel_event.is_set()
+            or self.manager._stopping.is_set()
+        )
+
+    def on_round(self, progress: Dict[str, int]) -> None:
+        self.job.progress = progress
+        self.manager._persist(self.job)
+
+
+#: ``run(job, control) -> result payload`` — supplied by the service;
+#: the manager owns scheduling, the service owns execution semantics.
+RunFn = Callable[[Job, CampaignControl], Dict]
+
+
+class JobManager:
+    """Bounded worker pool + FIFO queue with optional disk durability.
+
+    Args:
+        run: executes one job (the service's dispatcher closure).
+        workers: worker threads draining the queue.
+        max_queue: queued-job bound; submissions beyond it raise
+            :class:`QuotaExceeded` (HTTP 429 + Retry-After).
+        jobs_dir: directory for job records and campaign checkpoints;
+            ``None`` keeps everything in memory (no restart recovery).
+        max_jobs_per_tenant: active (queued+running) jobs one tenant
+            may hold; ``0`` = unlimited.
+    """
+
+    def __init__(
+        self,
+        run: RunFn,
+        *,
+        workers: int = 2,
+        max_queue: int = 32,
+        jobs_dir: Optional[str] = None,
+        max_jobs_per_tenant: int = 0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self._run = run
+        self.max_queue = max_queue
+        self.jobs_dir = jobs_dir
+        self.max_jobs_per_tenant = max_jobs_per_tenant
+        self._jobs: Dict[str, Job] = {}
+        self._queue: List[str] = []
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._stopping = threading.Event()
+        if jobs_dir is not None:
+            os.makedirs(jobs_dir, exist_ok=True)
+            self._recover()
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"tip-job-worker-{k}", daemon=True
+            )
+            for k in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------ persist
+    def _job_path(self, job_id: str) -> Optional[str]:
+        if self.jobs_dir is None:
+            return None
+        return os.path.join(self.jobs_dir, f"{job_id}.job.json")
+
+    def _persist(self, job: Job) -> None:
+        path = self._job_path(job.id)
+        if path is None:
+            return
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(job.snapshot(), handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def _recover(self) -> None:
+        """Re-enqueue every resumable job found in the jobs directory.
+
+        Campaign jobs re-run with ``resume=True`` over their existing
+        checkpoint, so an interrupted service restart continues rather
+        than restarts the work.
+        """
+        for name in sorted(os.listdir(self.jobs_dir)):
+            if not name.endswith(".job.json"):
+                continue
+            path = os.path.join(self.jobs_dir, name)
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+                validate(payload, kind="repro/job")
+            except (OSError, ValueError):
+                continue  # unreadable record: leave it for inspection
+            job = Job(
+                id=payload["id"],
+                verb=payload["verb"],
+                payload={},  # filled below for resumable jobs
+                tenant=payload["tenant"],
+                state=payload["state"],
+                submitted_at=payload["submitted_at"],
+                started_at=payload.get("started_at"),
+                finished_at=payload.get("finished_at"),
+                progress=payload.get("progress", {}),
+                result=payload.get("result"),
+                error=payload.get("error"),
+                checkpoint=payload.get("checkpoint"),
+            )
+            if job.state in _RESUMABLE_STATES:
+                request_path = os.path.join(
+                    self.jobs_dir, f"{job.id}.request.json"
+                )
+                try:
+                    with open(request_path) as handle:
+                        job.payload = json.load(handle)
+                except (OSError, ValueError):
+                    job.state = "failed"
+                    job.error = {
+                        "error": "RecoveryError",
+                        "detail": "job request payload missing or unreadable",
+                    }
+                    self._jobs[job.id] = job
+                    self._persist(job)
+                    continue
+                job.state = "queued"
+                self._jobs[job.id] = job
+                self._queue.append(job.id)
+                self._persist(job)
+            else:
+                self._jobs[job.id] = job
+
+    # ------------------------------------------------------------ submit
+    def submit(self, verb: str, payload: Dict, tenant: str = "anonymous") -> Job:
+        """Enqueue one job; returns immediately with the job record."""
+        with self._lock:
+            if self._stopping.is_set():
+                raise QuotaExceeded("service is shutting down", retry_after=5.0)
+            if len(self._queue) >= self.max_queue:
+                raise QuotaExceeded(
+                    f"job queue is full ({self.max_queue} queued)",
+                    retry_after=2.0,
+                )
+            if self.max_jobs_per_tenant:
+                active = sum(
+                    1
+                    for job in self._jobs.values()
+                    if job.tenant == tenant and job.state in _ACTIVE_STATES
+                )
+                if active >= self.max_jobs_per_tenant:
+                    raise QuotaExceeded(
+                        f"tenant {tenant!r} already has {active} active "
+                        f"job(s) (quota: {self.max_jobs_per_tenant})",
+                        retry_after=2.0,
+                    )
+            job = Job(
+                id=uuid.uuid4().hex[:16],
+                verb=verb,
+                payload=payload,
+                tenant=tenant,
+                submitted_at=time.time(),
+            )
+            if self.jobs_dir is not None:
+                job.checkpoint = os.path.join(
+                    self.jobs_dir, f"{job.id}.ckpt.json"
+                )
+                request_path = os.path.join(
+                    self.jobs_dir, f"{job.id}.request.json"
+                )
+                tmp = f"{request_path}.tmp"
+                with open(tmp, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, request_path)
+            self._jobs[job.id] = job
+            self._queue.append(job.id)
+            self._persist(job)
+            self._wake.notify()
+        return job
+
+    # ------------------------------------------------------------ observe
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.submitted_at)
+
+    def counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state] += 1
+        return counts
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------ cancel
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; returns the (possibly updated) job.
+
+        A queued job is cancelled immediately; a running job stops at
+        its next round boundary (the campaign flushes a checkpoint
+        first, so a cancelled job is still resumable by a fresh
+        submission over the same checkpoint).  Terminal jobs are
+        returned unchanged.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            job.cancel_event.set()
+            if job.state == "queued":
+                self._queue.remove(job_id)
+                job.state = "cancelled"
+                job.finished_at = time.time()
+                self._persist(job)
+        return job
+
+    # ------------------------------------------------------------ workers
+    def _next_job(self) -> Optional[Job]:
+        with self._lock:
+            while not self._queue and not self._stopping.is_set():
+                self._wake.wait(timeout=0.2)
+            if self._stopping.is_set() or not self._queue:
+                return None
+            job = self._jobs[self._queue.pop(0)]
+            job.state = "running"
+            job.started_at = time.time()
+            self._persist(job)
+            return job
+
+    def _worker(self) -> None:
+        while not self._stopping.is_set():
+            job = self._next_job()
+            if job is None:
+                continue
+            control = _JobControl(job, self)
+            try:
+                result = self._run(job, control)
+            except Exception as exc:  # noqa: BLE001 - job boundary
+                job.state = "failed"
+                job.error = {
+                    "error": "JobError",
+                    "detail": f"{type(exc).__name__}: {exc}",
+                }
+            else:
+                if job.cancel_event.is_set():
+                    job.state = "cancelled"
+                elif self._stopping.is_set() and result is None:
+                    job.state = "interrupted"
+                else:
+                    job.state = "done"
+                    job.result = result
+            job.finished_at = time.time()
+            self._persist(job)
+
+    # ------------------------------------------------------------ shutdown
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Graceful stop: drain running jobs to a resumable state.
+
+        New submissions are refused, running campaigns observe
+        ``should_stop`` at their next round boundary and flush their
+        checkpoints, queued jobs stay ``queued`` (durable when a jobs
+        directory is configured).  Blocks until the workers exit or
+        *timeout* elapses.
+        """
+        self._stopping.set()
+        with self._lock:
+            self._wake.notify_all()
+        deadline = time.time() + timeout
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.time()))

@@ -258,3 +258,48 @@ class Options(PersistenceOptions):
 def _own_fields(cls, base):
     inherited = {f.name for f in fields(base)}
     return [f for f in fields(cls) if f.name not in inherited]
+
+
+@dataclass
+class ServiceOptions:
+    """Host-side knobs of the multi-tenant service (``tip serve``).
+
+    Deliberately *not* part of the :class:`Options` hierarchy: these
+    configure the serving host (scheduling, admission control,
+    durability location), never the ATPG computation — no field here
+    can change any per-fault outcome, and none of them travel on the
+    wire.
+
+    Attributes:
+        workers: job-queue worker threads draining async campaigns.
+        max_queue: queued-job bound; submissions beyond it are refused
+            with HTTP 429 + ``Retry-After`` (backpressure).
+        coalesce_window_ms: how long the first simulate/grade request
+            of a batch waits for same-circuit followers before
+            executing one merged lane slab.  ``0`` disables
+            coalescing.
+        jobs_dir: directory for job records and campaign checkpoints;
+            ``None`` keeps jobs in memory only (no restart recovery).
+        max_sessions: lowered circuits kept in the LRU session cache.
+        max_jobs_per_tenant: active (queued + running) jobs one tenant
+            may hold at once; ``0`` = unlimited.
+    """
+
+    workers: int = 2
+    max_queue: int = 32
+    coalesce_window_ms: float = 0.0
+    jobs_dir: Optional[str] = None
+    max_sessions: int = 8
+    max_jobs_per_tenant: int = 0
+
+    def validate(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.coalesce_window_ms < 0:
+            raise ValueError("coalesce_window_ms must be >= 0")
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if self.max_jobs_per_tenant < 0:
+            raise ValueError("max_jobs_per_tenant must be >= 0")

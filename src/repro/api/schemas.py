@@ -281,6 +281,79 @@ _REQUEST_CIRCUIT = {
     "test_class": TEST_CLASS,
 }
 
+#: Async job lifecycle (the ``POST /v1/campaign`` submit/poll flow).
+#: ``queued -> running -> done|failed|cancelled``; ``interrupted`` is
+#: a graceful-shutdown snapshot that resumes from its checkpoint when
+#: the service restarts over the same jobs directory.
+JOB_STATE = {
+    "enum": ["queued", "running", "done", "failed", "cancelled", "interrupted"]
+}
+
+_JOB = obj(
+    {
+        "id": STR,
+        "verb": STR,
+        "state": JOB_STATE,
+        "tenant": STR,
+        "submitted_at": NUM,
+    },
+    optional={
+        "started_at": opt(NUM),
+        "finished_at": opt(NUM),
+        "progress": obj(open_=True),
+        "result": obj(open_=True),
+        "error": obj({"error": STR}, optional={"detail": STR}),
+        "checkpoint": opt(STR),
+    },
+)
+
+_METRICS = obj(
+    {
+        "requests_ok": INT,
+        "requests_failed": INT,
+        "requests_coalesced": INT,
+        "sessions_opened": INT,
+        "sessions_cached": INT,
+        "queue_depth": INT,
+        "jobs": obj(
+            {
+                "queued": INT,
+                "running": INT,
+                "done": INT,
+                "failed": INT,
+                "cancelled": INT,
+                "interrupted": INT,
+            }
+        ),
+        "coalescer": obj(
+            {"batches": INT, "requests": INT, "merged_requests": INT}
+        ),
+        "uptime_seconds": NUM,
+    }
+)
+
+#: One measured load-generation configuration (``scripts/loadgen.py``):
+#: fixed client count, coalescing on or off, aggregate throughput and
+#: latency percentiles over the run.
+_BENCH_SERVICE_ROW = obj(
+    {
+        "workload": {"enum": ["simulate", "grade"]},
+        "circuit": STR,
+        "clients": INT,
+        "coalesce": BOOL,
+        "window_ms": NUM,
+        "patterns_per_request": INT,
+        "faults": INT,
+        "requests": INT,
+        "errors": INT,
+        "seconds": NUM,
+        "requests_per_s": NUM,
+        "p50_ms": NUM,
+        "p95_ms": NUM,
+    },
+    optional={"speedup_vs_uncoalesced": NUM},
+)
+
 
 # ---------------------------------------------------------------------------
 # the registry: kind -> version -> body spec
@@ -549,6 +622,20 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
             },
         )
     },
+    "repro/job": {1: _JOB},
+    "repro/job-list": {1: obj({"jobs": arr(_JOB)})},
+    "repro/metrics": {1: _METRICS},
+    "repro/bench-service": {
+        1: obj(
+            {
+                "benchmark": {"const": "service_throughput"},
+                "units": STR,
+                "python": STR,
+                "workers": INT,
+                "rows": arr(_BENCH_SERVICE_ROW),
+            }
+        )
+    },
 }
 
 #: Artifact basename -> expected kind, for file-level validation of
@@ -556,6 +643,7 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
 ARTIFACT_KINDS = {
     "BENCH_kernel.json": "repro/bench-kernel",
     "BENCH_tpg.json": "repro/bench-tpg",
+    "BENCH_service.json": "repro/bench-service",
 }
 
 
@@ -621,8 +709,26 @@ def _check(spec: Dict, value, path: str) -> None:
     if kind == "array":
         if not isinstance(value, list):
             raise SchemaError(f"{path}: expected array, got {type(value).__name__}")
+        items = spec["items"]
+        # hot path: long scalar arrays (pattern bit vectors, fault
+        # signal lists, checkpoint rows) verified with one C-speed
+        # sweep over exact JSON types; the per-element walk below only
+        # runs when the sweep fails (its job is the indexed error
+        # message) or for non-scalar/shared item specs
+        if items is INT:
+            if all(type(item) is int for item in value):
+                return
+        elif items is STR:
+            if all(type(item) is str for item in value):
+                return
+        elif items is NUM:
+            if all(type(item) is int or type(item) is float for item in value):
+                return
+        elif items is BOOL:
+            if all(type(item) is bool for item in value):
+                return
         for index, item in enumerate(value):
-            _check(spec["items"], item, f"{path}[{index}]")
+            _check(items, item, f"{path}[{index}]")
         return
     if kind == "object":
         if not isinstance(value, dict):

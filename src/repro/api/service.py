@@ -1,6 +1,6 @@
-"""The service endpoint: typed requests in, versioned payloads out.
+"""The multi-tenant service: typed requests, shared kernels, one slab.
 
-Two layers:
+Three layers:
 
 * :class:`AtpgService` — a long-lived, transport-free dispatcher.
   Typed request dataclasses (:class:`GenerateRequest`,
@@ -9,14 +9,29 @@ Two layers:
   :class:`repro.api.AtpgSession` methods; results come back as
   :class:`Response` objects carrying schema-stamped JSON payloads.
   Sessions are cached in an LRU keyed by the circuit's structural
-  hash, so repeated requests against the same netlist — whatever
-  transport or spec spelling they arrive through — skip re-lowering
-  the compiled kernel.
-* :func:`make_server` / :func:`run_server` — a stdlib
-  ``http.server`` JSON transport over the dispatcher: ``POST
-  /v1/<verb>`` with an enveloped request body, ``GET /v1/health`` and
-  ``GET /v1/schemas`` for introspection.  The CLI front end is
-  ``tip serve``.
+  hash with **single-flight lowering**: concurrent first requests for
+  the same netlist lower the compiled kernel exactly once while other
+  circuits proceed unblocked.
+* The concurrency substrate —
+  :class:`repro.api.coalesce.Coalescer` merges concurrent
+  simulate/grade requests against the same circuit into one shared
+  :class:`repro.kernel.PackedPatterns` lane slab (one backend call,
+  demultiplexed per request, bit-identical to serial), and
+  :class:`repro.api.jobs.JobManager` runs campaigns asynchronously on
+  a bounded worker pool: ``POST /v1/campaign`` returns a job id
+  immediately, ``GET /v1/jobs/<id>`` polls progress, cancel stops at
+  the next round boundary, and a graceful shutdown parks running jobs
+  resumably (checkpoint flush + ``interrupted`` state).
+* :func:`make_server` / :func:`run_server` — a stdlib ``http.server``
+  JSON transport over the dispatcher: ``POST /v1/<verb>`` with an
+  enveloped request body; ``GET /v1/health`` (alias ``/v1/healthz``),
+  ``/v1/metrics``, ``/v1/schemas``, ``/v1/jobs`` and ``/v1/jobs/<id>``
+  for observation; ``POST /v1/jobs/<id>/cancel``.  Tenants identify
+  themselves with the ``X-Tenant`` header; a full job queue or an
+  exceeded tenant quota answers ``429`` with ``Retry-After``
+  (backpressure), and every request emits one structured JSON access
+  log line with timing (unless ``quiet``).  The CLI front end is
+  ``tip serve``; SIGTERM/SIGINT drain the queue before exit.
 
 Every request and response body is validated against
 :mod:`repro.api.schemas`; a request with an unknown
@@ -27,7 +42,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import signal
+import sys
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -37,9 +55,12 @@ from ..circuit import Circuit
 from ..core.patterns import TestPattern
 from ..paths import PathDelayFault, TestClass
 from . import serde
-from .options import Options
+from .coalesce import Coalescer
+from .jobs import Job, JobManager, QuotaExceeded
+from .options import Options, ServiceOptions
 from .resolve import ResolutionError, resolve_circuit_request, resolve_test_class
 from .schemas import SchemaError, iter_schema_summary, stamp, validate
+
 from .session import AtpgSession
 
 __version_tag__ = "v1"
@@ -129,11 +150,14 @@ class Response:
     ``payload`` is the enveloped result body (``repro/<kind>``) on
     success, or an error body on failure; ``envelope()`` wraps either
     into the ``repro/response`` wire shape the HTTP layer sends.
+    ``retry_after`` (backpressure responses only) becomes the
+    ``Retry-After`` header.
     """
 
     ok: bool
     payload: Dict
     status: int = 200
+    retry_after: Optional[float] = None
 
     def envelope(self) -> Dict:
         body = {"ok": self.ok}
@@ -209,31 +233,65 @@ def request_from_payload(verb: str, payload: Dict) -> Request:
 
 
 class AtpgService:
-    """Transport-free request dispatcher with a bounded session cache.
+    """Transport-free multi-tenant dispatcher: sessions, slab, jobs.
 
     Args:
         max_sessions: circuits kept lowered at once; the least
-            recently used session is evicted beyond that.
+            recently used session is evicted beyond that.  Shorthand
+            for ``config.max_sessions`` when *config* is omitted.
+        config: full host configuration (:class:`ServiceOptions`) —
+            job-queue workers and bound, coalescing window, jobs
+            directory, tenant quota.
     """
 
-    def __init__(self, max_sessions: int = 8):
-        if max_sessions < 1:
-            raise ValueError("max_sessions must be >= 1")
-        self.max_sessions = max_sessions
+    def __init__(
+        self,
+        max_sessions: int = 8,
+        *,
+        config: Optional[ServiceOptions] = None,
+    ):
+        if config is None:
+            config = ServiceOptions(max_sessions=max_sessions)
+        config.validate()
+        self.config = config
+        self.max_sessions = config.max_sessions
         self._sessions: "OrderedDict[str, AtpgSession]" = OrderedDict()
         # transport key (spec+scale / bench-text hash) -> structural
         # fingerprint, so repeat requests skip circuit re-construction,
         # not just re-lowering
         self._by_transport: "OrderedDict[Tuple, str]" = OrderedDict()
-        # ThreadingHTTPServer handles requests on worker threads; every
-        # cache/counter access goes through this lock
+        # requests run on arbitrary threads (HTTP workers, job workers);
+        # every cache/counter access goes through this lock
         self._lock = threading.Lock()
-        self.requests_served = 0
+        # single-flight lowering: one gate per in-flight fingerprint so
+        # concurrent first requests for the same circuit lower once,
+        # while different circuits lower concurrently
+        self._lowering: Dict[str, threading.Lock] = {}
+        self.requests_ok = 0
+        self.requests_failed = 0
         self.sessions_opened = 0
+        self.sessions_cached = 0
+        self.coalescer = Coalescer(config.coalesce_window_ms)
+        self._jobs: Optional[JobManager] = None
+        self._jobs_gate = threading.Lock()
+        self._started = time.time()
+
+    # ------------------------------------------------------------ counters
+    @property
+    def requests_served(self) -> int:
+        """Total requests (ok + failed) — the historical counter."""
+        with self._lock:
+            return self.requests_ok + self.requests_failed
 
     # ------------------------------------------------------------ sessions
     def session_for(self, circuit: Circuit) -> AtpgSession:
-        """The cached session for this structure (lowering at most once)."""
+        """The cached session for this structure (lowering exactly once).
+
+        Single-flight: the first caller for a fingerprint takes that
+        fingerprint's gate and lowers; concurrent callers for the
+        *same* circuit block on the gate and then hit the cache, while
+        callers for other circuits proceed on their own gates.
+        """
         from .resolve import circuit_fingerprint
 
         key = circuit_fingerprint(circuit)
@@ -241,19 +299,27 @@ class AtpgService:
             session = self._sessions.get(key)
             if session is not None:
                 self._sessions.move_to_end(key)
+                self.sessions_cached += 1
                 return session
-        # lower outside the lock (it can take a while on big circuits);
-        # a concurrent first request for the same circuit may lower
-        # twice, but the cache stays consistent and one copy wins
-        session = AtpgSession(circuit)
-        with self._lock:
-            if key not in self._sessions:
+            gate = self._lowering.setdefault(key, threading.Lock())
+        with gate:
+            with self._lock:
+                session = self._sessions.get(key)
+                if session is not None:  # a concurrent holder lowered it
+                    self._sessions.move_to_end(key)
+                    self.sessions_cached += 1
+                    return session
+            # lower outside the main lock (it can take a while on big
+            # circuits) but inside this fingerprint's gate
+            session = AtpgSession(circuit)
+            with self._lock:
                 self._sessions[key] = session
+                self._sessions.move_to_end(key)
                 self.sessions_opened += 1
                 while len(self._sessions) > self.max_sessions:
                     self._sessions.popitem(last=False)
-            self._sessions.move_to_end(key)
-            return self._sessions[key]
+                self._lowering.pop(key, None)
+                return session
 
     def _transport_key(self, request: _CircuitRequest):
         if request.bench is not None:
@@ -274,6 +340,7 @@ class AtpgService:
                 )
                 if session is not None:
                     self._sessions.move_to_end(fingerprint)
+                    self.sessions_cached += 1
                     return session
         circuit = resolve_circuit_request(
             spec=request.circuit, bench=request.bench, scale=request.scale
@@ -287,26 +354,40 @@ class AtpgService:
         return session
 
     # ------------------------------------------------------------ dispatch
-    def handle(self, request: Request) -> Response:
+    def handle(self, request: Request, tenant: str = "anonymous") -> Response:
         """Dispatch one typed request; never raises for request errors.
 
         Client-caused failures (schema/resolution/validation) map to
-        400; anything else is a server fault and maps to 500 with the
-        exception type only (no internal detail leaks to the wire).
+        400, backpressure to 429 + Retry-After; anything else is a
+        server fault and maps to 500 with the exception type only (no
+        internal detail leaks to the wire).
         """
         try:
             session = self._resolve_session(request)
             payload = self._dispatch(session, request)
             with self._lock:
-                self.requests_served += 1
+                self.requests_ok += 1
             return Response(ok=True, payload=payload)
+        except QuotaExceeded as exc:
+            with self._lock:
+                self.requests_failed += 1
+            return Response(
+                ok=False,
+                payload={"error": "QuotaExceeded", "detail": str(exc)},
+                status=429,
+                retry_after=exc.retry_after,
+            )
         except (SchemaError, ResolutionError, ValueError) as exc:
+            with self._lock:
+                self.requests_failed += 1
             return Response(
                 ok=False,
                 payload={"error": type(exc).__name__, "detail": str(exc)},
                 status=400,
             )
         except Exception as exc:  # noqa: BLE001 - the transport boundary
+            with self._lock:
+                self.requests_failed += 1
             return Response(
                 ok=False,
                 payload={
@@ -315,6 +396,25 @@ class AtpgService:
                 },
                 status=500,
             )
+
+    def _detection_masks(
+        self, session: AtpgSession, request: Request, test_class: TestClass
+    ) -> List[int]:
+        """Per-fault lane masks, possibly via a merged shared slab.
+
+        Simulate *and* grade requests against the same circuit and
+        test class share one coalescing key — they both reduce to the
+        same PPSFP detection-mask kernel, so a simulate and a grade
+        can ride the same slab.
+        """
+        sim = session._simulator(test_class, "auto", "auto")
+        key = (session.circuit_hash, test_class.value)
+        return self.coalescer.run(
+            key,
+            request.patterns,
+            request.faults,
+            lambda packed, faults: sim.detection_masks(packed, faults),
+        )
 
     def _dispatch(self, session: AtpgSession, request: Request) -> Dict:
         test_class = resolve_test_class(request.test_class)
@@ -344,9 +444,7 @@ class AtpgService:
             )
             return serde.campaign_report_to_payload(report)
         if isinstance(request, SimulateRequest):
-            masks = session.simulate(
-                request.patterns, request.faults, test_class=test_class
-            )
+            masks = self._detection_masks(session, request, test_class)
             return stamp(
                 "repro/simulate-report",
                 {
@@ -358,10 +456,14 @@ class AtpgService:
                 },
             )
         if isinstance(request, GradeRequest):
+            masks = self._detection_masks(session, request, test_class)
             return stamp(
                 "repro/grade-report",
-                session.grade(
-                    request.patterns, request.faults, test_class=test_class
+                session.grade_from_masks(
+                    masks,
+                    n_patterns=len(request.patterns),
+                    n_faults=len(request.faults),
+                    test_class=test_class,
                 ),
             )
         if isinstance(request, PathsRequest):
@@ -371,19 +473,130 @@ class AtpgService:
             )
         raise TypeError(f"unhandled request type {type(request).__name__}")
 
-    # ------------------------------------------------------------ wire API
-    def handle_json(self, verb: str, payload: Dict) -> Response:
-        """Decode, dispatch, and envelope one wire-format request."""
+    # ------------------------------------------------------------ jobs
+    @property
+    def jobs(self) -> JobManager:
+        """The async job queue (created on first use)."""
+        with self._jobs_gate:
+            if self._jobs is None:
+                self._jobs = JobManager(
+                    self._run_job,
+                    workers=self.config.workers,
+                    max_queue=self.config.max_queue,
+                    jobs_dir=self.config.jobs_dir,
+                    max_jobs_per_tenant=self.config.max_jobs_per_tenant,
+                )
+            return self._jobs
+
+    def _run_job(self, job: Job, control) -> Optional[Dict]:
+        """Execute one queued campaign job (called on a worker thread).
+
+        The job's checkpoint path is a host decision (under the jobs
+        directory), never a request parameter; ``resume=True`` makes
+        re-runs after a cancel/restart continue from the flushed
+        checkpoint instead of starting over.  Returns ``None`` when
+        the campaign was parked by a graceful shutdown.
+        """
+        request = request_from_payload(job.verb, job.payload)
+        if not isinstance(request, CampaignRequest):
+            raise TypeError(f"job verb {job.verb!r} is not executable")
+        session = self._resolve_session(request)
+        from ..campaign.universe import FaultUniverse  # lazy: cycle
+
+        universe = FaultUniverse.from_circuit(
+            session.circuit,
+            max_faults=request.max_faults,
+            min_length=request.min_length,
+            max_length=request.max_length,
+        )
+        options = Options.adopt(_scrub_options(request.options))
+        if job.checkpoint is not None:
+            options = options.merged(
+                checkpoint=job.checkpoint, checkpoint_every=1, resume=True
+            )
+        report = session.campaign(
+            universe=universe,
+            test_class=resolve_test_class(request.test_class),
+            options=options,
+            control=control,
+        )
+        if not report.complete and control.should_stop():
+            return None  # parked (shutdown) or stopping (cancel)
+        return serde.campaign_report_to_payload(report)
+
+    def submit_campaign(
+        self, payload: Dict, tenant: str = "anonymous"
+    ) -> Response:
+        """Validate and enqueue an async campaign; 202 + job record."""
         try:
-            request = request_from_payload(verb, payload)
-        except (SchemaError, ResolutionError) as exc:
+            request_from_payload("campaign", payload)  # fail fast, pre-queue
+        except (SchemaError, ResolutionError, ValueError) as exc:
+            with self._lock:
+                self.requests_failed += 1
             return Response(
                 ok=False,
                 payload={"error": type(exc).__name__, "detail": str(exc)},
                 status=400,
             )
-        return self.handle(request)
+        try:
+            job = self.jobs.submit("campaign", payload, tenant=tenant)
+        except QuotaExceeded as exc:
+            with self._lock:
+                self.requests_failed += 1
+            return Response(
+                ok=False,
+                payload={"error": "QuotaExceeded", "detail": str(exc)},
+                status=429,
+                retry_after=exc.retry_after,
+            )
+        with self._lock:
+            self.requests_ok += 1
+        return Response(ok=True, payload=job.snapshot(), status=202)
 
+    def job_response(self, job_id: str) -> Response:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return Response(
+                ok=False,
+                payload={"error": "NotFound", "detail": f"no job {job_id!r}"},
+                status=404,
+            )
+        return Response(ok=True, payload=job.snapshot())
+
+    def cancel_job(self, job_id: str) -> Response:
+        job = self.jobs.cancel(job_id)
+        if job is None:
+            return Response(
+                ok=False,
+                payload={"error": "NotFound", "detail": f"no job {job_id!r}"},
+                status=404,
+            )
+        return Response(ok=True, payload=job.snapshot())
+
+    def job_list_response(self) -> Response:
+        jobs = [job.body() for job in self.jobs.list()]
+        return Response(
+            ok=True, payload=stamp("repro/job-list", {"jobs": jobs})
+        )
+
+    # ------------------------------------------------------------ wire API
+    def handle_json(
+        self, verb: str, payload: Dict, tenant: str = "anonymous"
+    ) -> Response:
+        """Decode, dispatch, and envelope one wire-format request."""
+        try:
+            request = request_from_payload(verb, payload)
+        except (SchemaError, ResolutionError) as exc:
+            with self._lock:
+                self.requests_failed += 1
+            return Response(
+                ok=False,
+                payload={"error": type(exc).__name__, "detail": str(exc)},
+                status=400,
+            )
+        return self.handle(request, tenant=tenant)
+
+    # ------------------------------------------------------------ observe
     def health(self) -> Dict:
         from .. import __version__
 
@@ -392,13 +605,60 @@ class AtpgService:
                 {"circuit": s.circuit.name, "hash": key[:12]}
                 for key, s in self._sessions.items()
             ]
-            served = self.requests_served
+            ok, failed = self.requests_ok, self.requests_failed
+            opened = self.sessions_opened
         return {
             "status": "ok",
             "version": __version__,
-            "requests_served": served,
+            "requests_served": ok + failed,
+            "requests_ok": ok,
+            "requests_failed": failed,
+            "sessions_opened": opened,
+            "queue_depth": self.queue_depth(),
             "sessions": sessions,
         }
+
+    def queue_depth(self) -> int:
+        with self._jobs_gate:
+            manager = self._jobs
+        return 0 if manager is None else manager.queue_depth()
+
+    def metrics(self) -> Dict:
+        """The enveloped ``repro/metrics`` observability payload."""
+        with self._lock:
+            body: Dict = {
+                "requests_ok": self.requests_ok,
+                "requests_failed": self.requests_failed,
+                "sessions_opened": self.sessions_opened,
+                "sessions_cached": self.sessions_cached,
+            }
+        coalescer = self.coalescer.stats()
+        body["requests_coalesced"] = coalescer["merged_requests"]
+        body["coalescer"] = coalescer
+        with self._jobs_gate:
+            manager = self._jobs
+        if manager is None:
+            body["queue_depth"] = 0
+            body["jobs"] = {
+                state: 0
+                for state in (
+                    "queued", "running", "done",
+                    "failed", "cancelled", "interrupted",
+                )
+            }
+        else:
+            body["queue_depth"] = manager.queue_depth()
+            body["jobs"] = manager.counts()
+        body["uptime_seconds"] = time.time() - self._started
+        return stamp("repro/metrics", body)
+
+    # ------------------------------------------------------------ shutdown
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Drain the job queue gracefully (see ``JobManager.shutdown``)."""
+        with self._jobs_gate:
+            manager = self._jobs
+        if manager is not None:
+            manager.shutdown(timeout=timeout)
 
 
 def _scrub_options(options: Optional[Options]) -> Optional[Options]:
@@ -432,49 +692,124 @@ def _strip_patterns(report):
 class _Handler(BaseHTTPRequestHandler):
     service: AtpgService  # injected by make_server
     quiet: bool = True
+    # HTTP/1.1 keep-alive: clients reuse one connection across
+    # requests (every response carries Content-Length, so the stdlib
+    # handler can hold the socket open); cuts per-request TCP setup
+    protocol_version = "HTTP/1.1"
+    # the handler writes status+headers and the JSON body as separate
+    # send()s; with Nagle on, the body sits in the kernel waiting for
+    # the client's delayed ACK — a ~40 ms stall on every keep-alive
+    # response after the first
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------ plumbing
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if not self.quiet:  # pragma: no cover - log formatting
-            super().log_message(format, *args)
+        pass  # replaced by the structured access log in _access
 
-    def _send(self, status: int, payload: Dict) -> None:
+    def _tenant(self) -> str:
+        return self.headers.get("X-Tenant", "anonymous")
+
+    def _send(
+        self,
+        status: int,
+        payload: Dict,
+        retry_after: Optional[float] = None,
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header(
+                "Retry-After", str(max(1, int(round(retry_after))))
+            )
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
 
-    def _route(self) -> Tuple[str, str]:
+    def _send_envelope(self, response: Response) -> None:
+        self._send(
+            response.status, response.envelope(), retry_after=response.retry_after
+        )
+
+    def _access(self, method: str, started: float) -> None:
+        """One structured JSON access-log line per request (stderr)."""
+        if self.quiet:  # pragma: no cover - log formatting
+            return
+        record = {
+            "ts": round(time.time(), 3),
+            "method": method,
+            "path": self.path,
+            "status": getattr(self, "_status", 0),
+            "tenant": self._tenant(),
+            "duration_ms": round((time.monotonic() - started) * 1000.0, 3),
+        }
+        print(json.dumps(record), file=sys.stderr, flush=True)
+
+    def _route(self) -> List[str]:
+        """Path segments under the version prefix ([] = no match)."""
         parts = [p for p in self.path.split("?")[0].split("/") if p]
-        if len(parts) != 2 or parts[0] != __version_tag__:
-            return "", ""
-        return parts[0], parts[1]
+        if not parts or parts[0] != __version_tag__:
+            return []
+        return parts[1:]
 
     # ------------------------------------------------------------ verbs
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        _version, endpoint = self._route()
-        if endpoint == "health":
+        started = time.monotonic()
+        parts = self._route()
+        if parts in (["health"], ["healthz"]):
             self._send(200, self.service.health())
-        elif endpoint == "schemas":
+        elif parts == ["metrics"]:
+            self._send(200, self.service.metrics())
+        elif parts == ["schemas"]:
             self._send(200, {"schemas": list(iter_schema_summary())})
+        elif parts == ["jobs"]:
+            self._send_envelope(self.service.job_list_response())
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._send_envelope(self.service.job_response(parts[1]))
         else:
             self._send(404, {"error": "NotFound", "detail": self.path})
+        self._access("GET", started)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        _version, verb = self._route()
-        if not verb:
-            self._send(404, {"error": "NotFound", "detail": self.path})
+        started = time.monotonic()
+        parts = self._route()
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            self._send_envelope(self.service.cancel_job(parts[1]))
+            self._access("POST", started)
             return
+        if len(parts) != 1:
+            self._send(404, {"error": "NotFound", "detail": self.path})
+            self._access("POST", started)
+            return
+        verb = parts[0]
         try:
             length = int(self.headers.get("Content-Length", "0"))
             payload = json.loads(self.rfile.read(length) or b"{}")
         except (ValueError, json.JSONDecodeError) as exc:
             self._send(400, {"error": "BadRequest", "detail": str(exc)})
+            self._access("POST", started)
             return
-        response = self.service.handle_json(verb, payload)
-        self._send(response.status, response.envelope())
+        if verb == "campaign":
+            # campaigns are long-running: async job submission (202 +
+            # job id; poll GET /v1/jobs/<id>)
+            response = self.service.submit_campaign(
+                payload, tenant=self._tenant()
+            )
+        else:
+            response = self.service.handle_json(
+                verb, payload, tenant=self._tenant()
+            )
+        self._send_envelope(response)
+        self._access("POST", started)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # dozens of clients may connect in the same instant (the load
+    # generator does exactly that); the stdlib default listen backlog
+    # of 5 drops the rest into 1-second SYN retransmits
+    request_queue_size = 128
 
 
 def make_server(
@@ -482,11 +817,14 @@ def make_server(
     port: int = DEFAULT_PORT,
     service: Optional[AtpgService] = None,
     quiet: bool = True,
+    config: Optional[ServiceOptions] = None,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) the HTTP server; ``port=0`` auto-picks."""
-    service = service or AtpgService()
+    service = service or AtpgService(config=config)
     handler = type("BoundHandler", (_Handler,), {"service": service, "quiet": quiet})
-    return ThreadingHTTPServer((host, port), handler)
+    server = _Server((host, port), handler)
+    server.service = service  # type: ignore[attr-defined] - convenience
+    return server
 
 
 def run_server(
@@ -494,16 +832,44 @@ def run_server(
     port: int = DEFAULT_PORT,
     service: Optional[AtpgService] = None,
     quiet: bool = False,
+    config: Optional[ServiceOptions] = None,
 ) -> None:  # pragma: no cover - blocking loop; exercised via make_server
-    """Serve forever (the ``tip serve`` entry point)."""
-    server = make_server(host, port, service, quiet=quiet)
+    """Serve forever (the ``tip serve`` entry point).
+
+    SIGTERM and SIGINT trigger a graceful drain: the HTTP loop stops
+    accepting, running campaign jobs flush their checkpoints and park
+    as ``interrupted``, queued jobs persist — a restart over the same
+    ``--jobs-dir`` resumes them.
+    """
+    server = make_server(host, port, service, quiet=quiet, config=config)
+    service = server.service  # type: ignore[attr-defined]
     bound_host, bound_port = server.server_address[:2]
     print(f"tip serve: listening on http://{bound_host}:{bound_port}/v1/")
-    print("endpoints: GET /v1/health, GET /v1/schemas, POST /v1/"
-          + "|".join(sorted(_REQUEST_TYPES)))
+    print(
+        "endpoints: GET /v1/health|healthz|metrics|schemas|jobs|jobs/<id>, "
+        "POST /v1/" + "|".join(sorted(_REQUEST_TYPES))
+        + " (campaign is async: poll /v1/jobs/<id>), POST /v1/jobs/<id>/cancel"
+    )
+
+    def _drain(signum, _frame):  # pragma: no cover - signal path
+        print(f"\ntip serve: {signal.Signals(signum).name} received, draining")
+        # serve_forever blocks this (main) thread; shutdown() must be
+        # called from another thread or it deadlocks
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _drain)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down")
+    except KeyboardInterrupt:  # pragma: no cover - belt and braces
+        pass
     finally:
+        service.shutdown()  # park running jobs resumably, persist queue
         server.server_close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        print("tip serve: stopped")

@@ -153,6 +153,7 @@ class AtpgSession:
         universe=None,
         test_class: Union[str, TestClass] = TestClass.NONROBUST,
         options: Optional[Options] = None,
+        control=None,
         **overrides,
     ):
         """The staged pipeline: stream → shard → generate → drop.
@@ -160,7 +161,9 @@ class AtpgSession:
         Accepts a materialized fault list, a
         :class:`repro.campaign.FaultUniverse`, or neither (the full
         structural universe is streamed).  Returns a
-        :class:`repro.campaign.CampaignReport`.
+        :class:`repro.campaign.CampaignReport`.  *control* is an
+        optional :class:`repro.campaign.CampaignControl` — the
+        cancellation/progress hook the service's job queue uses.
         """
         from ..campaign.runner import execute_campaign  # lazy: import cycle
 
@@ -170,6 +173,7 @@ class AtpgSession:
             test_class=resolve_test_class(test_class),
             options=self._options(options, overrides),
             universe=universe,
+            control=control,
         )
 
     # ------------------------------------------------------------ simulate
@@ -241,17 +245,10 @@ class AtpgSession:
                 patterns, faults, test_class=test_class, backend=backend,
                 fusion=fusion,
             )
-        flags = [bool(mask) for mask in masks]
-        detected = sum(flags)
-        report: Dict[str, object] = {
-            "circuit": self.circuit.name,
-            "test_class": resolved_class.value,
-            "patterns": len(patterns),
-            "faults": len(faults),
-            "detected": detected,
-            "coverage": detected / len(faults) if faults else 1.0,
-            "detected_flags": flags,
-        }
+        report = self.grade_from_masks(
+            masks, n_patterns=len(patterns), n_faults=len(faults),
+            test_class=resolved_class,
+        )
         if strength:
             strengths = []
             counts = {"hazard_free_robust": 0, "robust": 0, "nonrobust": 0}
@@ -270,6 +267,33 @@ class AtpgSession:
             report["strengths"] = strengths
             report["strength_counts"] = counts
         return report
+
+    def grade_from_masks(
+        self,
+        masks: Sequence[int],
+        *,
+        n_patterns: int,
+        n_faults: int,
+        test_class: Union[str, TestClass] = TestClass.NONROBUST,
+    ) -> Dict[str, object]:
+        """The grade-report body from already-computed detection masks.
+
+        Shared by :meth:`grade` and by callers that obtained the masks
+        another way — notably the service coalescer, which demuxes one
+        merged-slab simulation into per-request mask lists and still
+        needs each request's own report.
+        """
+        flags = [bool(mask) for mask in masks]
+        detected = sum(flags)
+        return {
+            "circuit": self.circuit.name,
+            "test_class": resolve_test_class(test_class).value,
+            "patterns": n_patterns,
+            "faults": n_faults,
+            "detected": detected,
+            "coverage": detected / n_faults if n_faults else 1.0,
+            "detected_flags": flags,
+        }
 
     # ------------------------------------------------------------ paths
     def paths(

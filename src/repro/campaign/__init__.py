@@ -20,11 +20,12 @@ from .report import (
     CampaignReport,
     CampaignStats,
 )
-from .runner import execute_campaign, run_campaign
+from .runner import CampaignControl, execute_campaign, run_campaign
 from .scheduler import PoolExecutor, SerialExecutor, ShardResult
 from .universe import FaultUniverse
 
 __all__ = [
+    "CampaignControl",
     "CampaignOptions",
     "execute_campaign",
     "CampaignReport",

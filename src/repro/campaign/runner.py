@@ -57,6 +57,33 @@ from .universe import FaultUniverse
 _ADMIT_CHUNK = 4096
 
 
+class CampaignControl:
+    """Host hooks into a running campaign (cancellation and progress).
+
+    The service's job queue passes one of these so a long-running
+    campaign can be observed and stopped at round boundaries without
+    the runner knowing anything about jobs or HTTP:
+
+    * :meth:`should_stop` is polled once per loop iteration; returning
+      ``True`` makes the runner flush a checkpoint (when one is
+      configured) and return the partial report with
+      ``complete=False`` — exactly the state a later ``resume=True``
+      run continues from.
+    * :meth:`on_round` receives a small progress dict after every
+      generation round (``rounds``, ``settled``, ``streamed``,
+      ``pending``, ``patterns``).
+
+    The default implementation never stops and ignores progress;
+    subclass and override what you need.
+    """
+
+    def should_stop(self) -> bool:
+        return False
+
+    def on_round(self, progress: Dict[str, int]) -> None:  # pragma: no cover
+        pass
+
+
 class _Campaign:
     """One campaign run's mutable state and round loop."""
 
@@ -66,8 +93,10 @@ class _Campaign:
         universe: FaultUniverse,
         test_class: TestClass,
         options: Options,
+        control: Optional[CampaignControl] = None,
     ):
         options.validate()
+        self.control = control
         self.circuit = circuit
         self.universe = universe
         self.options = options
@@ -321,9 +350,19 @@ class _Campaign:
         self.report.complete = bool(payload["complete"])
         return True
 
+    def _progress(self) -> Dict[str, int]:
+        return {
+            "rounds": self.report.stats.rounds,
+            "settled": len(self.report.statuses),
+            "streamed": self.report.stats.streamed,
+            "pending": len(self.pending),
+            "patterns": len(self.bus.patterns),
+        }
+
     # ------------------------------------------------------------ main loop
     def run(self) -> CampaignReport:
         options = self.options
+        control = self.control
         t_start = time.perf_counter()
         resumed = self.try_resume()
         if resumed and self.report.complete:
@@ -339,8 +378,12 @@ class _Campaign:
             options.fusion,
         )
         rounds_since_checkpoint = 0
+        stopped = False
         try:
             while True:
+                if control is not None and control.should_stop():
+                    stopped = True
+                    break
                 self.pull(stream)
                 progressed = False
                 if options.use_fptpg:
@@ -348,6 +391,8 @@ class _Campaign:
                 if not progressed and options.use_aptpg:
                     progressed = self.aptpg_round(executor)
                 if progressed:
+                    if control is not None:
+                        control.on_round(self._progress())
                     rounds_since_checkpoint += 1
                     if rounds_since_checkpoint >= options.checkpoint_every:
                         self.report.stats.seconds_simulate = (
@@ -376,6 +421,18 @@ class _Campaign:
                 break
         finally:
             executor.close()
+        if stopped:
+            # interrupted at a round boundary: flush a resumable
+            # snapshot (pending faults stay pending) and hand back the
+            # partial report — complete stays False
+            self.report.patterns = self.bus.patterns
+            stats = self.report.stats
+            stats.seconds_simulate = self.bus.seconds_simulate
+            stats.compactions = self.bus.compactions
+            stats.patterns_compacted_away = self.bus.patterns_compacted_away
+            stats.seconds_wall += time.perf_counter() - t_start
+            self.save_checkpoint()
+            return self.report
         # residue: deferred faults that APTPG never ran (ablations)
         for index in list(self.pending):
             self.settle(
@@ -398,6 +455,7 @@ def execute_campaign(
     test_class: TestClass = TestClass.NONROBUST,
     options: Optional[Options] = None,
     universe: Optional[FaultUniverse] = None,
+    control: Optional[CampaignControl] = None,
 ) -> CampaignReport:
     """Run a staged ATPG campaign over *circuit* (the implementation).
 
@@ -405,7 +463,10 @@ def execute_campaign(
     *universe* (the streaming path); with neither, the full structural
     fault universe of the circuit is streamed.  This is what
     :meth:`repro.api.AtpgSession.campaign` (and the deprecated
-    :func:`run_campaign` shim) executes.
+    :func:`run_campaign` shim) executes.  An optional
+    :class:`CampaignControl` lets the host observe round progress and
+    stop the run at a round boundary with a resumable checkpoint (the
+    service's job queue uses this for cancel and graceful shutdown).
     """
     options = options or Options()
     if universe is None:
@@ -416,7 +477,7 @@ def execute_campaign(
     elif faults is not None:
         raise ValueError("pass either faults or universe, not both")
     circuit.compiled()  # lower once; workers rebuild from the same form
-    return _Campaign(circuit, universe, test_class, options).run()
+    return _Campaign(circuit, universe, test_class, options, control).run()
 
 
 def run_campaign(

@@ -894,16 +894,37 @@ def main_experiments(argv: Optional[List[str]] = None) -> int:
 
 def main_serve(argv: Optional[List[str]] = None) -> int:
     """Run the JSON service endpoint (repro.api.service)."""
+    from .api.options import ServiceOptions
     from .api.service import DEFAULT_PORT, AtpgService, run_server
 
     parser = argparse.ArgumentParser(
         prog="tip-serve",
         description=(
-            "Long-lived JSON service endpoint over the AtpgSession façade: "
-            "POST /v1/generate|campaign|simulate|grade|paths with an "
-            "enveloped request body; GET /v1/health and /v1/schemas.  "
-            "Sessions are cached by circuit hash, so repeated requests "
-            "against the same netlist skip re-lowering the kernel."
+            "Long-lived multi-tenant JSON service over the AtpgSession "
+            "façade: POST /v1/generate|simulate|grade|paths run "
+            "synchronously; POST /v1/campaign returns a job id "
+            "immediately (poll GET /v1/jobs/<id>, cancel with POST "
+            "/v1/jobs/<id>/cancel).  Sessions are cached by circuit "
+            "hash with single-flight lowering; with "
+            "--coalesce-window-ms > 0, concurrent simulate/grade "
+            "requests against the same circuit merge into one shared "
+            "lane slab (one kernel call, demultiplexed per request, "
+            "bit-identical to serial).  A full job queue answers 429 "
+            "with Retry-After."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "quick start:\n"
+            "  tip serve --port 8470 --workers 2 --coalesce-window-ms 5 \\\n"
+            "            --jobs-dir /var/tmp/tip-jobs &\n"
+            "  curl -s localhost:8470/v1/healthz\n"
+            "  curl -s -XPOST localhost:8470/v1/campaign -H 'X-Tenant: me' \\\n"
+            "    -d '{\"schema\":\"repro/request.campaign\","
+            "\"schema_version\":1,\"circuit\":\"c880\"}'\n"
+            "  curl -s localhost:8470/v1/jobs/<id>   # poll state/progress\n"
+            "  curl -s localhost:8470/v1/metrics     # counters + queue depth\n"
+            "SIGTERM drains gracefully: running campaigns checkpoint and\n"
+            "resume on the next start over the same --jobs-dir."
         ),
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -917,13 +938,61 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
         help="circuits kept lowered in the LRU session cache",
     )
     parser.add_argument(
-        "--quiet", action="store_true", help="suppress per-request logging"
+        "--workers",
+        type=int,
+        default=2,
+        help="job-queue worker threads executing async campaigns",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="queued-job bound; beyond it submissions get 429 + Retry-After",
+    )
+    parser.add_argument(
+        "--coalesce-window-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help=(
+            "merge window for concurrent same-circuit simulate/grade "
+            "requests (0 disables coalescing)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for job records and campaign checkpoints; "
+            "enables restart recovery (default: in-memory only)"
+        ),
+    )
+    parser.add_argument(
+        "--max-jobs-per-tenant",
+        type=int,
+        default=0,
+        metavar="N",
+        help="active jobs one X-Tenant may hold at once (0 = unlimited)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the structured JSON access log (stderr)",
     )
     args = parser.parse_args(argv)
+    config = ServiceOptions(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        coalesce_window_ms=args.coalesce_window_ms,
+        jobs_dir=args.jobs_dir,
+        max_sessions=args.max_sessions,
+        max_jobs_per_tenant=args.max_jobs_per_tenant,
+    )
     run_server(
         host=args.host,
         port=args.port,
-        service=AtpgService(max_sessions=args.max_sessions),
+        service=AtpgService(config=config),
         quiet=args.quiet,
     )
     return 0

@@ -65,7 +65,14 @@ from .compiled import (
     CompiledCircuit,
     compile_circuit,
 )
-from .packed import FULL_WORD, PackedPatterns, int_to_words, pack_bits, words_to_int
+from .packed import (
+    FULL_WORD,
+    PackedPatterns,
+    int_to_words,
+    pack_bits,
+    rows_to_ints,
+    words_to_int,
+)
 
 __all__ = [
     "BACKEND_MODES",
@@ -107,5 +114,6 @@ __all__ = [
     "pack_bits",
     "planes7_fn",
     "planes10_fn",
+    "rows_to_ints",
     "words_to_int",
 ]

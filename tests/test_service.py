@@ -254,3 +254,270 @@ class TestAcceptanceCriterion:
         assert envelope["ok"]
         report = serde.tpg_report_from_payload(envelope["result"])
         assert [record.status.value for record in report.records] == expected
+
+
+# ---------------------------------------------------------------------------
+# concurrency: single-flight sessions + request coalescing
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrency:
+    def test_thread_hammer_lowers_each_circuit_once(self):
+        """N threads x M circuits: one lowering per circuit, no more."""
+        circuits = ["c17", "paper_example", "c880"]
+        service = AtpgService()
+        errors = []
+
+        def hammer(seed):
+            rng = __import__("random").Random(seed)
+            order = circuits * 2
+            rng.shuffle(order)
+            for spec in order:
+                response = service.handle(PathsRequest(circuit=spec))
+                if not response.ok:
+                    errors.append(response.payload)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert service.sessions_opened <= len(circuits)
+        assert service.requests_served == 8 * len(circuits) * 2
+
+    def test_coalesced_grades_are_bit_identical_to_serial(self):
+        """Concurrent same-circuit grades merge yet demux per request."""
+        from repro.api import ServiceOptions
+        from repro.core.patterns import random_patterns
+
+        circuit = c17()
+        faults = all_faults(circuit)
+        requests = [
+            GradeRequest(
+                circuit="c17",
+                patterns=random_patterns(circuit, 8, seed=seed),
+                faults=faults,
+            )
+            for seed in range(6)
+        ]
+        serial = AtpgService()
+        expected = [
+            serial.handle(request).payload["detected_flags"]
+            for request in requests
+        ]
+
+        service = AtpgService(
+            config=ServiceOptions(coalesce_window_ms=50.0)
+        )
+        service.handle(PathsRequest(circuit="c17"))  # pre-lower
+        results = [None] * len(requests)
+        barrier = threading.Barrier(len(requests))
+
+        def grade(index):
+            barrier.wait()
+            results[index] = service.handle(requests[index])
+
+        threads = [
+            threading.Thread(target=grade, args=(k,))
+            for k in range(len(requests))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index, response in enumerate(results):
+            assert response.ok
+            assert response.payload["detected_flags"] == expected[index]
+        stats = service.coalescer.stats()
+        # the barrier + window guarantee at least one real merge
+        assert stats["merged_requests"] >= 2
+        assert stats["batches"] < stats["requests"]
+
+
+# ---------------------------------------------------------------------------
+# the async job queue
+# ---------------------------------------------------------------------------
+
+
+def _poll_until(service, job_id, states, deadline=120.0):
+    import time as _time
+
+    end = _time.monotonic() + deadline
+    while _time.monotonic() < end:
+        payload = service.job_response(job_id).payload
+        if payload["state"] in states:
+            return payload
+        _time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never reached {states}")
+
+
+class TestJobQueue:
+    def test_submit_poll_result_matches_sync_campaign(self):
+        from repro.api import CampaignRequest
+
+        service = AtpgService()
+        sync = service.handle(CampaignRequest(circuit="c17", max_faults=8))
+        assert sync.ok
+
+        request = stamp(
+            "repro/request.campaign", {"circuit": "c17", "max_faults": 8}
+        )
+        submitted = service.submit_campaign(request, tenant="alice")
+        assert submitted.ok and submitted.status == 202
+        validate(submitted.payload, kind="repro/job")
+        job_id = submitted.payload["id"]
+        record = _poll_until(service, job_id, ("done", "failed"))
+        assert record["state"] == "done"
+        assert record["tenant"] == "alice"
+        result = record["result"]
+        assert result["statuses"] == sync.payload["statuses"]
+        service.shutdown()
+
+    def test_malformed_submission_fails_fast_before_the_queue(self):
+        service = AtpgService()
+        response = service.submit_campaign(
+            stamp("repro/request.campaign", {"circuit": "c17", "bogus": 1})
+        )
+        assert not response.ok
+        assert response.status == 400
+
+    def test_unknown_circuit_becomes_a_failed_job(self):
+        # resolution happens on the worker (it may construct a large
+        # circuit), so a bad spec is an async failure, not a 400
+        service = AtpgService()
+        submitted = service.submit_campaign(
+            stamp("repro/request.campaign", {"circuit": "nope"})
+        )
+        assert submitted.ok
+        record = _poll_until(service, submitted.payload["id"], ("failed",))
+        assert "unknown circuit" in record["error"]["detail"]
+        service.shutdown()
+
+    def test_cancel_and_unknown_job_are_clean(self):
+        service = AtpgService()
+        assert service.job_response("missing").status == 404
+        assert service.cancel_job("missing").status == 404
+
+    def test_backpressure_is_429_with_retry_after(self, monkeypatch):
+        """Queue full -> 429 + Retry-After, nothing lost."""
+        from repro.api import ServiceOptions
+
+        release = threading.Event()
+        started = threading.Event()
+
+        def stall(self, job, control):
+            started.set()
+            release.wait(timeout=30)
+            return {"stalled": True}
+
+        monkeypatch.setattr(AtpgService, "_run_job", stall)
+        service = AtpgService(
+            config=ServiceOptions(workers=1, max_queue=1)
+        )
+        request = stamp("repro/request.campaign", {"circuit": "c17"})
+        first = service.submit_campaign(request)
+        assert first.ok
+        assert started.wait(timeout=30)  # worker is now busy
+        second = service.submit_campaign(request)  # fills the queue
+        assert second.ok
+        third = service.submit_campaign(request)
+        assert not third.ok
+        assert third.status == 429
+        assert third.retry_after is not None
+        assert "queue" in third.payload["detail"]
+        release.set()
+        service.shutdown()
+
+    def test_tenant_quota_only_counts_that_tenant(self, monkeypatch):
+        from repro.api import ServiceOptions
+
+        release = threading.Event()
+
+        def stall(self, job, control):
+            release.wait(timeout=30)
+            return {}
+
+        monkeypatch.setattr(AtpgService, "_run_job", stall)
+        service = AtpgService(
+            config=ServiceOptions(
+                workers=1, max_queue=8, max_jobs_per_tenant=1
+            )
+        )
+        request = stamp("repro/request.campaign", {"circuit": "c17"})
+        assert service.submit_campaign(request, tenant="alice").ok
+        blocked = service.submit_campaign(request, tenant="alice")
+        assert blocked.status == 429
+        assert "alice" in blocked.payload["detail"]
+        assert service.submit_campaign(request, tenant="bob").ok
+        release.set()
+        service.shutdown()
+
+    def test_restart_resume_completes_the_campaign(self, tmp_path):
+        """A job parked by shutdown is re-run by the next service."""
+        from repro.api import CampaignRequest, ServiceOptions
+
+        config = ServiceOptions(workers=1, jobs_dir=str(tmp_path))
+        first = AtpgService(config=config)
+        request = stamp(
+            "repro/request.campaign", {"circuit": "c880", "max_faults": 64}
+        )
+        submitted = first.submit_campaign(request)
+        assert submitted.ok
+        job_id = submitted.payload["id"]
+        # drain immediately: the job is parked resumable (queued /
+        # interrupted) or, if the worker outraced us, already done
+        first.shutdown(timeout=60)
+        state = first.job_response(job_id).payload["state"]
+        assert state in ("queued", "interrupted", "done")
+
+        second = AtpgService(config=config)
+        record = _poll_until(second, job_id, ("done", "failed"))
+        assert record["state"] == "done"
+        result = record["result"]
+        assert result["complete"] is True
+        sync = AtpgService().handle(
+            CampaignRequest(circuit="c880", max_faults=64)
+        )
+        assert result["statuses"] == sync.payload["statuses"]
+        second.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# observability
+# ---------------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_metrics_validate_and_count(self):
+        service = AtpgService()
+        service.handle(PathsRequest(circuit="c17"))
+        service.handle(GenerateRequest(circuit="nope"))
+        metrics = service.metrics()
+        validate(metrics, kind="repro/metrics")
+        assert metrics["requests_ok"] == 1
+        assert metrics["requests_failed"] == 1
+        assert metrics["sessions_opened"] == 1
+        assert metrics["queue_depth"] == 0
+        assert set(metrics["jobs"]) == {
+            "queued", "running", "done", "failed", "cancelled", "interrupted"
+        }
+
+    def test_health_splits_ok_and_failed(self):
+        service = AtpgService()
+        service.handle(PathsRequest(circuit="c17"))
+        service.handle(GenerateRequest(circuit="nope"))
+        health = service.health()
+        assert health["requests_ok"] == 1
+        assert health["requests_failed"] == 1
+        assert health["requests_served"] == 2
+        assert health["sessions_opened"] == 1
+        assert health["queue_depth"] == 0
+
+    def test_metrics_and_healthz_over_http(self, server):
+        assert _get(server, "healthz")["status"] == "ok"
+        metrics = _get(server, "metrics")
+        validate(metrics, kind="repro/metrics")
+        assert metrics["uptime_seconds"] >= 0
