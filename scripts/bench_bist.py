@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Regenerate BENCH_bist.json: end-to-end BIST throughput per backend.
+
+Each row times the complete windowed BIST loop
+(:func:`repro.bist.run_bist` behind ``AtpgSession.bist``) — LFSR slab
+generation, the fault-free pass into the MISR, fault grading with
+dropping, and the coverage curve — under one execution tier at a
+time:
+
+* ``interp`` — the compiled kernel's per-gate interpreted loop,
+* ``vector`` / ``codegen`` — the fused numpy strategies,
+* ``native`` — the compiled-C word backend, when a toolchain is
+  available.
+
+Every tier replays the identical pseudorandom stream (same LFSR
+polynomial and seed), and the coverage curve and MISR signature are
+asserted bit-identical across tiers before any timing is trusted —
+speed is never bought with a semantics change.  Throughput is
+patterns per second over the patterns actually applied (fault
+dropping stops identically in every tier).  Usage::
+
+    PYTHONPATH=src python scripts/bench_bist.py [output.json]
+    PYTHONPATH=src python scripts/bench_bist.py --check [output.json]
+
+``--check`` is the CI soft perf guard: it re-reads the JSON and fails
+unless, on every ``bulk2k`` row that carries native columns, the
+native backend grades BIST patterns at least as fast as the
+interpreted loop (correctness is asserted everywhere; absolute
+speedups are only trusted from CI hardware).
+"""
+
+import json
+import platform
+import sys
+import time
+
+from repro.analysis import render_table
+from repro.api import AtpgSession
+from repro.api.resolve import resolve_circuit
+from repro.api.schemas import stamp, validate_file
+from repro.kernel.native import native_available
+
+#: (spec, fault model, fault cap, pattern budget) per row.  bulk2k
+#: (~2k gates, wide and shallow) is where per-gate interpreter
+#: overhead dominates and carries the rows the CI guard reads.
+RUNS = [
+    ("c880", "stuck_at", None, 1024),
+    ("c880", "path_delay", 128, 1024),
+    ("bulk2k", "stuck_at", 256, 1024),
+    ("bulk2k", "path_delay", 64, 1024),
+]
+
+GUARD_CIRCUIT = "bulk2k"
+WINDOW = 256
+REPEAT = 2
+
+
+def _time_bist(session, fault_model, max_faults, max_patterns, overrides):
+    """Best-of-REPEAT full BIST runs; each replays the same stream."""
+    best = float("inf")
+    report = None
+    for _ in range(REPEAT):
+        t0 = time.perf_counter()
+        report = session.bist(
+            fault_model=fault_model,
+            max_faults=max_faults,
+            bist_window=WINDOW,
+            bist_max_patterns=max_patterns,
+            **overrides,
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best, report
+
+
+def bist_row(spec, fault_model, max_faults, max_patterns, native):
+    session = AtpgSession(resolve_circuit(spec))
+    tiers = [
+        ("interp", {"sim_backend": "numpy", "fusion": "interp"}),
+        ("vector", {"sim_backend": "numpy", "fusion": "vector"}),
+        ("codegen", {"sim_backend": "numpy", "fusion": "codegen"}),
+    ]
+    if native:
+        tiers.append(("native", {"sim_backend": "native", "fusion": "auto"}))
+
+    row = {
+        "circuit": session.circuit.name,
+        "fault_model": fault_model,
+        "lfsr_width": 32,
+        "lfsr_kind": "fibonacci",
+        "window": WINDOW,
+    }
+    baseline = None
+    for name, overrides in tiers:
+        seconds, report = _time_bist(
+            session, fault_model, max_faults, max_patterns, overrides
+        )
+        if baseline is None:
+            baseline = report
+            row["patterns"] = report.patterns_applied
+            row["faults"] = report.faults
+            row["detected"] = report.detected
+            row["coverage"] = round(report.coverage, 4)
+            if report.test_class is not None:
+                row["test_class"] = report.test_class.value
+        elif (
+            report.curve != baseline.curve
+            or report.signature != baseline.signature
+        ):
+            raise AssertionError(
+                f"{name} and interp BIST disagree on {session.circuit.name} "
+                f"({fault_model})"
+            )
+        row[f"{name}_seconds"] = round(seconds, 6)
+        row[f"{name}_patterns_per_s"] = round(
+            report.patterns_applied / seconds, 1
+        )
+    if native:
+        row["native_speedup"] = round(
+            row["interp_seconds"] / row["native_seconds"], 2
+        )
+    return row
+
+
+def regenerate(out: str) -> int:
+    native = native_available()
+    rows = [
+        bist_row(spec, fault_model, max_faults, max_patterns, native)
+        for spec, fault_model, max_faults, max_patterns in RUNS
+    ]
+    print(render_table(rows, title="End-to-end BIST throughput per backend"))
+    payload = stamp(
+        "repro/bench-bist",
+        {
+            "benchmark": "bist_throughput",
+            "units": "patterns/second",
+            "python": platform.python_version(),
+            "rows": rows,
+        },
+    )
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
+def check(path: str) -> int:
+    """The CI soft perf guard over an existing artifact."""
+    validate_file(path)
+    with open(path) as handle:
+        payload = json.load(handle)
+    guarded = [
+        row for row in payload["rows"] if row["circuit"] == GUARD_CIRCUIT
+    ]
+    if not guarded:
+        print(f"FAIL {path}: no {GUARD_CIRCUIT} rows to guard on")
+        return 1
+    failures = 0
+    for row in guarded:
+        label = f"{GUARD_CIRCUIT} {row['fault_model']}"
+        native = row.get("native_patterns_per_s")
+        if native is None:
+            # no-toolchain bench host: nothing to guard on this row
+            print(f"ok   {path}: {label} carries no native columns")
+            continue
+        interp = row["interp_patterns_per_s"]
+        if native < interp:
+            print(
+                f"FAIL {path}: native BIST on {label} is slower than the "
+                f"interpreted loop ({native} < {interp} patterns/s)"
+            )
+            failures += 1
+        else:
+            print(
+                f"ok   {path}: {label} native {native} patterns/s >= "
+                f"interp {interp} patterns/s "
+                f"(speedup {row.get('native_speedup')})"
+            )
+    return 1 if failures else 0
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    checking = "--check" in argv
+    argv = [a for a in argv if a != "--check"]
+    out = argv[0] if argv else "BENCH_bist.json"
+    if checking:
+        return check(out)
+    return regenerate(out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

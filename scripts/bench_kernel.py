@@ -13,7 +13,10 @@ bit-identical across every tier:
 * ``grade10`` — 10-valued detection-strength grading (one 5-plane
   forward pass, all three classes per fault),
 * ``stuck_at`` — parallel-pattern stuck-at cone resimulation
-  (per-cone compiled bodies vs the gate-by-gate cone walk).
+  (per-cone compiled bodies vs the gate-by-gate cone walk),
+* ``bist`` — BIST grading: LFSR-generated launch/capture slabs
+  (pattern delivery timed with the simulation, as a BIST engine
+  spends it) through the PPSFP detection-mask kernel.
 
 The ``bulk2k`` circuit (~2k gates, wide and shallow) is the workload
 where per-gate interpreter overhead actually dominates, and carries
@@ -35,7 +38,7 @@ import sys
 
 from repro.api.resolve import resolve_circuit, resolve_test_class
 from repro.api.schemas import stamp, validate_file
-from repro.cli import bench_grade10, bench_ppsfp, bench_stuck_at
+from repro.cli import bench_bist, bench_grade10, bench_ppsfp, bench_stuck_at
 from repro.analysis import render_table
 
 #: (spec, fault cap) per PPSFP row.  bulk2k uses a smaller cap so the
@@ -52,7 +55,7 @@ CIRCUITS = [
 ]
 
 GUARD_CIRCUIT = "bulk2k"
-GUARD_WORKLOADS = ("ppsfp", "grade10", "stuck_at")
+GUARD_WORKLOADS = ("ppsfp", "grade10", "stuck_at", "bist")
 
 
 def regenerate(out: str) -> int:
@@ -76,6 +79,11 @@ def regenerate(out: str) -> int:
     )
     rows.append(
         bench_stuck_at(bulk, n_vectors=256, fault_cap=192, repeat=3, native=True)
+    )
+    rows.append(
+        bench_bist(
+            bulk, test_class, n_patterns=4096, fault_cap=64, repeat=3, native=True
+        )
     )
     print(render_table(rows, title="Fused kernel throughput per workload"))
     payload = stamp(

@@ -3,11 +3,11 @@
 One typed surface for every workload the reproduction supports:
 
 * :class:`AtpgSession` — owns one frozen circuit + compiled kernel;
-  ``generate`` / ``campaign`` / ``simulate`` / ``grade`` / ``paths``
-  all execute behind it,
+  ``generate`` / ``campaign`` / ``simulate`` / ``grade`` / ``bist`` /
+  ``paths`` all execute behind it,
 * :class:`Options` — the unified layered options model (generation →
-  schedule → execution → persistence) that subsumes the deprecated
-  ``TpgOptions`` and ``CampaignOptions``,
+  schedule → execution → persistence → bist) that subsumes the
+  deprecated ``TpgOptions`` and ``CampaignOptions``,
 * :mod:`repro.api.schemas` / :mod:`repro.api.serde` — versioned JSON
   wire format (``schema`` / ``schema_version`` envelope) with
   round-trip codecs for circuits, faults, patterns, and reports,
@@ -21,6 +21,7 @@ from .coalesce import Coalescer
 from .jobs import Job, JobManager, QuotaExceeded
 from .options import (
     DEFAULT_SHARDS,
+    BistOptions,
     ExecutionOptions,
     GenerationOptions,
     Options,
@@ -39,6 +40,7 @@ from .schemas import SchemaError, validate_file
 from .session import AtpgSession
 from .service import (
     AtpgService,
+    BistRequest,
     CampaignRequest,
     GenerateRequest,
     GradeRequest,
@@ -52,6 +54,8 @@ from .service import (
 __all__ = [
     "AtpgService",
     "AtpgSession",
+    "BistOptions",
+    "BistRequest",
     "CampaignRequest",
     "Coalescer",
     "DEFAULT_SHARDS",

@@ -307,6 +307,14 @@ class JobManager:
                 counts[job.state] += 1
         return counts
 
+    def verb_counts(self) -> Dict[str, int]:
+        """Jobs per verb (all states) — the ``jobs_by_verb`` metric."""
+        counts: Dict[str, int] = {}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.verb] = counts.get(job.verb, 0) + 1
+        return counts
+
     def queue_depth(self) -> int:
         with self._lock:
             return len(self._queue)

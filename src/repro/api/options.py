@@ -23,6 +23,10 @@ which each layer adds one concern:
 ``PersistenceOptions``
     adds checkpoint/resume, incremental compaction cadence, and
     record retention.
+``BistOptions``
+    adds the pseudorandom BIST workload knobs — LFSR width/kind/seed,
+    phase-shifter spread, MISR width, window/budget/target-coverage
+    stopping rule (read only by ``AtpgSession.bist``).
 ``Options``
     the full model; what :class:`repro.api.AtpgSession` and the
     service accept everywhere.
@@ -183,7 +187,79 @@ class PersistenceOptions(ExecutionOptions):
 
 
 @dataclass
-class Options(PersistenceOptions):
+class BistOptions(PersistenceOptions):
+    """Layer 5 — the pseudorandom BIST workload (`AtpgSession.bist`).
+
+    Attributes:
+        bist_width: LFSR register width; must be in the
+            known-primitive table unless *bist_polynomial* is given.
+        bist_kind: register form, ``"fibonacci"`` or ``"galois"``.
+        bist_polynomial: characteristic-polynomial override (``None``
+            = the table's primitive polynomial for *bist_width*).
+        bist_seed: nonzero LFSR seed.
+        bist_phase_spread: phase-shifter offset step fanning the
+            register out to the circuit's input count.
+        misr_width: signature register width (the aliasing exponent:
+            escape probability ``2**-misr_width``).
+        bist_window: patterns per simulation window — one kernel call,
+            one coverage-curve point, one progress report each.
+        bist_max_patterns: hard pattern budget.
+        bist_target_coverage: stop once detected/faults reaches this
+            fraction (``None`` = run out the budget).
+    """
+
+    bist_width: int = 32
+    bist_kind: str = "fibonacci"
+    bist_polynomial: Optional[int] = None
+    bist_seed: int = 1
+    bist_phase_spread: int = 1
+    misr_width: int = 32
+    bist_window: int = 256
+    bist_max_patterns: int = 4096
+    bist_target_coverage: Optional[float] = None
+
+    def validate(self) -> None:
+        super().validate()
+        from ..bist.lfsr import (  # lazy: avoid cycles
+            LFSR_KINDS,
+            PRIMITIVE_POLYNOMIALS,
+            default_polynomial,
+        )
+
+        if self.bist_kind not in LFSR_KINDS:
+            raise ValueError(
+                f"unknown bist_kind {self.bist_kind!r} (choose from {LFSR_KINDS})"
+            )
+        if self.bist_polynomial is None:
+            default_polynomial(self.bist_width)  # raises for unknown widths
+        elif self.bist_polynomial.bit_length() - 1 != self.bist_width:
+            raise ValueError(
+                f"bist_polynomial degree {self.bist_polynomial.bit_length() - 1} "
+                f"!= bist_width {self.bist_width}"
+            )
+        if not 1 <= self.bist_seed < (1 << self.bist_width):
+            raise ValueError(
+                f"bist_seed must be nonzero and fit {self.bist_width} bits"
+            )
+        if self.bist_phase_spread < 1:
+            raise ValueError("bist_phase_spread must be >= 1")
+        if self.misr_width not in PRIMITIVE_POLYNOMIALS:
+            known = ", ".join(str(w) for w in sorted(PRIMITIVE_POLYNOMIALS))
+            raise ValueError(
+                f"misr_width must be a table width ({known}), got {self.misr_width}"
+            )
+        if self.bist_window < 1:
+            raise ValueError("bist_window must be >= 1")
+        if self.bist_max_patterns < 1:
+            raise ValueError("bist_max_patterns must be >= 1")
+        if self.bist_target_coverage is not None and not (
+            0.0 < self.bist_target_coverage <= 1.0
+        ):
+            raise ValueError("bist_target_coverage must be in (0, 1]")
+
+
+@dataclass
+class Options(BistOptions):
     """The full unified options model — every workload reads this.
 
     ``Options()`` with no arguments is the production default: the
@@ -234,6 +310,7 @@ class Options(PersistenceOptions):
             "schedule": _own_fields(ScheduleOptions, GenerationOptions),
             "execution": _own_fields(ExecutionOptions, ScheduleOptions),
             "persistence": _own_fields(PersistenceOptions, ExecutionOptions),
+            "bist": _own_fields(BistOptions, PersistenceOptions),
         }
         return {
             layer: {f.name: getattr(self, f.name) for f in layer_fields}
@@ -246,7 +323,9 @@ class Options(PersistenceOptions):
         known = {f.name for f in fields(cls)}
         values: Dict[str, object] = {}
         for layer, entries in layers.items():
-            if layer not in ("generation", "schedule", "execution", "persistence"):
+            if layer not in (
+                "generation", "schedule", "execution", "persistence", "bist"
+            ):
                 raise ValueError(f"unknown options layer {layer!r}")
             for name, value in entries.items():
                 if name not in known:

@@ -79,7 +79,9 @@ PATTERN = obj(
 # decoder fills the rest with defaults.
 
 
-def _options_spec(generation_extra: Optional[Dict] = None) -> Dict:
+def _options_spec(
+    generation_extra: Optional[Dict] = None, bist: bool = False
+) -> Dict:
     generation = {
         "width": INT,
         "backtrack_limit": INT,
@@ -90,31 +92,48 @@ def _options_spec(generation_extra: Optional[Dict] = None) -> Dict:
         "sim_backend": {"enum": ["auto", "int", "numpy", "native"]},
     }
     generation.update(generation_extra or {})
-    return obj(
-        optional={
-            "generation": obj(optional=generation),
-            "schedule": obj(optional={"shards": INT, "window": opt(INT)}),
-            "execution": obj(optional={"workers": INT}),
-            "persistence": obj(
-                optional={
-                    "checkpoint": opt(STR),
-                    "checkpoint_every": INT,
-                    "resume": BOOL,
-                    "compact_every": opt(INT),
-                    "keep_records": BOOL,
-                }
-            ),
-        }
-    )
+    layers = {
+        "generation": obj(optional=generation),
+        "schedule": obj(optional={"shards": INT, "window": opt(INT)}),
+        "execution": obj(optional={"workers": INT}),
+        "persistence": obj(
+            optional={
+                "checkpoint": opt(STR),
+                "checkpoint_every": INT,
+                "resume": BOOL,
+                "compact_every": opt(INT),
+                "keep_records": BOOL,
+            }
+        ),
+    }
+    if bist:
+        layers["bist"] = obj(
+            optional={
+                "bist_width": INT,
+                "bist_kind": LFSR_KIND,
+                "bist_polynomial": opt(INT),
+                "bist_seed": INT,
+                "bist_phase_spread": INT,
+                "misr_width": INT,
+                "bist_window": INT,
+                "bist_max_patterns": INT,
+                "bist_target_coverage": opt(NUM),
+            }
+        )
+    return obj(optional=layers)
 
 
 FUSION = {"enum": ["auto", "interp", "vector", "codegen"]}
+LFSR_KIND = {"enum": ["fibonacci", "galois"]}
+FAULT_MODEL = {"enum": ["stuck_at", "path_delay"]}
 
 #: v1 options wire shape (pre-fusion), kept for old payloads.
 OPTIONS_V1 = _options_spec()
-#: Current options wire shape: v2 adds the generation-layer ``fusion``
-#: strategy (plan execution: interp/vector/codegen/auto).
-OPTIONS = _options_spec({"fusion": FUSION})
+#: v2 adds the generation-layer ``fusion`` strategy.
+OPTIONS_V2 = _options_spec({"fusion": FUSION})
+#: Current options wire shape: v3 adds the ``bist`` layer (the
+#: pseudorandom-BIST workload knobs of ``AtpgSession.bist``).
+OPTIONS = _options_spec({"fusion": FUSION}, bist=True)
 FAULT_RECORD = obj(
     {
         "status": STATUS,
@@ -244,6 +263,35 @@ _BENCH_KERNEL_ROW_V4 = obj(
         "native_speedup": NUM,
     },
 )
+# v5: ``bist`` joins the workload enum — LFSR-fed path-delay grading
+# (pre-generated packed two-vector slab through ``detection_masks``),
+# timed by ``tip bench-sim --workload bist`` alongside the others.
+_BENCH_KERNEL_ROW_V5 = obj(
+    {
+        "circuit": STR,
+        "workload": {"enum": ["ppsfp", "grade10", "stuck_at", "bist"]},
+        "signals": INT,
+        "faults": INT,
+        "patterns": INT,
+        "interp_seconds": NUM,
+        "interp_throughput": NUM,
+    },
+    optional={
+        "test_class": TEST_CLASS,
+        "seed_seconds": NUM,
+        "seed_throughput": NUM,
+        "interp_speedup_vs_seed": NUM,
+        "vector_seconds": NUM,
+        "vector_throughput": NUM,
+        "codegen_seconds": NUM,
+        "codegen_throughput": NUM,
+        "best_fused": {"enum": ["vector", "codegen"]},
+        "fused_speedup": NUM,
+        "native_seconds": NUM,
+        "native_throughput": NUM,
+        "native_speedup": NUM,
+    },
+)
 _BENCH_TPG_ROW = obj(
     {
         "circuit": STR,
@@ -307,6 +355,26 @@ _JOB = obj(
     },
 )
 
+# v2: the job verb becomes a closed enum now that two async verbs
+# exist — campaigns and BIST runs share one queue.
+_JOB_V2 = obj(
+    {
+        "id": STR,
+        "verb": {"enum": ["campaign", "bist"]},
+        "state": JOB_STATE,
+        "tenant": STR,
+        "submitted_at": NUM,
+    },
+    optional={
+        "started_at": opt(NUM),
+        "finished_at": opt(NUM),
+        "progress": obj(open_=True),
+        "result": obj(open_=True),
+        "error": obj({"error": STR}, optional={"detail": STR}),
+        "checkpoint": opt(STR),
+    },
+)
+
 _METRICS = obj(
     {
         "requests_ok": INT,
@@ -330,6 +398,103 @@ _METRICS = obj(
         ),
         "uptime_seconds": NUM,
     }
+)
+
+# v2: per-verb job counters alongside the per-state ones, so dashboards
+# can tell queued campaigns from queued BIST runs.
+_METRICS_V2 = obj(
+    {
+        "requests_ok": INT,
+        "requests_failed": INT,
+        "requests_coalesced": INT,
+        "sessions_opened": INT,
+        "sessions_cached": INT,
+        "queue_depth": INT,
+        "jobs": obj(
+            {
+                "queued": INT,
+                "running": INT,
+                "done": INT,
+                "failed": INT,
+                "cancelled": INT,
+                "interrupted": INT,
+            }
+        ),
+        "jobs_by_verb": obj({"campaign": INT, "bist": INT}),
+        "coalescer": obj(
+            {"batches": INT, "requests": INT, "merged_requests": INT}
+        ),
+        "uptime_seconds": NUM,
+    }
+)
+
+#: BIST report wire shape: full generator/compactor configuration
+#: (register hex values as strings — 64-bit polynomials exceed what
+#: some JSON consumers keep exact), the coverage curve, and the
+#: signature with its aliasing estimate.
+_BIST_REPORT = obj(
+    {
+        "circuit": STR,
+        "fault_model": FAULT_MODEL,
+        "test_class": opt(TEST_CLASS),
+        "lfsr": obj(
+            {
+                "width": INT,
+                "kind": LFSR_KIND,
+                "polynomial": STR,
+                "seed": STR,
+                "phase_spread": INT,
+            }
+        ),
+        "misr": obj(
+            {
+                "width": INT,
+                "polynomial": STR,
+                "signature": STR,
+                "aliasing_probability": NUM,
+            }
+        ),
+        "faults": INT,
+        "detected": INT,
+        "coverage": NUM,
+        "patterns_applied": INT,
+        "windows": INT,
+        "stop_reason": {
+            "enum": ["target_coverage", "all_detected", "max_patterns", "stopped"]
+        },
+        "max_patterns": INT,
+        "target_coverage": opt(NUM),
+        "curve": arr(arr(INT)),  # [patterns, detected] pairs per window
+    }
+)
+
+#: One BIST throughput measurement (``scripts/bench_bist.py``): the
+#: full windowed loop (LFSR slab generation + grading + fault dropping
+#: + MISR compaction) per backend tier, patterns/second.
+_BENCH_BIST_ROW = obj(
+    {
+        "circuit": STR,
+        "fault_model": FAULT_MODEL,
+        "lfsr_width": INT,
+        "lfsr_kind": LFSR_KIND,
+        "patterns": INT,
+        "window": INT,
+        "faults": INT,
+        "interp_seconds": NUM,
+        "interp_patterns_per_s": NUM,
+    },
+    optional={
+        "test_class": TEST_CLASS,
+        "detected": INT,
+        "coverage": NUM,
+        "vector_seconds": NUM,
+        "vector_patterns_per_s": NUM,
+        "codegen_seconds": NUM,
+        "codegen_patterns_per_s": NUM,
+        "native_seconds": NUM,
+        "native_patterns_per_s": NUM,
+        "native_speedup": NUM,
+    },
 )
 
 #: One measured load-generation configuration (``scripts/loadgen.py``):
@@ -378,7 +543,7 @@ def _campaign_report_spec(options_spec: Dict) -> Dict:
 SCHEMAS: Dict[str, Dict[int, Dict]] = {
     "repro/fault": {1: FAULT},
     "repro/pattern": {1: PATTERN},
-    "repro/options": {1: OPTIONS_V1, 2: OPTIONS},
+    "repro/options": {1: OPTIONS_V1, 2: OPTIONS_V2, 3: OPTIONS},
     "repro/circuit": {
         1: obj(
             {
@@ -407,7 +572,8 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
     },
     "repro/campaign-report": {
         1: _campaign_report_spec(OPTIONS_V1),
-        2: _campaign_report_spec(OPTIONS),
+        2: _campaign_report_spec(OPTIONS_V2),
+        3: _campaign_report_spec(OPTIONS),
     },
     "repro/simulate-report": {
         1: obj(
@@ -527,6 +693,14 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
                 "rows": arr(_BENCH_KERNEL_ROW_V4),
             }
         ),
+        5: obj(
+            {
+                "benchmark": {"const": "fused_kernel_throughput"},
+                "units": STR,
+                "python": STR,
+                "rows": arr(_BENCH_KERNEL_ROW_V5),
+            }
+        ),
     },
     "repro/bench-tpg": {
         1: obj(
@@ -565,6 +739,15 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
         2: obj(
             optional={
                 **_REQUEST_CIRCUIT,
+                "options": OPTIONS_V2,
+                "max_faults": opt(INT),
+                "strategy": {"enum": ["all", "longest", "sample"]},
+                "include_patterns": BOOL,
+            }
+        ),
+        3: obj(
+            optional={
+                **_REQUEST_CIRCUIT,
                 "options": OPTIONS,
                 "max_faults": opt(INT),
                 "strategy": {"enum": ["all", "longest", "sample"]},
@@ -585,12 +768,31 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
         2: obj(
             optional={
                 **_REQUEST_CIRCUIT,
+                "options": OPTIONS_V2,
+                "max_faults": opt(INT),
+                "min_length": opt(INT),
+                "max_length": opt(INT),
+            }
+        ),
+        3: obj(
+            optional={
+                **_REQUEST_CIRCUIT,
                 "options": OPTIONS,
                 "max_faults": opt(INT),
                 "min_length": opt(INT),
                 "max_length": opt(INT),
             }
         ),
+    },
+    "repro/request.bist": {
+        1: obj(
+            optional={
+                **_REQUEST_CIRCUIT,
+                "options": OPTIONS,
+                "fault_model": FAULT_MODEL,
+                "max_faults": opt(INT),
+            }
+        )
     },
     "repro/request.simulate": {
         1: obj(
@@ -622,9 +824,10 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
             },
         )
     },
-    "repro/job": {1: _JOB},
-    "repro/job-list": {1: obj({"jobs": arr(_JOB)})},
-    "repro/metrics": {1: _METRICS},
+    "repro/job": {1: _JOB, 2: _JOB_V2},
+    "repro/job-list": {1: obj({"jobs": arr(_JOB)}), 2: obj({"jobs": arr(_JOB_V2)})},
+    "repro/metrics": {1: _METRICS, 2: _METRICS_V2},
+    "repro/bist-report": {1: _BIST_REPORT},
     "repro/bench-service": {
         1: obj(
             {
@@ -636,6 +839,16 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
             }
         )
     },
+    "repro/bench-bist": {
+        1: obj(
+            {
+                "benchmark": {"const": "bist_throughput"},
+                "units": STR,
+                "python": STR,
+                "rows": arr(_BENCH_BIST_ROW),
+            }
+        )
+    },
 }
 
 #: Artifact basename -> expected kind, for file-level validation of
@@ -644,6 +857,7 @@ ARTIFACT_KINDS = {
     "BENCH_kernel.json": "repro/bench-kernel",
     "BENCH_tpg.json": "repro/bench-tpg",
     "BENCH_service.json": "repro/bench-service",
+    "BENCH_bist.json": "repro/bench-bist",
 }
 
 

@@ -41,6 +41,8 @@ __all__ = [
     "tpg_report_from_payload",
     "campaign_report_to_payload",
     "campaign_report_from_payload",
+    "bist_report_to_payload",
+    "bist_report_from_payload",
 ]
 
 
@@ -144,7 +146,7 @@ def options_from_payload(payload: Dict, envelope: bool = True) -> Options:
         validate(payload, kind="repro/options")
     layers = {
         layer: dict(payload[layer])
-        for layer in ("generation", "schedule", "execution", "persistence")
+        for layer in ("generation", "schedule", "execution", "persistence", "bist")
         if layer in payload
     }
     return Options.from_layers(layers)
@@ -278,6 +280,76 @@ def campaign_report_from_payload(payload: Dict, envelope: bool = True):
     )
 
 
+def bist_report_to_payload(report, envelope: bool = True) -> Dict:
+    """Serialize a :class:`repro.bist.BistReport`.
+
+    Register quantities (polynomials, seed, signature) travel as hex
+    strings: 64-bit values exceed what some JSON consumers keep exact.
+    """
+    body = {
+        "circuit": report.circuit_name,
+        "fault_model": report.fault_model,
+        "test_class": (
+            report.test_class.value if report.test_class is not None else None
+        ),
+        "lfsr": {
+            "width": report.lfsr_width,
+            "kind": report.lfsr_kind,
+            "polynomial": hex(report.lfsr_polynomial),
+            "seed": hex(report.lfsr_seed),
+            "phase_spread": report.phase_spread,
+        },
+        "misr": {
+            "width": report.misr_width,
+            "polynomial": hex(report.misr_polynomial),
+            "signature": hex(report.signature),
+            "aliasing_probability": report.aliasing_probability,
+        },
+        "faults": report.faults,
+        "detected": report.detected,
+        "coverage": report.coverage,
+        "patterns_applied": report.patterns_applied,
+        "windows": report.windows,
+        "stop_reason": report.stop_reason,
+        "max_patterns": report.max_patterns,
+        "target_coverage": report.target_coverage,
+        "curve": [[patterns, detected] for patterns, detected in report.curve],
+    }
+    return stamp("repro/bist-report", body) if envelope else body
+
+
+def bist_report_from_payload(payload: Dict, envelope: bool = True):
+    from ..bist.report import BistReport  # lazy: keep bist optional at import
+
+    if envelope:
+        validate(payload, kind="repro/bist-report")
+    lfsr = payload["lfsr"]
+    misr = payload["misr"]
+    test_class = payload["test_class"]
+    return BistReport(
+        circuit_name=payload["circuit"],
+        fault_model=payload["fault_model"],
+        test_class=TestClass(test_class) if test_class is not None else None,
+        lfsr_width=lfsr["width"],
+        lfsr_kind=lfsr["kind"],
+        lfsr_polynomial=int(lfsr["polynomial"], 16),
+        lfsr_seed=int(lfsr["seed"], 16),
+        phase_spread=lfsr["phase_spread"],
+        misr_width=misr["width"],
+        misr_polynomial=int(misr["polynomial"], 16),
+        signature=int(misr["signature"], 16),
+        aliasing_probability=misr["aliasing_probability"],
+        faults=payload["faults"],
+        detected=payload["detected"],
+        patterns_applied=payload["patterns_applied"],
+        windows=payload["windows"],
+        stop_reason=payload["stop_reason"],
+        max_patterns=payload["max_patterns"],
+        target_coverage=payload["target_coverage"],
+        curve=[(patterns, detected) for patterns, detected in payload["curve"]],
+    )
+
+
 # ---------------------------------------------------------------------------
 # generic dispatch
 # ---------------------------------------------------------------------------
@@ -285,8 +357,11 @@ def campaign_report_from_payload(payload: Dict, envelope: bool = True):
 
 def dump(obj) -> Dict:
     """Serialize any supported artifact to its enveloped payload."""
+    from ..bist.report import BistReport  # lazy: import cycle
     from ..campaign.report import CampaignReport  # lazy: import cycle
 
+    if isinstance(obj, BistReport):
+        return bist_report_to_payload(obj)
     if isinstance(obj, PathDelayFault):
         return fault_to_payload(obj)
     if isinstance(obj, TestPattern):
@@ -309,6 +384,7 @@ _LOADERS = {
     "repro/options": options_from_payload,
     "repro/tpg-report": tpg_report_from_payload,
     "repro/campaign-report": campaign_report_from_payload,
+    "repro/bist-report": bist_report_from_payload,
 }
 
 

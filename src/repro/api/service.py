@@ -5,7 +5,8 @@ Three layers:
 * :class:`AtpgService` — a long-lived, transport-free dispatcher.
   Typed request dataclasses (:class:`GenerateRequest`,
   :class:`CampaignRequest`, :class:`SimulateRequest`,
-  :class:`GradeRequest`, :class:`PathsRequest`) map 1:1 onto
+  :class:`GradeRequest`, :class:`PathsRequest`, :class:`BistRequest`)
+  map 1:1 onto
   :class:`repro.api.AtpgSession` methods; results come back as
   :class:`Response` objects carrying schema-stamped JSON payloads.
   Sessions are cached in an LRU keyed by the circuit's structural
@@ -17,11 +18,12 @@ Three layers:
   simulate/grade requests against the same circuit into one shared
   :class:`repro.kernel.PackedPatterns` lane slab (one backend call,
   demultiplexed per request, bit-identical to serial), and
-  :class:`repro.api.jobs.JobManager` runs campaigns asynchronously on
-  a bounded worker pool: ``POST /v1/campaign`` returns a job id
-  immediately, ``GET /v1/jobs/<id>`` polls progress, cancel stops at
-  the next round boundary, and a graceful shutdown parks running jobs
-  resumably (checkpoint flush + ``interrupted`` state).
+  :class:`repro.api.jobs.JobManager` runs campaigns and BIST runs
+  asynchronously on a bounded worker pool: ``POST /v1/campaign`` (or
+  ``/v1/bist``) returns a job id immediately, ``GET /v1/jobs/<id>``
+  polls progress, cancel stops at the next round/window boundary, and
+  a graceful shutdown parks running jobs resumably (checkpoint flush +
+  ``interrupted`` state).
 * :func:`make_server` / :func:`run_server` — a stdlib ``http.server``
   JSON transport over the dispatcher: ``POST /v1/<verb>`` with an
   enveloped request body; ``GET /v1/health`` (alias ``/v1/healthz``),
@@ -138,9 +140,34 @@ class PathsRequest(_CircuitRequest):
     verb = "paths"
 
 
+@dataclass
+class BistRequest(_CircuitRequest):
+    """Pseudorandom BIST run (``AtpgSession.bist``).
+
+    Like campaigns, BIST runs are long-running and execute on the
+    async job queue when submitted over HTTP (``POST /v1/bist`` →
+    202 + job id with per-window progress); ``handle()`` also accepts
+    it synchronously.
+    """
+
+    options: Optional[Options] = None
+    fault_model: str = "stuck_at"
+    max_faults: Optional[int] = None
+
+    verb = "bist"
+
+
 Request = Union[
-    GenerateRequest, CampaignRequest, SimulateRequest, GradeRequest, PathsRequest
+    GenerateRequest,
+    CampaignRequest,
+    SimulateRequest,
+    GradeRequest,
+    PathsRequest,
+    BistRequest,
 ]
+
+#: Verbs that run on the async job queue when POSTed over HTTP.
+ASYNC_VERBS = ("campaign", "bist")
 
 
 @dataclass
@@ -180,6 +207,7 @@ _REQUEST_TYPES: Dict[str, type] = {
         SimulateRequest,
         GradeRequest,
         PathsRequest,
+        BistRequest,
     )
 }
 
@@ -212,6 +240,7 @@ def request_from_payload(verb: str, payload: Dict) -> Request:
         "max_length",
         "histogram",
         "limit",
+        "fault_model",
     ):
         if key in payload and key in names:
             values[key] = payload[key]
@@ -471,6 +500,14 @@ class AtpgService:
                 "repro/paths-report",
                 session.paths(histogram=request.histogram, limit=request.limit),
             )
+        if isinstance(request, BistRequest):
+            report = session.bist(
+                fault_model=request.fault_model,
+                test_class=test_class,
+                options=_scrub_options(request.options),
+                max_faults=request.max_faults,
+            )
+            return serde.bist_report_to_payload(report)
         raise TypeError(f"unhandled request type {type(request).__name__}")
 
     # ------------------------------------------------------------ jobs
@@ -489,47 +526,73 @@ class AtpgService:
             return self._jobs
 
     def _run_job(self, job: Job, control) -> Optional[Dict]:
-        """Execute one queued campaign job (called on a worker thread).
+        """Execute one queued async job (called on a worker thread).
 
-        The job's checkpoint path is a host decision (under the jobs
-        directory), never a request parameter; ``resume=True`` makes
-        re-runs after a cancel/restart continue from the flushed
-        checkpoint instead of starting over.  Returns ``None`` when
-        the campaign was parked by a graceful shutdown.
+        Campaigns: the job's checkpoint path is a host decision (under
+        the jobs directory), never a request parameter;
+        ``resume=True`` makes re-runs after a cancel/restart continue
+        from the flushed checkpoint instead of starting over.  BIST
+        runs have no checkpoint — an interrupted run restarts from the
+        LFSR seed on recovery (deterministic, so the re-run is
+        bit-identical).  Returns ``None`` when the work was parked by
+        a graceful shutdown.
         """
         request = request_from_payload(job.verb, job.payload)
-        if not isinstance(request, CampaignRequest):
-            raise TypeError(f"job verb {job.verb!r} is not executable")
-        session = self._resolve_session(request)
-        from ..campaign.universe import FaultUniverse  # lazy: cycle
+        if isinstance(request, CampaignRequest):
+            session = self._resolve_session(request)
+            from ..campaign.universe import FaultUniverse  # lazy: cycle
 
-        universe = FaultUniverse.from_circuit(
-            session.circuit,
-            max_faults=request.max_faults,
-            min_length=request.min_length,
-            max_length=request.max_length,
-        )
-        options = Options.adopt(_scrub_options(request.options))
-        if job.checkpoint is not None:
-            options = options.merged(
-                checkpoint=job.checkpoint, checkpoint_every=1, resume=True
+            universe = FaultUniverse.from_circuit(
+                session.circuit,
+                max_faults=request.max_faults,
+                min_length=request.min_length,
+                max_length=request.max_length,
             )
-        report = session.campaign(
-            universe=universe,
-            test_class=resolve_test_class(request.test_class),
-            options=options,
-            control=control,
-        )
-        if not report.complete and control.should_stop():
-            return None  # parked (shutdown) or stopping (cancel)
-        return serde.campaign_report_to_payload(report)
+            options = Options.adopt(_scrub_options(request.options))
+            if job.checkpoint is not None:
+                options = options.merged(
+                    checkpoint=job.checkpoint, checkpoint_every=1, resume=True
+                )
+            report = session.campaign(
+                universe=universe,
+                test_class=resolve_test_class(request.test_class),
+                options=options,
+                control=control,
+            )
+            if not report.complete and control.should_stop():
+                return None  # parked (shutdown) or stopping (cancel)
+            return serde.campaign_report_to_payload(report)
+        if isinstance(request, BistRequest):
+            session = self._resolve_session(request)
+            report = session.bist(
+                fault_model=request.fault_model,
+                test_class=resolve_test_class(request.test_class),
+                options=_scrub_options(request.options),
+                max_faults=request.max_faults,
+                control=control,
+            )
+            if report.stop_reason == "stopped" and control.should_stop():
+                return None  # parked (shutdown) or stopping (cancel)
+            return serde.bist_report_to_payload(report)
+        raise TypeError(f"job verb {job.verb!r} is not executable")
 
-    def submit_campaign(
-        self, payload: Dict, tenant: str = "anonymous"
+    def submit_job(
+        self, verb: str, payload: Dict, tenant: str = "anonymous"
     ) -> Response:
-        """Validate and enqueue an async campaign; 202 + job record."""
+        """Validate and enqueue an async job; 202 + job record."""
+        if verb not in ASYNC_VERBS:
+            with self._lock:
+                self.requests_failed += 1
+            return Response(
+                ok=False,
+                payload={
+                    "error": "BadRequest",
+                    "detail": f"verb {verb!r} is not async (known: {ASYNC_VERBS})",
+                },
+                status=400,
+            )
         try:
-            request_from_payload("campaign", payload)  # fail fast, pre-queue
+            request_from_payload(verb, payload)  # fail fast, pre-queue
         except (SchemaError, ResolutionError, ValueError) as exc:
             with self._lock:
                 self.requests_failed += 1
@@ -539,7 +602,7 @@ class AtpgService:
                 status=400,
             )
         try:
-            job = self.jobs.submit("campaign", payload, tenant=tenant)
+            job = self.jobs.submit(verb, payload, tenant=tenant)
         except QuotaExceeded as exc:
             with self._lock:
                 self.requests_failed += 1
@@ -552,6 +615,12 @@ class AtpgService:
         with self._lock:
             self.requests_ok += 1
         return Response(ok=True, payload=job.snapshot(), status=202)
+
+    def submit_campaign(
+        self, payload: Dict, tenant: str = "anonymous"
+    ) -> Response:
+        """Validate and enqueue an async campaign; 202 + job record."""
+        return self.submit_job("campaign", payload, tenant=tenant)
 
     def job_response(self, job_id: str) -> Response:
         job = self.jobs.get(job_id)
@@ -646,9 +715,13 @@ class AtpgService:
                     "failed", "cancelled", "interrupted",
                 )
             }
+            body["jobs_by_verb"] = {verb: 0 for verb in ASYNC_VERBS}
         else:
             body["queue_depth"] = manager.queue_depth()
             body["jobs"] = manager.counts()
+            by_verb = {verb: 0 for verb in ASYNC_VERBS}
+            by_verb.update(manager.verb_counts())
+            body["jobs_by_verb"] = by_verb
         body["uptime_seconds"] = time.time() - self._started
         return stamp("repro/metrics", body)
 
@@ -790,11 +863,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(400, {"error": "BadRequest", "detail": str(exc)})
             self._access("POST", started)
             return
-        if verb == "campaign":
-            # campaigns are long-running: async job submission (202 +
-            # job id; poll GET /v1/jobs/<id>)
-            response = self.service.submit_campaign(
-                payload, tenant=self._tenant()
+        if verb in ASYNC_VERBS:
+            # campaigns and BIST runs are long-running: async job
+            # submission (202 + job id; poll GET /v1/jobs/<id>)
+            response = self.service.submit_job(
+                verb, payload, tenant=self._tenant()
             )
         else:
             response = self.service.handle_json(
@@ -848,7 +921,8 @@ def run_server(
     print(
         "endpoints: GET /v1/health|healthz|metrics|schemas|jobs|jobs/<id>, "
         "POST /v1/" + "|".join(sorted(_REQUEST_TYPES))
-        + " (campaign is async: poll /v1/jobs/<id>), POST /v1/jobs/<id>/cancel"
+        + " (campaign/bist are async: poll /v1/jobs/<id>), "
+        "POST /v1/jobs/<id>/cancel"
     )
 
     def _drain(signum, _frame):  # pragma: no cover - signal path

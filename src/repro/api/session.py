@@ -11,6 +11,8 @@ substrate:
 * :meth:`campaign` — the staged, sharded, checkpointable pipeline,
 * :meth:`simulate` — batched PPSFP detection masks,
 * :meth:`grade` — pattern-set coverage grading with fault dropping,
+* :meth:`bist` — pseudorandom BIST (LFSR pattern slabs, fault-dropping
+  coverage curve, MISR golden signature),
 * :meth:`paths` — structural path/fault statistics and enumeration.
 
 All methods read the one unified :class:`repro.api.Options` model;
@@ -174,6 +176,95 @@ class AtpgSession:
             options=self._options(options, overrides),
             universe=universe,
             control=control,
+        )
+
+    # ------------------------------------------------------------ bist
+    def bist(
+        self,
+        *,
+        fault_model: str = "stuck_at",
+        faults: Optional[Sequence] = None,
+        test_class: Union[str, TestClass] = TestClass.NONROBUST,
+        options: Optional[Options] = None,
+        max_faults: Optional[int] = None,
+        control=None,
+        **overrides,
+    ):
+        """Pseudorandom BIST: LFSR patterns, coverage curve, signature.
+
+        Builds the LFSR/MISR pair from the options' ``bist`` layer,
+        streams windowed packed pattern slabs through the fault
+        simulator with fault dropping, and compacts the fault-free
+        responses into the golden signature.  *fault_model* is
+        ``"stuck_at"`` (single-vector patterns, *test_class* unused)
+        or ``"path_delay"`` (consecutive LFSR states as launch/capture
+        pairs graded under *test_class*).  With ``faults=None`` the
+        circuit's full structural fault list of the chosen model is
+        graded (optionally capped by *max_faults*).  Returns a
+        :class:`repro.bist.BistReport`; *control* is the same
+        cancellation/progress hook :meth:`campaign` takes.
+        """
+        from ..bist import LFSR, MISR, run_bist  # lazy: import cycle
+        from ..bist.report import BistReport
+
+        fault_model = fault_model.replace("-", "_")
+        opts = self._options(options, overrides)
+        opts.validate()
+        resolved_class = resolve_test_class(test_class)
+        if fault_model == "stuck_at":
+            if faults is None:
+                from ..core.stuck_at import all_stuck_at_faults
+
+                fault_set = all_stuck_at_faults(self.circuit)
+                if max_faults is not None:
+                    fault_set = fault_set[:max_faults]
+            else:
+                fault_set = list(faults)
+        else:
+            fault_set = self._faults(faults, max_faults, "all")
+        lfsr = LFSR(
+            opts.bist_width,
+            kind=opts.bist_kind,
+            polynomial=opts.bist_polynomial,
+            seed=opts.bist_seed,
+            phase_spread=opts.bist_phase_spread,
+        )
+        misr = MISR(opts.misr_width)
+        result = run_bist(
+            self.circuit,
+            lfsr,
+            misr,
+            fault_set,
+            fault_model=fault_model,
+            test_class=resolved_class,
+            window=opts.bist_window,
+            max_patterns=opts.bist_max_patterns,
+            target_coverage=opts.bist_target_coverage,
+            backend=opts.sim_backend,
+            fusion=opts.fusion,
+            control=control,
+        )
+        return BistReport(
+            circuit_name=self.circuit.name,
+            fault_model=fault_model,
+            test_class=resolved_class if fault_model == "path_delay" else None,
+            lfsr_width=lfsr.width,
+            lfsr_kind=lfsr.kind,
+            lfsr_polynomial=lfsr.polynomial,
+            lfsr_seed=lfsr.seed,
+            phase_spread=lfsr.phase_spread,
+            misr_width=misr.width,
+            misr_polynomial=misr.polynomial,
+            signature=result.signature,
+            aliasing_probability=misr.aliasing_probability,
+            faults=result.faults,
+            detected=result.detected,
+            patterns_applied=result.patterns_applied,
+            windows=result.windows,
+            stop_reason=result.stop_reason,
+            max_patterns=opts.bist_max_patterns,
+            target_coverage=opts.bist_target_coverage,
+            curve=result.curve,
         )
 
     # ------------------------------------------------------------ simulate

@@ -1,0 +1,26 @@
+"""Pseudorandom BIST: LFSR pattern generation, MISR compaction, coverage curves.
+
+The paper's bit-parallel premise pays off hardest here — millions of
+pseudorandom patterns need grading, none need backtracking.  ``LFSR``
+generates pattern batches directly in packed lane-slab form
+(:class:`repro.kernel.packed.PackedPatterns`), ``MISR`` compacts PO
+response slabs into signatures, and :func:`run_bist` drives the
+fault-dropping coverage-curve loop for both stuck-at and path-delay
+fault models.
+"""
+
+from .lfsr import LFSR, LFSR_KINDS, PRIMITIVE_POLYNOMIALS, default_polynomial
+from .misr import MISR
+from .coverage import BistResult, run_bist
+from .report import BistReport
+
+__all__ = [
+    "BistReport",
+    "BistResult",
+    "LFSR",
+    "LFSR_KINDS",
+    "MISR",
+    "PRIMITIVE_POLYNOMIALS",
+    "default_polynomial",
+    "run_bist",
+]

@@ -1,0 +1,359 @@
+"""Fibonacci and Galois LFSRs generating packed pattern slabs.
+
+The pattern source of the BIST subsystem.  Both register forms share
+one characteristic-polynomial convention: ``poly`` is the integer with
+bit ``n`` set (the ``x**n`` term), bit 0 set (primitive polynomials
+have a nonzero constant term), and bit ``i`` set for each coefficient
+``c_i``.  The feedback taps are ``poly`` with the ``x**n`` bit
+stripped.
+
+Both forms are generated bit-parallel through the same trick: the
+cell-0 output stream ``b`` of either register obeys the linear
+recurrence ``b[t + n] = XOR of b[t + i]`` over the tap coefficients,
+so a whole batch of states is a set of sliding windows over one long
+stream computed by a blocked shift-XOR recurrence on a Python int —
+no per-pattern Python loop.  For the Fibonacci form cell ``i`` at time
+``t`` *is* stream bit ``t + i``; for the Galois form cell ``i`` is a
+fixed XOR of at most ``weight(taps)`` shifted copies of the stream
+(see :meth:`LFSR._galois_rows`).
+
+The phase shifter is the classical offset network: PI ``j`` taps the
+sequence ``phase_spread * j`` steps ahead of cell 0, so an ``n``-bit
+register fans out to arbitrarily many circuit inputs without the
+shift-correlation a plain width extension would have.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..kernel.packed import PackedPatterns
+
+#: Register forms.
+LFSR_KINDS: Tuple[str, ...] = ("fibonacci", "galois")
+
+#: Known-primitive characteristic polynomials by register width.
+#:
+#: Each entry is verified primitive by an order-of-x certification
+#: (``x`` has multiplicative order ``2**n - 1`` modulo the polynomial,
+#: which no reducible polynomial of degree ``n`` admits) — see
+#: ``tests/test_bist.py`` for the maximal-length checks at small
+#: widths.  Trinomials with a large minimum feedback lag are preferred
+#: where they exist: the blocked stream recurrence emits ``min(lag)``
+#: bits per Python-int operation.
+PRIMITIVE_POLYNOMIALS: Dict[int, int] = {
+    2: 0x7,
+    3: 0xB,
+    4: 0x13,
+    5: 0x25,
+    6: 0x43,
+    7: 0x83,
+    8: 0x11D,
+    9: 0x211,
+    10: 0x409,
+    11: 0x805,
+    12: 0x1053,
+    13: 0x201B,
+    14: 0x4443,
+    15: 0x8003,
+    16: 0x1100B,
+    17: 0x20009,
+    18: 0x40081,
+    19: 0x80027,
+    20: 0x100009,
+    21: 0x200005,
+    22: 0x400003,
+    23: 0x800021,
+    24: 0x1000087,
+    25: 0x2000009,
+    26: 0x4000047,
+    27: 0x8000027,
+    28: 0x10000009,
+    29: 0x20000005,
+    30: 0x40000053,
+    31: 0x80000009,
+    32: 0x100400007,
+    64: 0x1000000000000001B,
+}
+
+
+def default_polynomial(width: int) -> int:
+    """The table's primitive polynomial for *width* (ValueError if absent)."""
+    try:
+        return PRIMITIVE_POLYNOMIALS[width]
+    except KeyError:
+        known = ", ".join(str(w) for w in sorted(PRIMITIVE_POLYNOMIALS))
+        raise ValueError(
+            f"no primitive polynomial on record for width {width}; "
+            f"known widths: {known} (pass polynomial= explicitly)"
+        ) from None
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Bit-reverse *value* over *width* bits."""
+    out = 0
+    for i in range(width):
+        out |= ((value >> i) & 1) << (width - 1 - i)
+    return out
+
+
+def xpow_mod(exponent: int, poly: int) -> int:
+    """Coefficient mask of ``x**exponent`` modulo *poly* over GF(2).
+
+    Bit ``i`` of the result is the coefficient of ``x**i``; since
+    Fibonacci cell ``i`` holds stream bit ``t + i``, the result doubles
+    as the parity mask that reads stream bit ``t + exponent`` out of
+    the state window — the per-state oracle of the phase shifter.
+    """
+    n = poly.bit_length() - 1
+    value = 1
+    for _ in range(exponent):
+        value <<= 1
+        if (value >> n) & 1:
+            value ^= poly
+    return value
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+def _pack_rows(rows: np.ndarray) -> np.ndarray:
+    """(n_pis, count) 0/1 rows → (n_pis, n_words) uint64 lane planes.
+
+    The transposed-input twin of :func:`repro.kernel.packed.pack_bits`
+    — batch generation already produces per-input rows, so packing is
+    a straight ``packbits`` along the pattern axis.
+    """
+    n_pis, count = rows.shape
+    n_words = max(1, -(-count // 64))
+    padded = np.zeros((n_pis, n_words * 64), dtype=np.uint8)
+    padded[:, :count] = rows
+    packed = np.packbits(padded, axis=1, bitorder="little")
+    return np.ascontiguousarray(packed).view("<u8").astype(np.uint64)
+
+
+class LFSR:
+    """A maximal-length LFSR with phase-shifter fanout to ``n_pis`` inputs.
+
+    Args:
+        width: register width ``n``; must be in
+            :data:`PRIMITIVE_POLYNOMIALS` unless *polynomial* is given.
+        kind: ``"fibonacci"`` (external XOR) or ``"galois"``
+            (internal XOR) — same characteristic polynomial, same
+            period, different state-to-stream wiring.
+        polynomial: characteristic polynomial override (bit ``n`` and
+            bit 0 must be set).  The maximal-length guarantee only
+            holds for primitive polynomials.
+        seed: nonzero initial state (``1 <= seed < 2**width``).
+        phase_spread: offset step of the phase shifter; PI ``j`` taps
+            the stream ``phase_spread * j`` bits ahead of cell 0
+            (Galois PIs below *width* tap the register cells directly).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        kind: str = "fibonacci",
+        polynomial: Optional[int] = None,
+        seed: int = 1,
+        phase_spread: int = 1,
+    ) -> None:
+        if kind not in LFSR_KINDS:
+            raise ValueError(f"kind must be one of {LFSR_KINDS}, got {kind!r}")
+        if polynomial is None:
+            polynomial = default_polynomial(width)
+        if polynomial.bit_length() - 1 != width:
+            raise ValueError(
+                f"polynomial degree {polynomial.bit_length() - 1} != width {width}"
+            )
+        if not polynomial & 1:
+            raise ValueError("characteristic polynomial needs a nonzero constant term")
+        if not 1 <= seed < (1 << width):
+            raise ValueError(f"seed must be nonzero and fit {width} bits, got {seed}")
+        if phase_spread < 1:
+            raise ValueError(f"phase_spread must be >= 1, got {phase_spread}")
+        self.width = width
+        self.kind = kind
+        self.polynomial = polynomial
+        self.seed = seed
+        self.phase_spread = phase_spread
+        self.state = seed
+        self._taps = polynomial & ((1 << width) - 1)
+        # Galois feedback mask: coefficient c_i lands on cell n-1-i, so
+        # the injection constant is the bit-reverse of the tap mask.
+        self._galois_mask = reverse_bits(self._taps, width)
+        # stream recurrence: b[T] = XOR of b[T - lag] over these lags
+        self._lags = sorted(
+            width - i for i in range(width) if (self._taps >> i) & 1
+        )
+        self._offset_masks: Dict[int, int] = {}
+
+    # -- per-step oracle path ------------------------------------------
+    def step(self) -> int:
+        """Advance one clock; returns the new state."""
+        if self.kind == "fibonacci":
+            feedback = _parity(self.state & self._taps)
+            self.state = (self.state >> 1) | (feedback << (self.width - 1))
+        else:
+            out = self.state & 1
+            self.state >>= 1
+            if out:
+                self.state ^= self._galois_mask
+        return self.state
+
+    def _window(self) -> int:
+        """Stream bits ``b[t] .. b[t + n - 1]`` as an int, from the state.
+
+        For the Fibonacci form the state *is* the window.  For the
+        Galois form cell ``i`` is ``b[t+i] ^ XOR(G_j * b[t+i-1-j])``
+        over the set injection bits ``j < i``; solving ascending in
+        ``i`` inverts that triangular system.
+        """
+        if self.kind == "fibonacci":
+            return self.state
+        window = 0
+        mask = self._galois_mask
+        for i in range(self.width):
+            bit = (self.state >> i) & 1
+            for j in range(i):
+                if (mask >> j) & 1:
+                    bit ^= (window >> (i - 1 - j)) & 1
+            window |= bit << i
+        return window
+
+    def _state_from_window(self, window: int) -> int:
+        """Inverse of :meth:`_window` (identity for the Fibonacci form)."""
+        if self.kind == "fibonacci":
+            return window
+        state = 0
+        mask = self._galois_mask
+        for i in range(self.width):
+            bit = (window >> i) & 1
+            for j in range(i):
+                if (mask >> j) & 1:
+                    bit ^= (window >> (i - 1 - j)) & 1
+            state |= bit << i
+        return state
+
+    def _offset_mask(self, offset: int) -> int:
+        """Parity mask reading stream bit ``t + offset`` from the window."""
+        mask = self._offset_masks.get(offset)
+        if mask is None:
+            mask = xpow_mod(offset, self.polynomial)
+            self._offset_masks[offset] = mask
+        return mask
+
+    def vector(self, n_pis: int) -> List[int]:
+        """The *n_pis*-bit pattern the current state drives (oracle path).
+
+        One bit per circuit input, through the phase shifter.  The
+        batch generator :meth:`take` must agree with this bit-for-bit;
+        the hypothesis suite holds it to that.
+        """
+        window = self._window()
+        bits = []
+        for j in range(n_pis):
+            if self.kind == "galois" and j < self.width:
+                bits.append((self.state >> j) & 1)
+            else:
+                mask = self._offset_mask(j * self.phase_spread)
+                bits.append(_parity(window & mask))
+        return bits
+
+    # -- bit-parallel batch path ---------------------------------------
+    def _stream(self, n_bits: int) -> np.ndarray:
+        """First *n_bits* of the cell-0 output stream as a 0/1 uint8 array.
+
+        Blocked shift-XOR recurrence on one Python int: each iteration
+        emits ``min(lags)`` new bits at once (every referenced bit is
+        already ``>= min(lags)`` positions behind the write cursor), so
+        the Python-level cost is ``O(n_bits / min_lag)`` big-int ops,
+        not ``O(n_bits)`` register steps.
+        """
+        stream = self._window()
+        have = self.width
+        lags = self._lags
+        min_lag = lags[0]
+        while have < n_bits:
+            block = min(min_lag, n_bits - have)
+            mask = (1 << block) - 1
+            bits = 0
+            for lag in lags:
+                bits ^= (stream >> (have - lag)) & mask
+            stream |= bits << have
+            have += block
+        data = stream.to_bytes((have + 7) // 8, "little")
+        return np.unpackbits(
+            np.frombuffer(data, dtype=np.uint8), bitorder="little"
+        )[:n_bits]
+
+    def _rows(self, bits: np.ndarray, base: int, count: int, n_pis: int) -> np.ndarray:
+        """Per-PI pattern rows for states ``base .. base + count - 1``."""
+        rows = np.empty((n_pis, count), dtype=np.uint8)
+        if self.kind == "fibonacci":
+            for j in range(n_pis):
+                offset = base + j * self.phase_spread
+                rows[j] = bits[offset : offset + count]
+            return rows
+        mask = self._galois_mask
+        for j in range(n_pis):
+            if j < self.width:
+                # cell j = b[t+j] ^ XOR of injected copies of the stream
+                row = bits[base + j : base + j + count].copy()
+                for g in range(j):
+                    if (mask >> g) & 1:
+                        np.bitwise_xor(
+                            row, bits[base + j - 1 - g : base + j - 1 - g + count], row
+                        )
+                rows[j] = row
+            else:
+                offset = base + j * self.phase_spread
+                rows[j] = bits[offset : offset + count]
+        return rows
+
+    def _max_offset(self, n_pis: int) -> int:
+        if self.kind == "fibonacci":
+            return (n_pis - 1) * self.phase_spread
+        if n_pis > self.width:
+            return max(self.width - 1, (n_pis - 1) * self.phase_spread)
+        return self.width - 1
+
+    def take(self, count: int, n_pis: int, two_vector: bool = False) -> PackedPatterns:
+        """Generate *count* patterns as a packed lane slab; advances the state.
+
+        With ``two_vector=True`` pattern ``k`` is the launch/capture
+        pair ``(state k, state k+1)`` — consecutive register states,
+        exactly the vectors a hardware BIST controller shifts through
+        the scan chain — and the register advances *count* steps so the
+        next batch's first launch vector is this batch's last capture
+        vector (windows concatenate seamlessly).  With
+        ``two_vector=False`` each pattern is the single vector of state
+        ``k`` (``v1 == v2``, the stuck-at case).
+
+        The whole batch is produced by numpy slicing over one stream
+        array — no per-pattern Python loop, per the lane-slab contract.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if n_pis < 1:
+            raise ValueError(f"n_pis must be >= 1, got {n_pis}")
+        last_state = count if two_vector else count - 1
+        n_bits = 1 + max(
+            last_state + self._max_offset(n_pis), count + self.width - 1
+        )
+        bits = self._stream(n_bits)
+        v1 = _pack_rows(self._rows(bits, 0, count, n_pis))
+        if two_vector:
+            v2 = _pack_rows(self._rows(bits, 1, count, n_pis))
+        else:
+            v2 = v1
+        # advance to state ``count``: its window is the stream slice there
+        window = int.from_bytes(
+            np.packbits(bits[count : count + self.width], bitorder="little").tobytes(),
+            "little",
+        )
+        self.state = self._state_from_window(window)
+        return PackedPatterns(v1=v1, v2=v2, n_patterns=count)

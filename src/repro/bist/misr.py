@@ -1,0 +1,116 @@
+"""Multi-input signature register: PO response slabs to one signature.
+
+The compaction half of the BIST architecture (Ahmad, arXiv:1102.0884):
+every clock the register does one internal-XOR (Galois) step and XORs
+the circuit's output bits into its cells, so the final state is a
+polynomial-division remainder of the whole response stream.  A faulty
+response escapes detection only if its error stream is a multiple of
+the characteristic polynomial — probability ``2**-k`` for a width-``k``
+register over random error streams, the aliasing estimate reported
+alongside every signature.
+
+With ``seed=0`` the register is a linear map of the response stream:
+``signature(a XOR b) == signature(a) XOR signature(b)`` — the property
+the hypothesis suite checks, and the reason golden signatures can be
+computed from the fault-free run alone.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..kernel.packed import unpack_bits
+from .lfsr import default_polynomial, reverse_bits
+
+
+class MISR:
+    """Width-*k* multi-input signature register.
+
+    Args:
+        width: register width ``k`` (the aliasing exponent).
+        polynomial: characteristic polynomial; defaults to the
+            primitive table entry for *width*.
+        seed: initial state (0 keeps the register linear).
+
+    Circuit outputs beyond *width* fold onto cell ``j % width`` —
+    the standard wiring when ``n_outputs > k``.
+    """
+
+    def __init__(
+        self, width: int, polynomial: Optional[int] = None, seed: int = 0
+    ) -> None:
+        if polynomial is None:
+            polynomial = default_polynomial(width)
+        if polynomial.bit_length() - 1 != width:
+            raise ValueError(
+                f"polynomial degree {polynomial.bit_length() - 1} != width {width}"
+            )
+        if not 0 <= seed < (1 << width):
+            raise ValueError(f"seed must fit {width} bits, got {seed}")
+        self.width = width
+        self.polynomial = polynomial
+        self.seed = seed
+        self.state = seed
+        taps = polynomial & ((1 << width) - 1)
+        self._galois_mask = reverse_bits(taps, width)
+
+    @property
+    def signature(self) -> int:
+        return self.state
+
+    @property
+    def aliasing_probability(self) -> float:
+        """Escape probability for a random error stream: ``2**-width``."""
+        return 2.0 ** -self.width
+
+    def _fold(self, bits: Iterable[int]) -> int:
+        folded = 0
+        for j, bit in enumerate(bits):
+            if bit:
+                folded ^= 1 << (j % self.width)
+        return folded
+
+    def absorb_word(self, data: int) -> int:
+        """One clock: Galois step, then XOR-inject *data* (pre-folded)."""
+        out = self.state & 1
+        self.state >>= 1
+        if out:
+            self.state ^= self._galois_mask
+        self.state ^= data
+        return self.state
+
+    def absorb_vector(self, bits: Iterable[int]) -> int:
+        """One clock absorbing a PO bit sequence (oracle path)."""
+        return self.absorb_word(self._fold(bits))
+
+    def absorb_planes(self, planes: np.ndarray, n_patterns: int) -> int:
+        """Absorb a PO response slab, pattern lanes in order.
+
+        *planes* is the ``(n_outputs, n_words)`` uint64 lane-plane
+        array the word backends produce for the output signals; lane
+        ``k`` is pattern ``k``'s response.  The fold onto ``width``
+        cells is vectorized across the slab; only the inherently
+        serial register clocking (three int ops per pattern) runs in a
+        Python loop.
+        """
+        rows = unpack_bits(planes, n_patterns)  # (n_patterns, n_outputs)
+        n_outputs = rows.shape[1]
+        folded = np.zeros((n_patterns, self.width), dtype=np.uint8)
+        for j in range(n_outputs):
+            np.bitwise_xor(folded[:, j % self.width], rows[:, j], folded[:, j % self.width])
+        packed = np.packbits(folded, axis=1, bitorder="little")
+        stride = packed.shape[1]
+        data = packed.tobytes()
+        state = self.state
+        mask = self._galois_mask
+        for k in range(n_patterns):
+            inject = int.from_bytes(data[k * stride : (k + 1) * stride], "little")
+            out = state & 1
+            state >>= 1
+            if out:
+                state ^= mask
+            state ^= inject
+        self.state = state
+        return state

@@ -1,0 +1,65 @@
+"""`BistReport` — the result object of a BIST run.
+
+Carries the full generator/compactor configuration (enough to replay
+the run bit-for-bit), the coverage curve, and the MISR signature with
+its aliasing estimate.  Serialized as the versioned
+``repro/bist-report`` schema by :mod:`repro.api.serde`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..paths import TestClass
+
+
+@dataclass
+class BistReport:
+    """Outcome of one pseudorandom BIST session.
+
+    ``curve`` is the coverage telemetry: one ``(patterns_applied,
+    faults_detected)`` point per simulation window, cumulative — the
+    detected-per-window series a search policy would mine for the
+    random-pattern-resistant tail.
+    """
+
+    circuit_name: str
+    fault_model: str
+    test_class: Optional[TestClass]
+    lfsr_width: int
+    lfsr_kind: str
+    lfsr_polynomial: int
+    lfsr_seed: int
+    phase_spread: int
+    misr_width: int
+    misr_polynomial: int
+    signature: int
+    aliasing_probability: float
+    faults: int
+    detected: int
+    patterns_applied: int
+    windows: int
+    stop_reason: str
+    max_patterns: int
+    target_coverage: Optional[float]
+    curve: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        return self.detected / self.faults if self.faults else 1.0
+
+    def summary(self) -> str:
+        lines = [
+            f"BIST {self.circuit_name}: {self.fault_model} "
+            f"{self.detected}/{self.faults} faults "
+            f"({self.coverage:.1%}) in {self.patterns_applied} patterns "
+            f"({self.windows} windows, stop: {self.stop_reason})",
+            f"  LFSR: {self.lfsr_kind} width={self.lfsr_width} "
+            f"poly={self.lfsr_polynomial:#x} seed={self.lfsr_seed:#x} "
+            f"spread={self.phase_spread}",
+            f"  MISR: width={self.misr_width} "
+            f"signature={self.signature:#x} "
+            f"aliasing<={self.aliasing_probability:.3g}",
+        ]
+        return "\n".join(lines)

@@ -8,6 +8,9 @@ subcommands that are all thin adapters over the same
 
 * ``tip atpg`` — generate robust/nonrobust path delay tests for a
   circuit (a ``.bench`` file, an embedded circuit, or a suite name).
+* ``tip bist`` — pseudorandom built-in self-test: LFSR pattern
+  generation in packed lane-slab form, fault-dropping coverage
+  curves, and MISR signature compaction.
 * ``tip campaign`` — staged ATPG campaign: stream the fault universe,
   shard generation across worker processes, drop collaterally
   detected faults globally, checkpoint and resume.
@@ -364,6 +367,137 @@ def main_paths(argv: Optional[List[str]] = None) -> int:
 
 
 # ---------------------------------------------------------------------------
+# tip bist
+# ---------------------------------------------------------------------------
+
+
+def main_bist(argv: Optional[List[str]] = None) -> int:
+    """Pseudorandom BIST: LFSR patterns, coverage curve, MISR signature."""
+    from .api import serde
+    from .bist.lfsr import LFSR_KINDS
+
+    parser = argparse.ArgumentParser(
+        prog="tip-bist",
+        description=(
+            "Logic built-in self-test: a primitive-polynomial LFSR emits "
+            "pseudorandom patterns directly in packed lane-slab form, the "
+            "fault simulator grades them window by window with fault "
+            "dropping, and a MISR compacts the fault-free output "
+            "responses into the golden signature."
+        ),
+    )
+    _add_circuit_arguments(parser)
+    _add_test_class_argument(parser)
+    parser.add_argument(
+        "--fault-model",
+        choices=["stuck-at", "path-delay"],
+        default="stuck-at",
+        help="fault model to grade (default: stuck-at; --class only "
+        "applies to path-delay)",
+    )
+    parser.add_argument(
+        "--lfsr-width", type=int, default=32, help="LFSR register width"
+    )
+    parser.add_argument(
+        "--lfsr-kind",
+        choices=list(LFSR_KINDS),
+        default="fibonacci",
+        help="LFSR feedback structure (default: fibonacci)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=lambda value: int(value, 0),
+        default=1,
+        help="nonzero LFSR seed state (accepts hex, default: 1)",
+    )
+    parser.add_argument(
+        "--phase-spread",
+        type=int,
+        default=1,
+        help="phase-shifter stream offset between adjacent inputs",
+    )
+    parser.add_argument(
+        "--misr-width", type=int, default=32, help="MISR register width"
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=256,
+        help="patterns simulated per fault-dropping round",
+    )
+    parser.add_argument(
+        "--max-patterns", type=int, default=4096, help="pattern budget"
+    )
+    parser.add_argument(
+        "--target-coverage",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="stop once detected/faults reaches this fraction",
+    )
+    parser.add_argument(
+        "--max-faults", type=int, default=None, help="cap on the fault list"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "native"],
+        default="auto",
+        help="simulation word backend (default: auto)",
+    )
+    parser.add_argument(
+        "--fusion",
+        choices=["auto", "interp", "vector", "codegen"],
+        default="auto",
+        help="plan-execution strategy (default: auto)",
+    )
+    parser.add_argument(
+        "--curve",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the last N coverage-curve points",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", default=None, help="write the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    session = AtpgSession(
+        resolve_circuit(args.circuit, args.scale),
+        options=Options(
+            sim_backend=args.backend,
+            fusion=args.fusion,
+            bist_width=args.lfsr_width,
+            bist_kind=args.lfsr_kind,
+            bist_seed=args.seed,
+            bist_phase_spread=args.phase_spread,
+            misr_width=args.misr_width,
+            bist_window=args.window,
+            bist_max_patterns=args.max_patterns,
+            bist_target_coverage=args.target_coverage,
+        ),
+    )
+    report = session.bist(
+        fault_model=args.fault_model,
+        test_class=resolve_test_class(args.test_class),
+        max_faults=args.max_faults,
+    )
+    print(report.summary())
+    if args.curve:
+        print()
+        print("coverage curve (patterns applied, faults detected):")
+        for applied, detected in report.curve[-args.curve :]:
+            print(f"  {applied:8d}  {detected:8d}")
+    if args.json_path:
+        payload = serde.bist_report_to_payload(report)
+        with open(args.json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # tip bench-sim
 # ---------------------------------------------------------------------------
 
@@ -683,6 +817,92 @@ def bench_stuck_at(
     return row
 
 
+def bench_bist(
+    circuit: Circuit,
+    test_class: TestClass,
+    n_patterns: int = 1024,
+    fault_cap: int = 128,
+    repeat: int = 3,
+    seed: int = 1,
+    strategies: tuple = ("vector", "codegen"),
+    native: bool = False,
+) -> Dict[str, object]:
+    """Time one BIST grading round per execution strategy.
+
+    The workload is what :func:`repro.bist.run_bist` does per window,
+    at full batch width: a primitive-polynomial LFSR emits
+    *n_patterns* consecutive launch/capture state pairs directly in
+    packed lane-slab form and every path delay fault is graded against
+    the slab.  Slab generation is timed together with the simulation —
+    for a BIST engine pattern delivery *is* part of the workload — and
+    it is re-run from the same seed every repeat so each tier grades
+    the identical pseudorandom sequence.  Detection masks are asserted
+    equal lane-for-lane across every tier, as in :func:`bench_ppsfp`.
+    """
+    from .bist import LFSR
+    from .sim import DelayFaultSimulator
+
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    faults = fault_list(circuit, cap=fault_cap, strategy="all")
+    n_pis = len(circuit.inputs)
+    work = n_patterns * len(faults)
+
+    def slab(count: int = n_patterns):
+        return LFSR(32, seed=seed).take(count, n_pis, two_vector=True)
+
+    row: Dict[str, object] = {
+        "circuit": circuit.name,
+        "workload": "bist",
+        "test_class": test_class.value,
+        "signals": circuit.num_signals,
+        "faults": len(faults),
+        "patterns": n_patterns,
+    }
+    interp_sim = DelayFaultSimulator(
+        circuit, test_class, backend="numpy", fusion="interp"
+    )
+    interp_seconds, interp_masks = _best_of_runs(
+        repeat, lambda: interp_sim.detected_faults(slab(), faults)
+    )
+    row["interp_seconds"] = round(interp_seconds, 6)
+    row["interp_throughput"] = round(work / interp_seconds, 1)
+    fused_best: Optional[Tuple[float, str]] = None
+    for strategy in strategies:
+        sim = DelayFaultSimulator(
+            circuit, test_class, backend="numpy", fusion=strategy
+        )
+        sim.detected_faults(slab(64), faults[:1])  # warm the lowering
+        seconds, masks = _best_of_runs(
+            repeat, lambda sim=sim: sim.detected_faults(slab(), faults)
+        )
+        if masks != interp_masks:
+            raise AssertionError(
+                f"{strategy} and interp BIST grading disagree on {circuit.name}"
+            )
+        row[f"{strategy}_seconds"] = round(seconds, 6)
+        row[f"{strategy}_throughput"] = round(work / seconds, 1)
+        if fused_best is None or seconds < fused_best[0]:
+            fused_best = (seconds, strategy)
+    if fused_best is not None:
+        row["best_fused"] = fused_best[1]
+        row["fused_speedup"] = round(interp_seconds / fused_best[0], 2)
+    if native and _native_ready():
+        sim = DelayFaultSimulator(
+            circuit, test_class, backend="native", fusion="auto"
+        )
+        sim.detected_faults(slab(64), faults[:1])  # warm the C build
+        seconds, masks = _best_of_runs(
+            repeat, lambda: sim.detected_faults(slab(), faults)
+        )
+        if masks != interp_masks:
+            raise AssertionError(
+                f"native and interp BIST grading disagree on {circuit.name}"
+            )
+        _native_columns(row, work, interp_seconds, seconds)
+    return row
+
+
 def main_bench_sim(argv: Optional[List[str]] = None) -> int:
     """Simulation throughput: interpreted kernel vs fused vs native."""
     parser = argparse.ArgumentParser(
@@ -692,8 +912,8 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
             "execution strategy.  Workloads: PPSFP detection masks (seed "
             "object-graph path vs the compiled kernel's interpreted loop "
             "vs the fused strategies vs the compiled-C native backend), "
-            "10-valued detection-strength grading, and stuck-at cone "
-            "resimulation."
+            "10-valued detection-strength grading, stuck-at cone "
+            "resimulation, and BIST grading over LFSR-generated slabs."
         ),
     )
     parser.add_argument(
@@ -705,7 +925,7 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
     _add_test_class_argument(parser, default="robust")
     parser.add_argument(
         "--workload",
-        choices=["ppsfp", "grade10", "stuck-at", "all"],
+        choices=["ppsfp", "grade10", "stuck-at", "bist", "all"],
         default="ppsfp",
         help="which simulation workload to time (default: ppsfp)",
     )
@@ -756,7 +976,7 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
             f"({native_unavailable_reason()})"
         )
     workloads = (
-        ("ppsfp", "grade10", "stuck-at")
+        ("ppsfp", "grade10", "stuck-at", "bist")
         if args.workload == "all"
         else (args.workload,)
     )
@@ -794,6 +1014,18 @@ def main_bench_sim(argv: Optional[List[str]] = None) -> int:
                     n_vectors=min(args.patterns, 512),
                     fault_cap=args.fault_cap,
                     repeat=args.repeat,
+                    native=native,
+                )
+            )
+        if "bist" in workloads:
+            rows.append(
+                bench_bist(
+                    circuit,
+                    test_class,
+                    n_patterns=args.patterns,
+                    fault_cap=args.fault_cap,
+                    repeat=args.repeat,
+                    strategies=strategies,
                     native=native,
                 )
             )
@@ -1053,6 +1285,7 @@ def main_validate(argv: Optional[List[str]] = None) -> int:
 
 COMMANDS = {
     "atpg": main_atpg,
+    "bist": main_bist,
     "campaign": main_campaign,
     "paths": main_paths,
     "bench-sim": main_bench_sim,

@@ -91,6 +91,20 @@ def pack_bits(rows: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(packed).view("<u8").astype(np.uint64)
 
 
+def unpack_bits(planes: np.ndarray, n_patterns: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: lane planes back to 0/1 rows.
+
+    Takes ``(n_columns, n_words)`` uint64 lane planes and returns the
+    ``(n_patterns, n_columns)`` uint8 array they were packed from
+    (padding lanes past *n_patterns* are discarded).
+    """
+    words = np.ascontiguousarray(planes).astype("<u8")
+    n_columns = words.shape[0]
+    as_bytes = words.view(np.uint8).reshape(n_columns, -1)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+    return np.ascontiguousarray(bits[:, :n_patterns].T)
+
+
 def _rows_to_u8(rows, n_rows: int, n_columns: int) -> np.ndarray:
     """Equal-length 0/1 int rows as a ``(n_rows, n_columns)`` uint8 array.
 

@@ -1,0 +1,418 @@
+"""Tests of the BIST subsystem: LFSR, MISR, coverage loop, wire format.
+
+The load-bearing invariants, several held under hypothesis:
+
+* every polynomial in the primitive table really is maximal — a
+  register seeded anywhere returns to its seed after exactly
+  ``2**width - 1`` naive scalar steps (small widths),
+* the packed-slab batch generator is bit-identical to stepping the
+  register one state at a time and reading the phase shifter through
+  the oracle path, including the post-batch state advance (two takes
+  chain like one),
+* the MISR is linear over GF(2) from a zero seed, and the slab
+  absorber matches per-pattern oracle clocking,
+* the coverage curve and golden signature are invariant across every
+  fusion strategy and word backend,
+* the report round-trips through the versioned wire format and the
+  service runs BIST jobs on the async queue.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import AtpgService, AtpgSession, BistRequest, Options, serde
+from repro.api.schemas import SchemaError, stamp, validate
+from repro.bist import LFSR, MISR, PRIMITIVE_POLYNOMIALS, run_bist
+from repro.bist.lfsr import LFSR_KINDS, default_polynomial, reverse_bits
+from repro.circuit.library import c17
+from repro.circuit.suites import suite_circuit
+from repro.core.stuck_at import all_stuck_at_faults
+from repro.kernel.native import native_available
+from repro.kernel.packed import unpack_bits
+from repro.paths import TestClass, fault_list
+
+
+def naive_step(state, width, polynomial, kind):
+    """Scalar reference step, independent of the LFSR class."""
+    taps = polynomial & ((1 << width) - 1)
+    if kind == "fibonacci":
+        feedback = bin(state & taps).count("1") & 1
+        return (state >> 1) | (feedback << (width - 1))
+    out = state & 1
+    state >>= 1
+    if out:
+        state ^= reverse_bits(taps, width)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# the primitive-polynomial table
+# ---------------------------------------------------------------------------
+
+
+class TestPolynomials:
+    def test_every_entry_has_degree_and_constant_term(self):
+        for width, poly in PRIMITIVE_POLYNOMIALS.items():
+            assert poly >> width == 1, f"width {width}: degree bit missing"
+            assert poly & 1, f"width {width}: constant term missing"
+
+    def test_default_polynomial_rejects_unknown_width(self):
+        with pytest.raises(ValueError, match="no primitive polynomial"):
+            default_polynomial(65)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        width=st.integers(2, 10),
+        kind=st.sampled_from(LFSR_KINDS),
+        data=st.data(),
+    )
+    def test_maximal_period_from_any_seed(self, width, kind, data):
+        # a primitive polynomial's register walks one cycle through
+        # every nonzero state: back to the seed in exactly 2**w - 1
+        # naive scalar steps, never earlier
+        seed = data.draw(st.integers(1, (1 << width) - 1))
+        poly = PRIMITIVE_POLYNOMIALS[width]
+        state = naive_step(seed, width, poly, kind)
+        period = 1
+        while state != seed:
+            state = naive_step(state, width, poly, kind)
+            period += 1
+            assert period <= (1 << width) - 1
+        assert period == (1 << width) - 1
+
+
+# ---------------------------------------------------------------------------
+# packed-slab generation vs the oracle path
+# ---------------------------------------------------------------------------
+
+
+def oracle_patterns(lfsr, count, n_pis, two_vector):
+    """Per-pattern register stepping through the oracle read-out."""
+    vectors = [lfsr.vector(n_pis)]
+    for _ in range(count):
+        lfsr.step()
+        vectors.append(lfsr.vector(n_pis))
+    v1 = np.array(vectors[:count], dtype=np.uint8)
+    v2 = np.array(vectors[1 : count + 1] if two_vector else vectors[:count],
+                  dtype=np.uint8)
+    return v1, v2
+
+
+class TestPackedSlabs:
+    @settings(
+        deadline=None,
+        max_examples=40,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        width=st.sampled_from([3, 4, 8, 13, 16, 32]),
+        kind=st.sampled_from(LFSR_KINDS),
+        spread=st.integers(1, 3),
+        n_pis=st.integers(1, 40),
+        count=st.integers(1, 100),
+        two_vector=st.booleans(),
+        data=st.data(),
+    )
+    def test_slab_matches_oracle_bit_for_bit(
+        self, width, kind, spread, n_pis, count, two_vector, data
+    ):
+        seed = data.draw(st.integers(1, (1 << width) - 1))
+        batch = LFSR(width, kind=kind, seed=seed, phase_spread=spread)
+        oracle = LFSR(width, kind=kind, seed=seed, phase_spread=spread)
+        packed = batch.take(count, n_pis, two_vector=two_vector)
+        v1, v2 = oracle_patterns(oracle, count, n_pis, two_vector)
+        assert packed.n_patterns == count
+        assert np.array_equal(unpack_bits(packed.v1, count), v1)
+        assert np.array_equal(unpack_bits(packed.v2, count), v2)
+        # the batch register advanced exactly count steps: windows chain
+        assert batch.state == oracle.state
+
+    def test_two_takes_chain_like_one(self):
+        one = LFSR(16, seed=0xACE5, phase_spread=2)
+        split = LFSR(16, seed=0xACE5, phase_spread=2)
+        whole = one.take(96, 11, two_vector=True)
+        first = split.take(40, 11, two_vector=True)
+        second = split.take(56, 11, two_vector=True)
+        rows = np.vstack(
+            [unpack_bits(first.v1, 40), unpack_bits(second.v1, 56)]
+        )
+        assert np.array_equal(unpack_bits(whole.v1, 96), rows)
+        assert one.state == split.state
+
+    def test_rejects_zero_seed_and_bad_polynomial(self):
+        with pytest.raises(ValueError, match="seed"):
+            LFSR(8, seed=0)
+        with pytest.raises(ValueError, match="polynomial"):
+            LFSR(8, polynomial=0x1D)  # degree bit missing
+
+
+# ---------------------------------------------------------------------------
+# MISR compaction
+# ---------------------------------------------------------------------------
+
+
+def slab_from_rows(rows):
+    """(n_patterns, n_signals) 0/1 -> (n_signals, n_words) lane planes."""
+    as_bytes = np.packbits(
+        np.asarray(rows, dtype=np.uint8).T, axis=1, bitorder="little"
+    )
+    pad = (-as_bytes.shape[1]) % 8
+    if pad:
+        as_bytes = np.pad(as_bytes, ((0, 0), (0, pad)))
+    return np.ascontiguousarray(as_bytes).view("<u8")
+
+
+class TestMisr:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        rows=st.integers(1, 20),
+        cols=st.integers(1, 50),
+        data=st.data(),
+    )
+    def test_linear_over_gf2_from_zero_seed(self, rows, cols, data):
+        bits = st.lists(
+            st.lists(st.integers(0, 1), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+        a = data.draw(bits)
+        b = data.draw(bits)
+        xor = [[x ^ y for x, y in zip(ra, rb)] for ra, rb in zip(a, b)]
+
+        def signature(stream):
+            misr = MISR(16)
+            for response in stream:
+                misr.absorb_vector(response)
+            return misr.signature
+
+        assert signature(xor) == signature(a) ^ signature(b)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        rows=st.integers(1, 80),
+        cols=st.integers(1, 40),
+        width=st.sampled_from([8, 16, 32]),
+        data=st.data(),
+    )
+    def test_slab_absorb_matches_oracle_clocking(
+        self, rows, cols, width, data
+    ):
+        matrix = data.draw(
+            st.lists(
+                st.lists(st.integers(0, 1), min_size=cols, max_size=cols),
+                min_size=rows,
+                max_size=rows,
+            )
+        )
+        oracle = MISR(width, seed=0x5A % (1 << width) or 1)
+        slab = MISR(width, seed=oracle.state)
+        slab.absorb_planes(slab_from_rows(matrix), rows)
+        for response in matrix:
+            oracle.absorb_vector(response)
+        assert slab.signature == oracle.signature
+
+    def test_aliasing_probability(self):
+        assert MISR(32).aliasing_probability == 2.0**-32
+        assert MISR(16).aliasing_probability == 2.0**-16
+
+
+# ---------------------------------------------------------------------------
+# the coverage loop
+# ---------------------------------------------------------------------------
+
+
+def run(circuit, faults, fault_model, **kwargs):
+    kwargs.setdefault("window", 128)
+    kwargs.setdefault("max_patterns", 512)
+    return run_bist(
+        circuit,
+        LFSR(32, seed=1),
+        MISR(32),
+        faults,
+        fault_model=fault_model,
+        **kwargs,
+    )
+
+
+class TestCoverageLoop:
+    def configurations(self):
+        tiers = [("numpy", "interp"), ("numpy", "auto")]
+        if native_available():
+            tiers.append(("native", "auto"))
+        return tiers
+
+    @pytest.mark.parametrize("fault_model", ["stuck_at", "path_delay"])
+    def test_curve_invariant_across_backends(self, fault_model):
+        circuit = suite_circuit("c880")
+        if fault_model == "stuck_at":
+            faults = all_stuck_at_faults(circuit)
+        else:
+            faults = fault_list(circuit, cap=96, strategy="all")
+        results = [
+            run(circuit, faults, fault_model, backend=backend, fusion=fusion)
+            for backend, fusion in self.configurations()
+        ]
+        baseline = results[0]
+        assert baseline.windows == len(baseline.curve)
+        applied = [a for a, _ in baseline.curve]
+        detected = [d for _, d in baseline.curve]
+        assert applied == sorted(applied) and detected == sorted(detected)
+        for other in results[1:]:
+            assert other.curve == baseline.curve
+            assert other.signature == baseline.signature
+            assert other.detected_flags == baseline.detected_flags
+
+    def test_stop_reasons(self):
+        circuit = suite_circuit("c880")
+        faults = all_stuck_at_faults(circuit)
+        full = run(circuit, faults, "stuck_at", max_patterns=4096)
+        assert full.stop_reason == "all_detected"
+        assert full.detected == full.faults == len(faults)
+        budget = run(circuit, faults, "stuck_at", window=16, max_patterns=16)
+        assert budget.stop_reason == "max_patterns"
+        assert budget.patterns_applied == 16
+        partial = run(
+            circuit, faults, "stuck_at", window=32, target_coverage=0.5
+        )
+        assert partial.stop_reason == "target_coverage"
+        assert partial.coverage >= 0.5
+
+    def test_rejects_bad_arguments(self):
+        circuit = c17()
+        faults = all_stuck_at_faults(circuit)
+        with pytest.raises(ValueError, match="fault_model"):
+            run(circuit, faults, "transition")
+        with pytest.raises(ValueError, match="target_coverage"):
+            run(circuit, faults, "stuck_at", target_coverage=1.5)
+        with pytest.raises(ValueError, match="window"):
+            run(circuit, faults, "stuck_at", window=0)
+
+
+# ---------------------------------------------------------------------------
+# session, options, wire format
+# ---------------------------------------------------------------------------
+
+
+class TestSessionAndSerde:
+    def test_session_bist_and_round_trip(self):
+        session = AtpgSession(suite_circuit("c880"), options=Options(bist_window=128))
+        report = session.bist(fault_model="stuck-at")
+        assert report.fault_model == "stuck_at"
+        assert report.test_class is None  # stuck-at ignores the class
+        assert report.detected <= report.faults
+        payload = serde.bist_report_to_payload(report)
+        validate(payload, kind="repro/bist-report")
+        again = serde.load(json.loads(json.dumps(payload)))
+        assert again == report
+
+    def test_path_delay_carries_the_test_class(self):
+        session = AtpgSession(suite_circuit("c880"))
+        report = session.bist(
+            fault_model="path_delay",
+            test_class="robust",
+            max_faults=32,
+            bist_max_patterns=256,
+        )
+        assert report.test_class is TestClass.ROBUST
+        assert report.lfsr_polynomial == PRIMITIVE_POLYNOMIALS[32]
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError, match="bist_kind"):
+            Options(bist_kind="bogus").validate()
+        with pytest.raises(ValueError, match="bist_seed"):
+            Options(bist_seed=0).validate()
+        with pytest.raises(ValueError, match="misr_width"):
+            Options(misr_width=65).validate()
+        with pytest.raises(ValueError, match="bist_target_coverage"):
+            Options(bist_target_coverage=2.0).validate()
+        # the bist layer travels on the wire with every other layer
+        options = Options(bist_width=16, bist_seed=3)
+        assert Options.from_layers(options.layers()) == options
+
+    def test_report_schema_rejects_shape_drift(self):
+        report = AtpgSession(c17()).bist(bist_max_patterns=64)
+        payload = serde.bist_report_to_payload(report)
+        payload["stop_reason"] = "ran_out_of_luck"
+        with pytest.raises(SchemaError):
+            validate(payload, kind="repro/bist-report")
+
+
+# ---------------------------------------------------------------------------
+# the service: sync dispatch, async jobs, metrics
+# ---------------------------------------------------------------------------
+
+
+def _poll_until(service, job_id, states, deadline=120.0):
+    import time as _time
+
+    end = _time.monotonic() + deadline
+    while _time.monotonic() < end:
+        payload = service.job_response(job_id).payload
+        if payload["state"] in states:
+            return payload
+        _time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never reached {states}")
+
+
+class TestService:
+    def test_sync_dispatch(self):
+        service = AtpgService()
+        response = service.handle(
+            BistRequest(circuit="c880", fault_model="stuck_at")
+        )
+        assert response.ok
+        validate(response.payload, kind="repro/bist-report")
+        assert response.payload["faults"] == len(
+            all_stuck_at_faults(suite_circuit("c880"))
+        )
+
+    def test_async_job_matches_sync_and_counts_in_metrics(self):
+        service = AtpgService()
+        request = stamp(
+            "repro/request.bist",
+            {
+                "circuit": "c880",
+                "fault_model": "path_delay",
+                "max_faults": 48,
+                "options": stamp(
+                    "repro/options",
+                    {"bist": {"bist_max_patterns": 256}},
+                ),
+            },
+        )
+        submitted = service.submit_job("bist", request)
+        assert submitted.ok and submitted.status == 202
+        validate(submitted.payload, kind="repro/job")
+        assert submitted.payload["verb"] == "bist"
+        record = _poll_until(
+            service, submitted.payload["id"], ("done", "failed")
+        )
+        assert record["state"] == "done"
+        result = record["result"]
+        validate(result, kind="repro/bist-report")
+        sync = service.handle(
+            BistRequest(
+                circuit="c880",
+                fault_model="path_delay",
+                max_faults=48,
+                options=Options(bist_max_patterns=256),
+            )
+        )
+        assert result == sync.payload
+        metrics = service.metrics()
+        validate(metrics, kind="repro/metrics")
+        assert metrics["jobs_by_verb"]["bist"] == 1
+        assert metrics["jobs_by_verb"]["campaign"] == 0
+        service.shutdown()
+
+    def test_unknown_async_verb_is_rejected(self):
+        service = AtpgService()
+        response = service.submit_job(
+            "generate", stamp("repro/request.generate", {"circuit": "c17"})
+        )
+        assert not response.ok
+        assert response.status == 400

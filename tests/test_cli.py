@@ -148,7 +148,7 @@ class TestBenchSimCommand:
 
         from repro.api.schemas import validate_file
 
-        assert validate_file(str(out_path)) == ("repro/bench-kernel", 4)
+        assert validate_file(str(out_path)) == ("repro/bench-kernel", 5)
 
     def test_all_workloads_cover_grading_and_stuck_at(self, capsys, tmp_path):
         out_path = tmp_path / "bench_all.json"
@@ -171,14 +171,14 @@ class TestBenchSimCommand:
 
         payload = json.loads(out_path.read_text())
         workloads = [row["workload"] for row in payload["rows"]]
-        assert workloads == ["ppsfp", "grade10", "stuck_at"]
+        assert workloads == ["ppsfp", "grade10", "stuck_at", "bist"]
         for row in payload["rows"]:
             assert row["interp_throughput"] > 0
             assert row["fused_speedup"] > 0
 
         from repro.api.schemas import validate_file
 
-        assert validate_file(str(out_path)) == ("repro/bench-kernel", 4)
+        assert validate_file(str(out_path)) == ("repro/bench-kernel", 5)
 
 
 class TestExperimentsCommand:
