@@ -20,6 +20,7 @@ Usage::
     PYTHONPATH=src python scripts/loadgen.py [output.json]
     PYTHONPATH=src python scripts/loadgen.py --smoke [output.json]
     PYTHONPATH=src python scripts/loadgen.py --check [output.json]
+    PYTHONPATH=src python scripts/loadgen.py --chaos [--smoke] [output.json]
 
 ``--smoke`` is the fast CI variant (2 clients, a couple of requests
 each, small circuit) proving the serve/coalesce/measure loop end to
@@ -28,6 +29,15 @@ fails unless coalescing-on throughput is at least :data:`MIN_SPEEDUP`
 x the coalescing-off throughput on the heaviest (32-client) workload
 (absolute numbers are only trusted from CI hardware; correctness is
 asserted during regeneration).
+
+``--chaos`` is the availability-under-faults run: against one live
+server it (a) kills the only job-worker thread the instant it claims
+a campaign job and asserts the job still finishes (thread
+resurrection + re-queue), then (b) injects kernel faults under a
+concurrent grade hammer and asserts zero client-visible errors with
+bit-identical flags (circuit-breaker degradation).  The fault
+schedule is deterministic (:mod:`repro.chaos`); the resulting
+``workload: "chaos"`` row merges into the benchmark artifact.
 """
 
 import argparse
@@ -36,13 +46,15 @@ import platform
 import random
 import socket
 import sys
+import tempfile
 import threading
 import time
 from http.client import HTTPConnection
 
+from repro import chaos
 from repro.api import ServiceOptions
 from repro.api.resolve import resolve_circuit
-from repro.api.schemas import stamp, validate_file
+from repro.api.schemas import stamp, validate, validate_file
 from repro.api.serde import fault_to_payload, pattern_to_payload
 from repro.api.service import make_server
 from repro.core.patterns import TestPattern
@@ -292,17 +304,231 @@ def regenerate(out: str, smoke: bool = False) -> int:
     return 0
 
 
+def run_chaos(out: str, smoke: bool = False) -> int:
+    """Availability under injected faults, against one live server.
+
+    Phase A — worker death: schedule ``job_worker_death`` at the first
+    claim, submit an async campaign, and poll until done (each poll
+    runs the manager's liveness sweep, which re-queues the orphaned
+    job and spawns a replacement thread).  Phase B — kernel faults:
+    schedule ``kernel_fault`` occurrences under a concurrent grade
+    hammer; the session circuit breaker absorbs them, so every
+    request must succeed with flags bit-identical to the fault-free
+    baseline.  Wall-clock is measured over the hammer only.
+    """
+    clients = 2 if smoke else 4
+    requests_per_client = 3 if smoke else 8
+    spec = "c880"
+    scale = 1
+    circuit = resolve_circuit(spec, scale)
+    fault_payloads = [
+        fault_to_payload(f, envelope=False)
+        for f in fault_list(circuit, cap=16)
+    ]
+    bodies = [
+        _grade_payload(
+            spec, scale,
+            _client_patterns(len(circuit.inputs), 8, seed=k),
+            fault_payloads,
+        )
+        for k in range(clients)
+    ]
+    campaign_body = json.dumps(
+        stamp(
+            "repro/request.campaign",
+            {"circuit": spec, "scale": scale, "max_faults": 16},
+        )
+    ).encode()
+
+    with tempfile.TemporaryDirectory() as jobs_dir:
+        config = ServiceOptions(workers=1, jobs_dir=jobs_dir)
+        server = make_server(port=0, config=config, quiet=True)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        port = server.server_address[1]
+        service = server.service
+
+        # -------------------------------------------- phase A: worker death
+        controller = chaos.install(
+            {"points": [{"site": "job_worker_death", "at": [0]}]}
+        )
+        conn = _connect(port)
+        conn.request(
+            "POST", "/v1/campaign", body=campaign_body,
+            headers={"Content-Type": "application/json", "X-Tenant": "chaos"},
+        )
+        reply = json.loads(conn.getresponse().read())
+        assert reply.get("ok"), f"campaign submit failed: {reply}"
+        job_id = reply["result"]["id"]
+        deadline = time.time() + 60.0
+        state = None
+        while time.time() < deadline:
+            conn.request("GET", f"/v1/jobs/{job_id}")
+            state = json.loads(conn.getresponse().read())["result"]["state"]
+            if state in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+        assert state == "done", (
+            f"job did not recover from worker death (state={state})"
+        )
+        deaths = sum(
+            1 for f in controller.fired() if f["site"] == "job_worker_death"
+        )
+        assert deaths == 1, f"expected 1 injected worker death, got {deaths}"
+
+        # ------------------------------------------ phase B: kernel faults
+        # fault-free baseline flags per client body (breaker not yet hit)
+        chaos.install(None)
+        baseline = []
+        for body in bodies:
+            reply = _post(conn, body, "baseline")
+            assert reply.get("ok"), f"baseline grade failed: {reply}"
+            baseline.append(reply["result"]["detected_flags"])
+        conn.close()
+
+        # scattered occurrences: never back-to-back, so a single
+        # retry ladder cannot exhaust all breaker tiers
+        fault_at = [0, 4] if smoke else [0, 7]
+        controller = chaos.install(
+            {"points": [{"site": "kernel_fault", "at": fault_at}]}
+        )
+        errors = [0]
+        latencies_ms = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(clients + 1)
+
+        def client(index: int) -> None:
+            conn = _connect(port)
+            barrier.wait()
+            for _ in range(requests_per_client):
+                t0 = time.perf_counter()
+                try:
+                    reply = _post(conn, bodies[index], f"chaos-{index}")
+                    ok = reply.get("ok", False)
+                except OSError:
+                    ok, reply = False, {}
+                elapsed_ms = (time.perf_counter() - t0) * 1000.0
+                with lock:
+                    if ok and reply["result"]["detected_flags"] == baseline[index]:
+                        latencies_ms.append(elapsed_ms)
+                    else:
+                        errors[0] += 1
+            conn.close()
+
+        threads = [
+            threading.Thread(target=client, args=(k,)) for k in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        t_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - t_start
+        kernel_faults = sum(
+            1 for f in controller.fired() if f["site"] == "kernel_fault"
+        )
+        chaos.install(None)
+        chaos.uninstall()
+
+        metrics = service.metrics()
+        validate(metrics)
+        server.shutdown()
+        server.server_close()
+        service.shutdown()
+
+    total = clients * requests_per_client
+    latencies_ms.sort()
+    row = {
+        "workload": "chaos",
+        "circuit": circuit.name,
+        "clients": clients,
+        "requests": total,
+        "errors": errors[0],
+        "seconds": round(seconds, 4),
+        "requests_per_s": round(total / seconds, 2) if seconds else 0.0,
+        "injected_kernel_faults": kernel_faults,
+        "injected_worker_deaths": deaths,
+        "degraded_circuits": metrics["degraded_circuits"],
+        "worker_restarts": metrics["worker_restarts"],
+        "jobs_done": metrics["jobs"]["done"],
+        "jobs_failed": metrics["jobs"]["failed"],
+        "p50_ms": round(_percentile(latencies_ms, 0.50), 2),
+        "p95_ms": round(_percentile(latencies_ms, 0.95), 2),
+    }
+    print(
+        f"chaos: {total} requests, {errors[0]} errors, "
+        f"{kernel_faults} kernel faults absorbed "
+        f"(degraded_circuits={row['degraded_circuits']}), "
+        f"{deaths} worker death recovered "
+        f"(worker_restarts={row['worker_restarts']}), "
+        f"jobs done={row['jobs_done']} failed={row['jobs_failed']}"
+    )
+    failures = 0
+    if errors[0]:
+        print(f"FAIL chaos: {errors[0]} client-visible errors (want 0)")
+        failures += 1
+    if row["degraded_circuits"] < 1:
+        print("FAIL chaos: kernel faults did not degrade any circuit")
+        failures += 1
+    if row["worker_restarts"] < 1:
+        print("FAIL chaos: worker death did not record a restart")
+        failures += 1
+    if row["jobs_failed"]:
+        print(f"FAIL chaos: {row['jobs_failed']} job(s) failed (want 0)")
+        failures += 1
+    if failures:
+        return 1
+
+    # merge the chaos row into the benchmark artifact (replace stale
+    # chaos rows, keep the measured throughput rows untouched)
+    try:
+        with open(out) as handle:
+            payload = json.load(handle)
+        rows = [r for r in payload["rows"] if r.get("workload") != "chaos"]
+    except (OSError, ValueError, KeyError):
+        payload, rows = None, []
+    rows.append(row)
+    body = {
+        "benchmark": "service_throughput",
+        "units": "requests/second",
+        "python": platform.python_version(),
+        "workers": WORKERS,
+        "rows": rows,
+    }
+    if payload is not None:
+        for key in ("benchmark", "units", "python", "workers"):
+            body[key] = payload.get(key, body[key])
+    payload = stamp("repro/bench-service", body)
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def check(path: str) -> int:
     """The CI soft perf guard over an existing artifact."""
     validate_file(path)
     with open(path) as handle:
         payload = json.load(handle)
+    chaos_rows = [
+        row for row in payload["rows"] if row.get("workload") == "chaos"
+    ]
+    failures = 0
+    for row in chaos_rows:
+        if row["errors"] or row["jobs_failed"]:
+            print(
+                f"FAIL {path}: chaos row recorded {row['errors']} errors, "
+                f"{row['jobs_failed']} failed jobs"
+            )
+            failures += 1
     by_key = {
-        (row["clients"], row["coalesce"]): row for row in payload["rows"]
+        (row["clients"], row["coalesce"]): row
+        for row in payload["rows"]
+        if row.get("workload") != "chaos"
     }
     off = by_key.get((GUARD_CLIENTS, False))
     on = by_key.get((GUARD_CLIENTS, True))
-    failures = 0
     if off is None or on is None:
         print(f"FAIL {path}: no {GUARD_CLIENTS}-client row pair to guard on")
         return 1
@@ -348,9 +574,17 @@ def main() -> int:
         action="store_true",
         help="guard an existing artifact instead of regenerating",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="availability-under-faults run (deterministic injection); "
+        "merges a chaos row into the artifact",
+    )
     args = parser.parse_args()
     if args.check:
         return check(args.out)
+    if args.chaos:
+        return run_chaos(args.out, smoke=args.smoke)
     return regenerate(args.out, smoke=args.smoke)
 
 

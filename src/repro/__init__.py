@@ -99,7 +99,7 @@ from .core import (
 )
 from .paths import PathDelayFault, TestClass, Transition, all_faults, count_paths
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 # __all__ is authoritative: fail fast (at import time, i.e. in every
 # test run) if it ever drifts from what the module actually binds.

@@ -1,0 +1,149 @@
+"""Checkpoint integrity: sha256 checksums + generation-rotated writes.
+
+Atomic tmp-file-plus-rename writes guarantee a reader never sees a
+*partial* write, but they cannot protect against what happens after
+the rename: disk corruption, a torn filesystem journal, or an
+operator truncating the file.  A multi-hour campaign whose only
+checkpoint is unreadable restarts from zero.
+
+This module closes that gap with two mechanisms used together by the
+campaign checkpoints and the service's per-job records:
+
+* **Checksums.**  :func:`attach_checksum` embeds a sha256 digest of
+  the canonical JSON body under the ``"sha256"`` key;
+  :func:`verify_checksum` recomputes and compares.  Payloads written
+  before checksumming existed (no key) verify trivially — old files
+  stay readable.
+* **Generation rotation.**  :func:`write_json_rotated` moves the
+  current file to ``<path>.prev`` before renaming the fresh write
+  into place, so two generations exist on disk at all times.
+  :func:`load_json_verified` reads the primary, falls back to
+  ``.prev`` when the primary is missing/unparseable/checksum-bad, and
+  raises :class:`IntegrityError` only when *both* generations are
+  gone or corrupt.
+
+The ``torn_checkpoint`` chaos site (:mod:`repro.chaos`) fires inside
+:func:`write_json_rotated`, truncating the bytes that land in the
+primary file — the deterministic stand-in for disk corruption the
+recovery tests drive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Tuple
+
+from .. import chaos
+
+#: The embedded digest key; excluded from its own digest.
+CHECKSUM_KEY = "sha256"
+
+#: Suffix of the rotated previous generation.
+PREVIOUS_SUFFIX = ".prev"
+
+
+class IntegrityError(ValueError):
+    """Raised when no generation of a file passes verification."""
+
+
+def payload_digest(payload: Dict) -> str:
+    """sha256 over the canonical JSON body (checksum key excluded)."""
+    body = {k: v for k, v in payload.items() if k != CHECKSUM_KEY}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def attach_checksum(payload: Dict) -> Dict:
+    """A copy of *payload* with its ``sha256`` digest embedded."""
+    stamped = dict(payload)
+    stamped[CHECKSUM_KEY] = payload_digest(payload)
+    return stamped
+
+
+def verify_checksum(payload: Dict, path: str = "<payload>") -> None:
+    """Raise :class:`IntegrityError` on digest mismatch.
+
+    A payload without a checksum key passes (pre-integrity files stay
+    loadable); a payload *with* one must match exactly.
+    """
+    recorded = payload.get(CHECKSUM_KEY)
+    if recorded is None:
+        return
+    actual = payload_digest(payload)
+    if recorded != actual:
+        raise IntegrityError(
+            f"{path}: checksum mismatch (recorded {recorded[:12]}…, "
+            f"actual {actual[:12]}…) — file is corrupt"
+        )
+
+
+def previous_path(path: str) -> str:
+    return path + PREVIOUS_SUFFIX
+
+
+def write_json_rotated(
+    path: str, payload: Dict, indent: Optional[int] = None
+) -> None:
+    """Checksummed, atomic, generation-rotated JSON write.
+
+    The existing file (if any) becomes ``<path>.prev`` before the new
+    generation is renamed into place, so a corrupted write never
+    destroys the last good state.  Each step is atomic; a crash
+    between the two renames leaves only ``.prev``, which the loader
+    accepts.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    text = json.dumps(attach_checksum(payload), indent=indent)
+    if chaos.should_fire("torn_checkpoint"):
+        text = text[: len(text) // 2]  # the write "tears": half the bytes
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.write("\n")
+        if os.path.exists(path):
+            os.replace(path, previous_path(path))
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def load_json_verified(
+    path: str, fallback: bool = True
+) -> Tuple[Dict, bool]:
+    """Load and verify *path*; returns ``(payload, used_previous)``.
+
+    The primary file must parse as JSON and (when a checksum is
+    embedded) match its digest; otherwise, with *fallback*, the
+    ``.prev`` generation is tried under the same rules.  Raises
+    :class:`IntegrityError` when no candidate survives.
+    """
+    candidates = [path]
+    if fallback:
+        candidates.append(previous_path(path))
+    failures = []
+    for candidate in candidates:
+        if not os.path.exists(candidate):
+            failures.append(f"{candidate}: missing")
+            continue
+        try:
+            with open(candidate) as handle:
+                payload = json.load(handle)
+            verify_checksum(payload, path=candidate)
+            return payload, candidate != path
+        except (OSError, json.JSONDecodeError, IntegrityError) as exc:
+            failures.append(str(exc))
+    raise IntegrityError(
+        f"no readable generation of {path!r} ({'; '.join(failures)})"
+    )
+
+
+def recoverable(path: str) -> bool:
+    """True iff some generation of *path* exists on disk."""
+    return os.path.exists(path) or os.path.exists(previous_path(path))

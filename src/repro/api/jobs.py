@@ -36,7 +36,9 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from .. import chaos
 from ..campaign.runner import CampaignControl
+from . import integrity
 from .schemas import stamp, validate
 
 #: States a job can be observed in.  ``interrupted`` means "parked by
@@ -76,6 +78,10 @@ class Job:
     error: Optional[Dict] = None
     checkpoint: Optional[str] = None
     cancel_event: threading.Event = field(default_factory=threading.Event)
+    #: Name of the worker thread currently running this job; lets the
+    #: supervisor requeue jobs orphaned by a dead thread.  Process
+    #: state only — never serialized.
+    owner: Optional[str] = None
 
     def body(self) -> Dict:
         """The bare ``repro/job`` body (un-enveloped; job-list rows)."""
@@ -162,17 +168,61 @@ class JobManager:
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._stopping = threading.Event()
+        #: Worker threads resurrected after dying mid-job (the
+        #: ``/v1/metrics`` ``worker_restarts`` contribution).
+        self.worker_restarts = 0
+        self._worker_seq = 0
         if jobs_dir is not None:
             os.makedirs(jobs_dir, exist_ok=True)
             self._recover()
-        self._threads = [
-            threading.Thread(
-                target=self._worker, name=f"tip-job-worker-{k}", daemon=True
-            )
-            for k in range(workers)
-        ]
-        for thread in self._threads:
-            thread.start()
+        self._threads = [self._spawn_worker() for _ in range(workers)]
+
+    # ------------------------------------------------------------ supervise
+    def _spawn_worker(self) -> threading.Thread:
+        self._worker_seq += 1
+        thread = threading.Thread(
+            target=self._worker,
+            name=f"tip-job-worker-{self._worker_seq}",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def _ensure_workers(self) -> None:
+        """Resurrect dead worker threads and requeue their orphans.
+
+        A worker thread that dies mid-job (a bug below the job
+        boundary, an injected ``job_worker_death``) would otherwise
+        strand its job in ``running`` forever and shrink the pool.
+        Every public entry point calls this first: dead threads are
+        detected by liveness, their running jobs are put back at the
+        *front* of the queue (they were dequeued first), and
+        replacement threads are started.  Idempotent and cheap when
+        everything is alive.
+        """
+        with self._lock:
+            if self._stopping.is_set():
+                return
+            dead = [t for t in self._threads if not t.is_alive()]
+            if not dead:
+                return
+            dead_names = {t.name for t in dead}
+            orphans = [
+                job
+                for job in self._jobs.values()
+                if job.state == "running" and job.owner in dead_names
+            ]
+            for job in sorted(orphans, key=lambda j: j.submitted_at, reverse=True):
+                job.state = "queued"
+                job.owner = None
+                job.started_at = None
+                self._queue.insert(0, job.id)
+                self._persist(job)
+            self._threads = [t for t in self._threads if t.is_alive()]
+            for _ in dead:
+                self.worker_restarts += 1
+                self._threads.append(self._spawn_worker())
+            self._wake.notify_all()
 
     # ------------------------------------------------------------ persist
     def _job_path(self, job_id: str) -> Optional[str]:
@@ -184,11 +234,9 @@ class JobManager:
         path = self._job_path(job.id)
         if path is None:
             return
-        tmp = f"{path}.tmp"
-        with open(tmp, "w") as handle:
-            json.dump(job.snapshot(), handle, indent=2)
-            handle.write("\n")
-        os.replace(tmp, path)
+        # checksummed + generation-rotated: a torn write of the job
+        # record is detected on recovery and falls back to .prev
+        integrity.write_json_rotated(path, job.snapshot(), indent=2)
 
     def _recover(self) -> None:
         """Re-enqueue every resumable job found in the jobs directory.
@@ -202,11 +250,10 @@ class JobManager:
                 continue
             path = os.path.join(self.jobs_dir, name)
             try:
-                with open(path) as handle:
-                    payload = json.load(handle)
+                payload, _ = integrity.load_json_verified(path)
                 validate(payload, kind="repro/job")
             except (OSError, ValueError):
-                continue  # unreadable record: leave it for inspection
+                continue  # no readable generation: leave for inspection
             job = Job(
                 id=payload["id"],
                 verb=payload["verb"],
@@ -247,6 +294,7 @@ class JobManager:
     # ------------------------------------------------------------ submit
     def submit(self, verb: str, payload: Dict, tenant: str = "anonymous") -> Job:
         """Enqueue one job; returns immediately with the job record."""
+        self._ensure_workers()
         with self._lock:
             if self._stopping.is_set():
                 raise QuotaExceeded("service is shutting down", retry_after=5.0)
@@ -293,14 +341,17 @@ class JobManager:
 
     # ------------------------------------------------------------ observe
     def get(self, job_id: str) -> Optional[Job]:
+        self._ensure_workers()
         with self._lock:
             return self._jobs.get(job_id)
 
     def list(self) -> List[Job]:
+        self._ensure_workers()
         with self._lock:
             return sorted(self._jobs.values(), key=lambda j: j.submitted_at)
 
     def counts(self) -> Dict[str, int]:
+        self._ensure_workers()
         counts = {state: 0 for state in JOB_STATES}
         with self._lock:
             for job in self._jobs.values():
@@ -335,7 +386,13 @@ class JobManager:
                 return None
             job.cancel_event.set()
             if job.state == "queued":
-                self._queue.remove(job_id)
+                # tolerate the id being absent: a worker may have
+                # dequeued it in the instant before we took the lock
+                # (the worker's own pre-run cancel check settles it)
+                try:
+                    self._queue.remove(job_id)
+                except ValueError:
+                    return job
                 job.state = "cancelled"
                 job.finished_at = time.time()
                 self._persist(job)
@@ -350,6 +407,7 @@ class JobManager:
                 return None
             job = self._jobs[self._queue.pop(0)]
             job.state = "running"
+            job.owner = threading.current_thread().name
             job.started_at = time.time()
             self._persist(job)
             return job
@@ -358,6 +416,18 @@ class JobManager:
         while not self._stopping.is_set():
             job = self._next_job()
             if job is None:
+                continue
+            if chaos.should_fire("job_worker_death"):
+                # the injected failure: this thread dies with its job
+                # still marked running — _ensure_workers must requeue
+                # the job and replace the thread
+                return
+            if job.cancel_event.is_set():
+                # cancelled in the instant between dequeue and run
+                job.state = "cancelled"
+                job.owner = None
+                job.finished_at = time.time()
+                self._persist(job)
                 continue
             control = _JobControl(job, self)
             try:
@@ -376,6 +446,7 @@ class JobManager:
                 else:
                     job.state = "done"
                     job.result = result
+            job.owner = None
             job.finished_at = time.time()
             self._persist(job)
 

@@ -147,14 +147,49 @@ class ExecutionOptions(ScheduleOptions):
         workers: OS processes executing a round's shards.  ``1`` runs
             in-process; ``>= 2`` spawns a multiprocessing pool whose
             workers each rebuild the compiled circuit once.
+        shard_deadline_s: per-shard wall-clock deadline of the worker
+            supervisor.  A shard whose result hasn't arrived by then
+            is presumed lost (hung, or its worker process died); the
+            pool is rebuilt and the shard resubmitted.  ``None``
+            disables the watchdog.
+        shard_attempts: submission attempts per shard before the
+            supervisor quarantines it (its faults settle as
+            ``skipped_error`` with an error envelope instead of
+            crashing the campaign).
+        retry_base_ms: exponential-backoff base between retries of a
+            *raising* shard (attempt ``n`` waits ``retry_base_ms *
+            2**(n-1)`` plus deterministic jitter; ``0`` disables the
+            wait).
+
+    Supervision knobs bound *how failures are absorbed*; like
+    ``workers`` they never change per-fault outcomes — a retried shard
+    regenerates bit-identically, and quarantine only ever *removes*
+    faults from the report's detected set.
     """
 
     workers: int = 1
+    shard_deadline_s: Optional[float] = None
+    shard_attempts: int = 3
+    retry_base_ms: float = 50.0
+    #: JSON fault-injection schedule (see :mod:`repro.chaos`); the
+    #: campaign runner installs it process-wide before the first round.
+    #: Test/CI-only — the service scrubs it from tenant requests.
+    chaos: Optional[str] = None
 
     def validate(self) -> None:
         super().validate()
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.shard_deadline_s is not None and self.shard_deadline_s <= 0:
+            raise ValueError("shard_deadline_s must be > 0 (or None)")
+        if self.shard_attempts < 1:
+            raise ValueError("shard_attempts must be >= 1")
+        if self.retry_base_ms < 0:
+            raise ValueError("retry_base_ms must be >= 0")
+        if self.chaos is not None:
+            from .. import chaos as chaos_module  # lazy: avoid cycles
+
+            chaos_module.ChaosController(self.chaos)  # raises on bad spec
 
 
 @dataclass

@@ -6,6 +6,10 @@ service requests and responses — carries the same envelope::
 
     {"schema": "repro/<kind>", "schema_version": <int>, ...payload}
 
+Durable artifacts written through :mod:`repro.api.integrity` carry a
+third envelope key, ``sha256`` (the body's integrity digest); the
+validator tolerates it on any kind, exactly like the schema keys.
+
 This module is the registry of those kinds: a declarative structural
 spec per ``(kind, version)`` plus a small validator (no third-party
 dependency).  :func:`validate` rejects unknown kinds, unknown
@@ -65,6 +69,18 @@ def opt(spec) -> Dict:
 
 TEST_CLASS = {"enum": ["robust", "nonrobust"]}
 STATUS = {"enum": ["tested", "redundant", "deferred", "aborted", "simulated"]}
+#: v2 adds ``skipped_error`` — a fault whose shard the campaign
+#: supervisor quarantined after repeated worker failures.
+STATUS_V2 = {
+    "enum": [
+        "tested",
+        "redundant",
+        "deferred",
+        "aborted",
+        "simulated",
+        "skipped_error",
+    ]
+}
 
 #: Compact fault body: ``[[signal ids...], "R"|"F"]`` — shared with
 #: campaign checkpoints, where one row per fault matters at scale.
@@ -80,7 +96,9 @@ PATTERN = obj(
 
 
 def _options_spec(
-    generation_extra: Optional[Dict] = None, bist: bool = False
+    generation_extra: Optional[Dict] = None,
+    bist: bool = False,
+    execution_extra: Optional[Dict] = None,
 ) -> Dict:
     generation = {
         "width": INT,
@@ -92,10 +110,12 @@ def _options_spec(
         "sim_backend": {"enum": ["auto", "int", "numpy", "native"]},
     }
     generation.update(generation_extra or {})
+    execution = {"workers": INT}
+    execution.update(execution_extra or {})
     layers = {
         "generation": obj(optional=generation),
         "schedule": obj(optional={"shards": INT, "window": opt(INT)}),
-        "execution": obj(optional={"workers": INT}),
+        "execution": obj(optional=execution),
         "persistence": obj(
             optional={
                 "checkpoint": opt(STR),
@@ -131,12 +151,34 @@ FAULT_MODEL = {"enum": ["stuck_at", "path_delay"]}
 OPTIONS_V1 = _options_spec()
 #: v2 adds the generation-layer ``fusion`` strategy.
 OPTIONS_V2 = _options_spec({"fusion": FUSION})
-#: Current options wire shape: v3 adds the ``bist`` layer (the
-#: pseudorandom-BIST workload knobs of ``AtpgSession.bist``).
-OPTIONS = _options_spec({"fusion": FUSION}, bist=True)
+#: v3 adds the ``bist`` layer (the pseudorandom-BIST workload knobs
+#: of ``AtpgSession.bist``).
+OPTIONS_V3 = _options_spec({"fusion": FUSION}, bist=True)
+#: Current options wire shape: v4 adds the execution-layer worker
+#: supervision knobs (shard deadline / retry / quarantine) and the
+#: test-only ``chaos`` fault-injection schedule.
+OPTIONS = _options_spec(
+    {"fusion": FUSION},
+    bist=True,
+    execution_extra={
+        "shard_deadline_s": opt(NUM),
+        "shard_attempts": INT,
+        "retry_base_ms": NUM,
+        "chaos": opt(STR),
+    },
+)
 FAULT_RECORD = obj(
     {
         "status": STATUS,
+        "mode": STR,
+        "fault": opt(FAULT),
+        "pattern": opt(PATTERN),
+    }
+)
+#: v2: the status enum admits ``skipped_error``.
+FAULT_RECORD_V2 = obj(
+    {
+        "status": STATUS_V2,
         "mode": STR,
         "fault": opt(FAULT),
         "pattern": opt(PATTERN),
@@ -158,6 +200,28 @@ CAMPAIGN_STATS = obj(
         "seconds_sensitize": NUM,
         "seconds_simulate": NUM,
         "seconds_wall": NUM,
+    }
+)
+#: v2 adds the worker-supervision counters.
+CAMPAIGN_STATS_V2 = obj(
+    {
+        "rounds": INT,
+        "fptpg_rounds": INT,
+        "aptpg_rounds": INT,
+        "peak_pending": INT,
+        "streamed": INT,
+        "admitted_dropped": INT,
+        "compactions": INT,
+        "patterns_compacted_away": INT,
+        "decisions": INT,
+        "backtracks": INT,
+        "implication_passes": INT,
+        "seconds_sensitize": NUM,
+        "seconds_simulate": NUM,
+        "seconds_wall": NUM,
+        "worker_restarts": INT,
+        "shard_retries": INT,
+        "quarantined_shards": INT,
     }
 )
 
@@ -428,6 +492,40 @@ _METRICS_V2 = obj(
     }
 )
 
+# v3: the resilience counters — restarted workers (pool processes and
+# job threads), supervised shard retries, quarantined shards, and
+# sessions currently running at a degraded simulator tier (the
+# circuit-breaker's native→numpy→interp demotion chain).
+_METRICS_V3 = obj(
+    {
+        "requests_ok": INT,
+        "requests_failed": INT,
+        "requests_coalesced": INT,
+        "sessions_opened": INT,
+        "sessions_cached": INT,
+        "queue_depth": INT,
+        "jobs": obj(
+            {
+                "queued": INT,
+                "running": INT,
+                "done": INT,
+                "failed": INT,
+                "cancelled": INT,
+                "interrupted": INT,
+            }
+        ),
+        "jobs_by_verb": obj({"campaign": INT, "bist": INT}),
+        "coalescer": obj(
+            {"batches": INT, "requests": INT, "merged_requests": INT}
+        ),
+        "worker_restarts": INT,
+        "shard_retries": INT,
+        "quarantined_shards": INT,
+        "degraded_circuits": INT,
+        "uptime_seconds": NUM,
+    }
+)
+
 #: BIST report wire shape: full generator/compactor configuration
 #: (register hex values as strings — 64-bit polynomials exceed what
 #: some JSON consumers keep exact), the coverage curve, and the
@@ -519,12 +617,45 @@ _BENCH_SERVICE_ROW = obj(
     optional={"speedup_vs_uncoalesced": NUM},
 )
 
+#: One chaos-mode loadgen run (``scripts/loadgen.py --chaos``): the
+#: service is hammered while kernel faults and a job-worker death are
+#: injected; the row records that availability held (``errors`` must
+#: be 0 for the artifact to be accepted by ``--check``) plus the
+#: recovery counters the service reported afterwards.
+_BENCH_SERVICE_CHAOS_ROW = obj(
+    {
+        "workload": {"const": "chaos"},
+        "circuit": STR,
+        "clients": INT,
+        "requests": INT,
+        "errors": INT,
+        "seconds": NUM,
+        "requests_per_s": NUM,
+        "injected_kernel_faults": INT,
+        "injected_worker_deaths": INT,
+        "degraded_circuits": INT,
+        "worker_restarts": INT,
+        "jobs_done": INT,
+        "jobs_failed": INT,
+    },
+    optional={"p50_ms": NUM, "p95_ms": NUM},
+)
+
 
 # ---------------------------------------------------------------------------
 # the registry: kind -> version -> body spec
 # ---------------------------------------------------------------------------
 
-def _campaign_report_spec(options_spec: Dict) -> Dict:
+def _campaign_report_spec(
+    options_spec: Dict,
+    stats_spec: Dict = CAMPAIGN_STATS,
+    errors: bool = False,
+) -> Dict:
+    optional = {}
+    if errors:
+        # [index, envelope] pairs for skipped_error faults; emitted
+        # only when a shard was quarantined
+        optional["errors"] = arr(arr(ANY))
     return obj(
         {
             "circuit": STR,
@@ -534,16 +665,17 @@ def _campaign_report_spec(options_spec: Dict) -> Dict:
             "modes": arr(arr(ANY)),  # [index, mode] pairs
             "records": opt(arr(arr(ANY))),  # [index, record] pairs
             "patterns": arr(PATTERN),
-            "stats": CAMPAIGN_STATS,
+            "stats": stats_spec,
             "complete": BOOL,
-        }
+        },
+        optional=optional,
     )
 
 
 SCHEMAS: Dict[str, Dict[int, Dict]] = {
     "repro/fault": {1: FAULT},
     "repro/pattern": {1: PATTERN},
-    "repro/options": {1: OPTIONS_V1, 2: OPTIONS_V2, 3: OPTIONS},
+    "repro/options": {1: OPTIONS_V1, 2: OPTIONS_V2, 3: OPTIONS_V3, 4: OPTIONS},
     "repro/circuit": {
         1: obj(
             {
@@ -568,12 +700,29 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
                 "backtracks": INT,
                 "implication_passes": INT,
             }
-        )
+        ),
+        # v2: records may carry the skipped_error status
+        2: obj(
+            {
+                "circuit": STR,
+                "test_class": TEST_CLASS,
+                "width": INT,
+                "records": arr(FAULT_RECORD_V2),
+                "seconds_sensitize": NUM,
+                "seconds_generate": NUM,
+                "seconds_simulate": NUM,
+                "decisions": INT,
+                "backtracks": INT,
+                "implication_passes": INT,
+            }
+        ),
     },
     "repro/campaign-report": {
         1: _campaign_report_spec(OPTIONS_V1),
         2: _campaign_report_spec(OPTIONS_V2),
-        3: _campaign_report_spec(OPTIONS),
+        3: _campaign_report_spec(OPTIONS_V3),
+        # v4: supervision options + counters, quarantine error rows
+        4: _campaign_report_spec(OPTIONS, CAMPAIGN_STATS_V2, errors=True),
     },
     "repro/simulate-report": {
         1: obj(
@@ -658,7 +807,29 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
                 "obligations": arr(FAULT_BODY),
                 "stats": CAMPAIGN_STATS,
             }
-        )
+        ),
+        # v3: supervision counters in stats plus the quarantine error
+        # rows (``[index, envelope]``); statuses may be skipped_error
+        3: obj(
+            {
+                "version": {"const": 3},
+                "circuit": STR,
+                "test_class": TEST_CLASS,
+                "width": INT,
+                "shards": INT,
+                "schedule": obj(open_=True),
+                "stream_position": INT,
+                "exhausted": BOOL,
+                "complete": BOOL,
+                "settled": arr(arr(ANY)),
+                "pending": arr(arr(ANY)),
+                "queue": arr(INT),
+                "patterns": arr(arr(ANY)),
+                "obligations": arr(FAULT_BODY),
+                "stats": CAMPAIGN_STATS_V2,
+                "errors": arr(arr(ANY)),
+            }
+        ),
     },
     "repro/bench-kernel": {
         1: obj(
@@ -748,6 +919,15 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
         3: obj(
             optional={
                 **_REQUEST_CIRCUIT,
+                "options": OPTIONS_V3,
+                "max_faults": opt(INT),
+                "strategy": {"enum": ["all", "longest", "sample"]},
+                "include_patterns": BOOL,
+            }
+        ),
+        4: obj(
+            optional={
+                **_REQUEST_CIRCUIT,
                 "options": OPTIONS,
                 "max_faults": opt(INT),
                 "strategy": {"enum": ["all", "longest", "sample"]},
@@ -777,6 +957,15 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
         3: obj(
             optional={
                 **_REQUEST_CIRCUIT,
+                "options": OPTIONS_V3,
+                "max_faults": opt(INT),
+                "min_length": opt(INT),
+                "max_length": opt(INT),
+            }
+        ),
+        4: obj(
+            optional={
+                **_REQUEST_CIRCUIT,
                 "options": OPTIONS,
                 "max_faults": opt(INT),
                 "min_length": opt(INT),
@@ -788,11 +977,19 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
         1: obj(
             optional={
                 **_REQUEST_CIRCUIT,
+                "options": OPTIONS_V3,
+                "fault_model": FAULT_MODEL,
+                "max_faults": opt(INT),
+            }
+        ),
+        2: obj(
+            optional={
+                **_REQUEST_CIRCUIT,
                 "options": OPTIONS,
                 "fault_model": FAULT_MODEL,
                 "max_faults": opt(INT),
             }
-        )
+        ),
     },
     "repro/request.simulate": {
         1: obj(
@@ -826,7 +1023,7 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
     },
     "repro/job": {1: _JOB, 2: _JOB_V2},
     "repro/job-list": {1: obj({"jobs": arr(_JOB)}), 2: obj({"jobs": arr(_JOB_V2)})},
-    "repro/metrics": {1: _METRICS, 2: _METRICS_V2},
+    "repro/metrics": {1: _METRICS, 2: _METRICS_V2, 3: _METRICS_V3},
     "repro/bist-report": {1: _BIST_REPORT},
     "repro/bench-service": {
         1: obj(
@@ -837,7 +1034,19 @@ SCHEMAS: Dict[str, Dict[int, Dict]] = {
                 "workers": INT,
                 "rows": arr(_BENCH_SERVICE_ROW),
             }
-        )
+        ),
+        # v2: chaos-mode recovery rows alongside the throughput rows
+        2: obj(
+            {
+                "benchmark": {"const": "service_throughput"},
+                "units": STR,
+                "python": STR,
+                "workers": INT,
+                "rows": arr(
+                    {"anyOf": [_BENCH_SERVICE_ROW, _BENCH_SERVICE_CHAOS_ROW]}
+                ),
+            }
+        ),
     },
     "repro/bench-bist": {
         1: obj(
@@ -956,7 +1165,12 @@ def _check(spec: Dict, value, path: str) -> None:
                 _check(sub, value[name], f"{path}.{name}")
         if not spec["open"]:
             known = set(spec["required"]) | set(spec["optional"])
-            extra = sorted(set(value) - known - {"schema", "schema_version"})
+            # "sha256" is the integrity envelope (see api.integrity):
+            # like schema/schema_version it may ride on any enveloped
+            # payload without being part of the body spec
+            extra = sorted(
+                set(value) - known - {"schema", "schema_version", "sha256"}
+            )
             if extra:
                 raise SchemaError(
                     f"{path}: unexpected keys {extra} (schema drift? bump the "

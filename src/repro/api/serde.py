@@ -248,6 +248,11 @@ def campaign_report_to_payload(report, envelope: bool = True) -> Dict:
         "stats": report.stats.as_dict(),
         "complete": report.complete,
     }
+    if report.errors:
+        body["errors"] = [
+            [index, dict(report.errors[index])]
+            for index in sorted(report.errors)
+        ]
     return stamp("repro/campaign-report", body) if envelope else body
 
 
@@ -277,6 +282,10 @@ def campaign_report_from_payload(payload: Dict, envelope: bool = True):
         ],
         stats=CampaignStats.from_dict(payload["stats"]),
         complete=payload["complete"],
+        errors={
+            int(index): dict(envelope_)
+            for index, envelope_ in payload.get("errors", [])
+        },
     )
 
 

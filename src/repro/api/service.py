@@ -300,6 +300,12 @@ class AtpgService:
         self.requests_failed = 0
         self.sessions_opened = 0
         self.sessions_cached = 0
+        # resilience counters absorbed from completed campaign reports
+        # (pool-level supervision) — the job-thread restarts live on
+        # the JobManager; metrics() adds the two together
+        self._pool_worker_restarts = 0
+        self._shard_retries = 0
+        self._quarantined_shards = 0
         self.coalescer = Coalescer(config.coalesce_window_ms)
         self._jobs: Optional[JobManager] = None
         self._jobs_gate = threading.Lock()
@@ -436,14 +442,23 @@ class AtpgService:
         same PPSFP detection-mask kernel, so a simulate and a grade
         can ride the same slab.
         """
-        sim = session._simulator(test_class, "auto", "auto")
         key = (session.circuit_hash, test_class.value)
         return self.coalescer.run(
             key,
             request.patterns,
             request.faults,
-            lambda packed, faults: sim.detection_masks(packed, faults),
+            lambda packed, faults: session.resilient_masks(
+                packed, faults, test_class=test_class
+            ),
         )
+
+    def _absorb_campaign_stats(self, report) -> None:
+        """Fold a completed campaign's supervision counters into metrics."""
+        stats = report.stats
+        with self._lock:
+            self._pool_worker_restarts += stats.worker_restarts
+            self._shard_retries += stats.shard_retries
+            self._quarantined_shards += stats.quarantined_shards
 
     def _dispatch(self, session: AtpgSession, request: Request) -> Dict:
         test_class = resolve_test_class(request.test_class)
@@ -471,6 +486,7 @@ class AtpgService:
                 test_class=test_class,
                 options=_scrub_options(request.options),
             )
+            self._absorb_campaign_stats(report)
             return serde.campaign_report_to_payload(report)
         if isinstance(request, SimulateRequest):
             masks = self._detection_masks(session, request, test_class)
@@ -561,6 +577,7 @@ class AtpgService:
             )
             if not report.complete and control.should_stop():
                 return None  # parked (shutdown) or stopping (cancel)
+            self._absorb_campaign_stats(report)
             return serde.campaign_report_to_payload(report)
         if isinstance(request, BistRequest):
             session = self._resolve_session(request)
@@ -701,6 +718,12 @@ class AtpgService:
                 "sessions_opened": self.sessions_opened,
                 "sessions_cached": self.sessions_cached,
             }
+            pool_restarts = self._pool_worker_restarts
+            shard_retries = self._shard_retries
+            quarantined = self._quarantined_shards
+            degraded = sum(
+                1 for sess in self._sessions.values() if sess.degraded
+            )
         coalescer = self.coalescer.stats()
         body["requests_coalesced"] = coalescer["merged_requests"]
         body["coalescer"] = coalescer
@@ -716,12 +739,18 @@ class AtpgService:
                 )
             }
             body["jobs_by_verb"] = {verb: 0 for verb in ASYNC_VERBS}
+            thread_restarts = 0
         else:
             body["queue_depth"] = manager.queue_depth()
             body["jobs"] = manager.counts()
             by_verb = {verb: 0 for verb in ASYNC_VERBS}
             by_verb.update(manager.verb_counts())
             body["jobs_by_verb"] = by_verb
+            thread_restarts = manager.worker_restarts
+        body["worker_restarts"] = thread_restarts + pool_restarts
+        body["shard_retries"] = shard_retries
+        body["quarantined_shards"] = quarantined
+        body["degraded_circuits"] = degraded
         body["uptime_seconds"] = time.time() - self._started
         return stamp("repro/metrics", body)
 
@@ -739,11 +768,13 @@ def _scrub_options(options: Optional[Options]) -> Optional[Options]:
 
     A request must never steer the server's filesystem: checkpoint
     paths (arbitrary file writes) and resume (arbitrary file reads)
-    are host decisions, not request parameters.
+    are host decisions, not request parameters.  Chaos specs are
+    likewise host-only — a client must not be able to crash the
+    server's pool workers by asking nicely.
     """
     if options is None:
         return None
-    return Options.adopt(options, checkpoint=None, resume=False)
+    return Options.adopt(options, checkpoint=None, resume=False, chaos=None)
 
 
 def _strip_patterns(report):

@@ -67,6 +67,11 @@ class AtpgSession:
         self.options = Options.adopt(options)
         self._fingerprint: Optional[str] = None
         self._simulators: Dict = {}
+        # circuit-breaker state: once a kernel fault demotes this
+        # session, every later simulate/grade call starts at the
+        # demoted tier (sticky until the session is rebuilt)
+        self._degrade_level = 0
+        self.degrade_events: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------ builders
     @classmethod
@@ -118,6 +123,64 @@ class AtpgSession:
                 self.circuit, test_class, backend=backend, fusion=fusion
             )
         return self._simulators[key]
+
+    # ------------------------------------------------------------ breaker
+    @property
+    def degrade_level(self) -> int:
+        """0 = as requested, 1 = numpy/auto, 2 = numpy/interp."""
+        return self._degrade_level
+
+    @property
+    def degraded(self) -> bool:
+        return self._degrade_level > 0
+
+    def resilient_masks(
+        self,
+        patterns,
+        faults: Sequence[PathDelayFault],
+        *,
+        test_class: TestClass,
+        backend: str = "auto",
+        fusion: str = "auto",
+    ) -> List[int]:
+        """Detection masks behind the runtime degradation chain.
+
+        Tier 0 runs the requested backend/fusion pair (``"auto"``
+        resolves to native where compiled); a kernel *fault* —
+        anything but the ``ValueError``/``TypeError`` input rejections,
+        which no backend change can fix — demotes the session one tier
+        and retries the same call: first to the numpy backend, then to
+        the interpreted per-gate loop (the oracle every fast path is
+        verified against).  Demotion is sticky for the session's
+        lifetime and recorded in :attr:`degrade_events` (the service
+        surfaces the count as ``degraded_circuits`` in
+        ``/v1/metrics``); only a call failing at the last tier
+        propagates its exception.  All tiers are bit-identical, so a
+        degraded answer is still *the* answer, just slower.
+        """
+        tiers = [(backend, fusion), ("numpy", "auto"), ("numpy", "interp")]
+        level = min(self._degrade_level, len(tiers) - 1)
+        while True:
+            tier_backend, tier_fusion = tiers[level]
+            sim = self._simulator(test_class, tier_backend, tier_fusion)
+            try:
+                return sim.detection_masks(patterns, list(faults))
+            except (ValueError, TypeError):
+                raise  # malformed input: no tier can answer it
+            except Exception as exc:  # noqa: BLE001 - breaker boundary
+                if level >= len(tiers) - 1:
+                    raise
+                level += 1
+                self._degrade_level = max(self._degrade_level, level)
+                self.degrade_events.append(
+                    {
+                        "level": level,
+                        "backend": tiers[level][0],
+                        "fusion": tiers[level][1],
+                        "error": type(exc).__name__,
+                        "detail": str(exc),
+                    }
+                )
 
     # ------------------------------------------------------------ generate
     def generate(
@@ -287,9 +350,18 @@ class AtpgSession:
         word backend falls back to numpy (with a one-time warning)
         when no C toolchain is available; every backend is
         bit-identical.
+
+        Runs behind the session circuit breaker
+        (:meth:`resilient_masks`): a kernel fault demotes the session
+        to a slower bit-identical tier instead of failing the call.
         """
-        sim = self._simulator(resolve_test_class(test_class), backend, fusion)
-        return sim.detection_masks(patterns, list(faults))
+        return self.resilient_masks(
+            patterns,
+            faults,
+            test_class=resolve_test_class(test_class),
+            backend=backend,
+            fusion=fusion,
+        )
 
     # ------------------------------------------------------------ grade
     def grade(

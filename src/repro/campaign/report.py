@@ -12,19 +12,17 @@ deterministic and resumes by position; see
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..api import integrity
 from ..api.options import DEFAULT_SHARDS, Options
 from ..paths import PathDelayFault, TestClass, Transition
 from ..core.patterns import TestPattern
 from ..core.results import FaultRecord, FaultStatus, TpgReport
 
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -78,6 +76,9 @@ class CampaignStats:
     seconds_sensitize: float = 0.0
     seconds_simulate: float = 0.0
     seconds_wall: float = 0.0
+    worker_restarts: int = 0
+    shard_retries: int = 0
+    quarantined_shards: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -95,6 +96,9 @@ class CampaignStats:
             "seconds_sensitize": self.seconds_sensitize,
             "seconds_simulate": self.seconds_simulate,
             "seconds_wall": self.seconds_wall,
+            "worker_restarts": self.worker_restarts,
+            "shard_retries": self.shard_retries,
+            "quarantined_shards": self.quarantined_shards,
         }
 
     @classmethod
@@ -126,6 +130,9 @@ class CampaignReport:
     patterns: List[TestPattern] = field(default_factory=list)
     stats: CampaignStats = field(default_factory=CampaignStats)
     complete: bool = False
+    #: stream index -> error envelope of a quarantined shard's faults
+    #: (those faults' statuses are ``skipped_error``).
+    errors: Dict[int, Dict[str, object]] = field(default_factory=dict)
 
     # ------------------------------------------------------------ queries
     @property
@@ -313,27 +320,39 @@ def checkpoint_payload(
         "patterns": [_pattern_payload(p) for p in report.patterns],
         "obligations": [_fault_payload(f) for f in obligations],
         "stats": report.stats.as_dict(),
+        "errors": [
+            [index, dict(report.errors[index])]
+            for index in sorted(report.errors)
+        ],
     }
 
 
 def write_checkpoint(path: str, payload: Dict[str, object]) -> None:
-    """Atomic write: tmp file + rename, so a crash never truncates."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
+    """Checksummed, generation-rotated write (see :mod:`..api.integrity`).
+
+    The previous checkpoint survives as ``<path>.prev``, and the new
+    generation embeds a sha256 digest, so a corrupted write is both
+    detectable and recoverable on resume.
+    """
+    integrity.write_json_rotated(path, payload)
 
 
 def load_checkpoint(path: str) -> Dict[str, object]:
-    with open(path) as handle:
-        payload = json.load(handle)
+    """Load the newest *verifiable* generation of a checkpoint.
+
+    A primary file that is missing, truncated, unparseable, or fails
+    its checksum falls back to ``<path>.prev``; only when both
+    generations are unusable does the load fail
+    (:class:`repro.api.integrity.IntegrityError`).
+    """
+    payload, used_previous = integrity.load_json_verified(path)
+    if used_previous:
+        warnings.warn(
+            f"checkpoint {path!r} was corrupt or missing; resumed from "
+            f"the previous generation {integrity.previous_path(path)!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     version = payload.get("version")
     if version != CHECKPOINT_VERSION:
         raise ValueError(
@@ -371,6 +390,10 @@ def restore_from_payload(
     }
     queue = [int(i) for i in payload["queue"]]
     report.stats = CampaignStats.from_dict(payload["stats"])
+    report.errors = {
+        int(index): dict(envelope)
+        for index, envelope in payload.get("errors", [])
+    }
     obligations = [_fault_from_payload(row) for row in payload["obligations"]]
     return (
         pending,

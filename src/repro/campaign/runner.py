@@ -29,12 +29,13 @@ campaign over a pre-materialized universe.
 
 from __future__ import annotations
 
-import os
 import time
 import warnings
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from .. import chaos
+from ..api import integrity
 from ..api.options import Options
 from ..circuit import Circuit
 from ..core.patterns import TestPattern
@@ -49,7 +50,7 @@ from .report import (
     schedule_fingerprint,
     write_checkpoint,
 )
-from .scheduler import make_executor
+from .scheduler import Supervision, make_executor
 from .universe import FaultUniverse
 
 #: Admission checks run in bounded slices so an unbounded-window pull
@@ -146,6 +147,20 @@ class _Campaign:
         self.pending.pop(index, None)
         self.queued.discard(index)
 
+    def _settle_quarantined(
+        self, indices: Sequence[int], envelope: Dict[str, object]
+    ) -> None:
+        """Settle a quarantined shard's faults as ``skipped_error``."""
+        for index in indices:
+            self.report.errors[index] = dict(envelope)
+            self.settle(
+                index,
+                self.pending.get(index),
+                FaultStatus.SKIPPED_ERROR,
+                None,
+                "error",
+            )
+
     def _note_pending_peak(self) -> None:
         if len(self.pending) > self.report.stats.peak_pending:
             self.report.stats.peak_pending = len(self.pending)
@@ -221,6 +236,11 @@ class _Campaign:
         stats = self.report.stats
         fresh: List[TestPattern] = []
         for batch, result in zip(batches, results):
+            if result.error is not None:
+                # quarantined shard: its faults are settled as
+                # skipped_error with the envelope, never retried again
+                self._settle_quarantined(batch, result.error)
+                continue
             stats.decisions += result.decisions
             stats.implication_passes += result.implication_passes
             stats.seconds_sensitize += result.seconds_sensitize
@@ -254,6 +274,9 @@ class _Campaign:
         stats = self.report.stats
         fresh: List[TestPattern] = []
         for index, result in zip(targets, results):
+            if result.error is not None:
+                self._settle_quarantined([index], result.error)
+                continue
             stats.decisions += result.decisions
             stats.backtracks += result.backtracks
             stats.implication_passes += result.implication_passes
@@ -300,7 +323,7 @@ class _Campaign:
         options = self.options
         if not options.resume or options.checkpoint is None:
             return False
-        if not os.path.exists(options.checkpoint):
+        if not integrity.recoverable(options.checkpoint):
             return False
         payload = load_checkpoint(options.checkpoint)
         for key, want in (
@@ -361,6 +384,17 @@ class _Campaign:
 
     # ------------------------------------------------------------ main loop
     def run(self) -> CampaignReport:
+        if self.options.chaos is None:
+            return self._run()
+        # scoped install: pool workers inherit the controller at fork,
+        # and the process is clean again once the campaign returns
+        chaos.install(self.options.chaos)
+        try:
+            return self._run()
+        finally:
+            chaos.uninstall()
+
+    def _run(self) -> CampaignReport:
         options = self.options
         control = self.control
         t_start = time.perf_counter()
@@ -376,7 +410,26 @@ class _Campaign:
             options.backtrack_limit,
             options.workers,
             options.fusion,
+            supervision=Supervision(
+                deadline_s=options.shard_deadline_s,
+                attempts=options.shard_attempts,
+                retry_base_ms=options.retry_base_ms,
+            ),
         )
+        # supervision counters restored from a checkpoint are the
+        # baseline; the executor counts this run's incidents on top
+        base = (
+            self.report.stats.worker_restarts,
+            self.report.stats.shard_retries,
+            self.report.stats.quarantined_shards,
+        )
+
+        def sync_supervision_stats() -> None:
+            stats = self.report.stats
+            stats.worker_restarts = base[0] + executor.worker_restarts
+            stats.shard_retries = base[1] + executor.shard_retries
+            stats.quarantined_shards = base[2] + executor.quarantined_shards
+
         rounds_since_checkpoint = 0
         stopped = False
         try:
@@ -398,6 +451,7 @@ class _Campaign:
                         self.report.stats.seconds_simulate = (
                             self.bus.seconds_simulate
                         )
+                        sync_supervision_stats()
                         self.save_checkpoint()
                         rounds_since_checkpoint = 0
                     continue
@@ -431,6 +485,7 @@ class _Campaign:
             stats.compactions = self.bus.compactions
             stats.patterns_compacted_away = self.bus.patterns_compacted_away
             stats.seconds_wall += time.perf_counter() - t_start
+            sync_supervision_stats()
             self.save_checkpoint()
             return self.report
         # residue: deferred faults that APTPG never ran (ablations)
@@ -444,6 +499,7 @@ class _Campaign:
         stats.compactions = self.bus.compactions
         stats.patterns_compacted_away = self.bus.patterns_compacted_away
         stats.seconds_wall += time.perf_counter() - t_start
+        sync_supervision_stats()
         self.report.complete = True
         self.save_checkpoint()
         return self.report

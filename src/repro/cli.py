@@ -264,6 +264,33 @@ def main_campaign(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--json", dest="json_path", default=None, help="write the summary as JSON"
     )
+    parser.add_argument(
+        "--shard-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard wall-clock deadline; a shard past the deadline is "
+        "treated as a dead/hung worker and resubmitted (default: off)",
+    )
+    parser.add_argument(
+        "--shard-attempts",
+        type=int,
+        default=3,
+        help="attempts per shard before quarantine (default: 3)",
+    )
+    parser.add_argument(
+        "--retry-base-ms",
+        type=float,
+        default=50.0,
+        help="base backoff between shard retries in ms (default: 50)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault-injection JSON spec, e.g. "
+        '\'{"points": [{"site": "shard_crash", "at": [1]}]}\' (testing only)',
+    )
     args = parser.parse_args(argv)
 
     from .campaign.universe import FaultUniverse
@@ -293,6 +320,10 @@ def main_campaign(argv: Optional[List[str]] = None) -> int:
             resume=args.resume,
             compact_every=args.compact_every,
             keep_records=not args.no_records,
+            shard_deadline_s=args.shard_deadline,
+            shard_attempts=args.shard_attempts,
+            retry_base_ms=args.retry_base_ms,
+            chaos=args.chaos,
         ),
     )
     print(
@@ -307,6 +338,12 @@ def main_campaign(argv: Optional[List[str]] = None) -> int:
         f"admission-dropped: {stats.admitted_dropped}, "
         f"compactions: {stats.compactions}"
     )
+    if stats.worker_restarts or stats.shard_retries or stats.quarantined_shards:
+        print(
+            f"supervision: worker restarts {stats.worker_restarts}, "
+            f"shard retries {stats.shard_retries}, "
+            f"quarantined shards {stats.quarantined_shards}"
+        )
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
     if args.json_path:
@@ -1212,7 +1249,19 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="suppress the structured JSON access log (stderr)",
     )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="install a deterministic fault-injection JSON schedule in this "
+        'process, e.g. \'{"points": [{"site": "kernel_fault", "at": [0]}]}\' '
+        "(testing only)",
+    )
     args = parser.parse_args(argv)
+    if args.chaos is not None:
+        from . import chaos as chaos_module
+
+        chaos_module.install(args.chaos)
     config = ServiceOptions(
         workers=args.workers,
         max_queue=args.max_queue,

@@ -18,6 +18,7 @@ class FaultStatus(enum.Enum):
     DEFERRED = "deferred"  # FPTPG handed the fault to APTPG
     ABORTED = "aborted"  # gave up (backtrack limit / stuck)
     SIMULATED = "simulated"  # dropped: detected by an earlier pattern
+    SKIPPED_ERROR = "skipped_error"  # shard quarantined after repeated faults
 
 
 @dataclass

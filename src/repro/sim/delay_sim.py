@@ -41,6 +41,7 @@ from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from .. import chaos
 from ..circuit import Circuit
 from ..kernel import (
     BACKEND_MODES,
@@ -340,6 +341,7 @@ class DelayFaultSimulator:
         pre-built :class:`PackedPatterns` instead of the pattern
         sequence, skipping the per-call packing cost.
         """
+        chaos.maybe_raise("kernel_fault")
         width = len(patterns)
         if width == 0:
             return [0] * len(faults)
@@ -347,6 +349,18 @@ class DelayFaultSimulator:
         compiled = self.compiled
         backend = backend_for(width, self.backend, fusion=self.fusion)
         pre_packed = isinstance(patterns, PackedPatterns)
+        if not pre_packed:
+            # reject malformed patterns up front, uniformly across
+            # backends: an input error must surface as ValueError at
+            # every tier (the session circuit breaker re-raises those
+            # instead of demoting — no backend change can fix them)
+            n_inputs = len(self.circuit.inputs)
+            for pattern in patterns:
+                if len(pattern.v1) != n_inputs or len(pattern.v2) != n_inputs:
+                    raise ValueError(
+                        f"expected {n_inputs} input planes, "
+                        f"got {len(pattern.v1)}"
+                    )
         if getattr(backend, "kind", None) == "native":
             # forward pass + whole fault walk inside the compiled-C
             # module: one Python call per batch

@@ -246,7 +246,7 @@ class TestResolution:
 
 class TestPublicSurface:
     def test_version(self):
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
 
     def test_all_is_authoritative(self):
         for name in repro.__all__:

@@ -237,6 +237,64 @@ class TestCheckpointResume:
         assert campaign_statuses(resumed) == campaign_statuses(baseline)
         assert len(resumed.patterns) == len(baseline.patterns)
 
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        interrupt_after=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_mid_round_resume_matches_uninterrupted(
+        self, seed, interrupt_after
+    ):
+        """Interrupt after any round count -> resume is bit-identical.
+
+        The property behind crash recovery: wherever a run dies, the
+        checkpointed prefix plus the resumed suffix must detect
+        exactly the faults an uninterrupted run detects.
+        """
+        import tempfile
+
+        circuit = random_dag(9, 35, seed=seed)
+        faults = all_faults(circuit, cap=100)
+        baseline = run_campaign(
+            circuit,
+            universe=FaultUniverse.from_faults(faults),
+            options=CampaignOptions(width=4),
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "campaign.json")
+            options = CampaignOptions(width=4, checkpoint=path, resume=True)
+            partial = _Campaign(
+                circuit,
+                FaultUniverse.from_faults(faults),
+                TestClass.NONROBUST,
+                options,
+            )
+            from repro.campaign.scheduler import make_executor
+
+            executor = make_executor(circuit, TestClass.NONROBUST, 4, True, 64, 1)
+            stream = partial.universe.stream()
+            for _round in range(interrupt_after):
+                partial.pull(stream)
+                if not partial.fptpg_round(executor):
+                    break
+            executor.close()
+            partial.save_checkpoint()
+
+            resumed = run_campaign(
+                circuit,
+                universe=FaultUniverse.from_faults(faults),
+                options=options,
+            )
+        assert resumed.complete
+        assert campaign_statuses(resumed) == campaign_statuses(baseline)
+        assert set(resumed.detected_indices()) == set(
+            baseline.detected_indices()
+        )
+
     def test_completed_checkpoint_short_circuits(self, tmp_path):
         circuit = ripple_carry_adder(3)
         path = str(tmp_path / "done.json")

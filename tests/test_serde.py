@@ -230,4 +230,4 @@ class TestArtifacts:
         session.campaign(width=4, checkpoint=str(path))
         kind, version = validate_file(str(path))
         assert kind == "repro/campaign-checkpoint"
-        assert version == 2
+        assert version == 3

@@ -181,6 +181,23 @@ def _get(server, endpoint, timeout=10):
         return json.loads(response.read())
 
 
+def _post_port(port, verb, payload, timeout=60):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/v1/{verb}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _maybe_post_port(port, verb, payload):
+    try:
+        return _post_port(port, verb, payload, timeout=30)
+    except (OSError, urllib.error.URLError):
+        return None  # a drain may close the socket first; that's fine
+
+
 class TestHttpEndpoint:
     def test_generate_smoke_c17(self, server):
         request = stamp(
@@ -454,6 +471,155 @@ class TestJobQueue:
         assert service.submit_campaign(request, tenant="bob").ok
         release.set()
         service.shutdown()
+
+    def test_cancelled_queued_job_never_runs(self, monkeypatch):
+        """Cancelling a still-queued job settles it immediately.
+
+        The worker is pinned on a gated first job, so the second job
+        is provably queued when cancelled — it must flip to
+        ``cancelled`` right away (not linger ``queued`` until a worker
+        looks at it) and its payload must never execute.
+        """
+        from repro.api import ServiceOptions
+
+        release = threading.Event()
+        started = threading.Event()
+        executed = []
+
+        def gated(self, job, control):
+            executed.append(job.id)
+            started.set()
+            release.wait(timeout=30)
+            return {}
+
+        monkeypatch.setattr(AtpgService, "_run_job", gated)
+        service = AtpgService(config=ServiceOptions(workers=1, max_queue=8))
+        request = stamp("repro/request.campaign", {"circuit": "c17"})
+        first = service.submit_campaign(request)
+        assert first.ok
+        assert started.wait(timeout=30)  # worker is pinned on job 1
+        second = service.submit_campaign(request)
+        assert second.ok
+        cancelled = service.cancel_job(second.payload["id"])
+        assert cancelled.ok
+        assert cancelled.payload["state"] == "cancelled"
+        release.set()
+        service.shutdown()
+        assert second.payload["id"] not in executed
+        final = service.job_response(second.payload["id"]).payload
+        assert final["state"] == "cancelled"
+
+    def test_shutdown_drains_under_concurrent_load(self, tmp_path):
+        """Drain while grades are in flight and jobs are queued.
+
+        Every synchronous request issued before the drain gets a real
+        answer, the queued/running campaign parks resumably, and a
+        second service over the same jobs directory finishes it with
+        statuses bit-identical to the synchronous run.
+        """
+        from repro.api import CampaignRequest, ServiceOptions
+
+        config = ServiceOptions(workers=1, jobs_dir=str(tmp_path))
+        service = AtpgService(config=config)
+        request = stamp(
+            "repro/request.campaign", {"circuit": "c880", "max_faults": 96}
+        )
+        submitted = service.submit_campaign(request)
+        assert submitted.ok
+        job_id = submitted.payload["id"]
+
+        results = []
+        lock = threading.Lock()
+
+        def hammer():
+            response = service.handle(PathsRequest(circuit="c17"))
+            with lock:
+                results.append(response.ok)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        service.shutdown(timeout=60)  # drain races the worker + hammer
+        for thread in threads:
+            thread.join(timeout=30)
+        assert results == [True] * 6  # sync requests all answered
+        state = service.job_response(job_id).payload["state"]
+        assert state in ("queued", "interrupted", "done")
+
+        second = AtpgService(config=config)
+        record = _poll_until(second, job_id, ("done", "failed"))
+        assert record["state"] == "done"
+        sync = AtpgService().handle(
+            CampaignRequest(circuit="c880", max_faults=96)
+        )
+        assert record["result"]["statuses"] == sync.payload["statuses"]
+        second.shutdown()
+
+    def test_sigterm_drains_the_real_server_process(self, tmp_path):
+        """SIGTERM to a live ``tip serve`` process drains gracefully.
+
+        The process must exit cleanly (code 0) with the submitted
+        campaign persisted resumably in the jobs directory; a fresh
+        in-process service over the same directory completes it.
+        """
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        from repro.api import CampaignRequest, ServiceOptions
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH")) if p
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--workers", "1",
+                "--jobs-dir", str(tmp_path), "--quiet",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = process.stdout.readline()
+            assert "listening on" in line, line
+            import re
+
+            port = int(re.search(r":(\d+)/v1/", line).group(1))
+            request = stamp(
+                "repro/request.campaign", {"circuit": "c880", "max_faults": 96}
+            )
+            envelope = _post_port(port, "campaign", request)
+            assert envelope["ok"]
+            job_id = envelope["result"]["id"]
+            # a concurrent sync request is in flight as the signal lands
+            hammer = threading.Thread(
+                target=lambda: _maybe_post_port(
+                    port, "paths", stamp("repro/request.paths", {"circuit": "c17"})
+                )
+            )
+            hammer.start()
+            process.send_signal(signal.SIGTERM)
+            hammer.join(timeout=30)
+            assert process.wait(timeout=60) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+
+        resumed = AtpgService(
+            config=ServiceOptions(workers=1, jobs_dir=str(tmp_path))
+        )
+        record = _poll_until(resumed, job_id, ("done", "failed"))
+        assert record["state"] == "done"
+        sync = AtpgService().handle(CampaignRequest(circuit="c880", max_faults=96))
+        assert record["result"]["statuses"] == sync.payload["statuses"]
+        resumed.shutdown()
 
     def test_restart_resume_completes_the_campaign(self, tmp_path):
         """A job parked by shutdown is re-run by the next service."""
